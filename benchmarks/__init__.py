@@ -1,0 +1,5 @@
+"""Benchmark harness: one module per paper table/figure plus extensions.
+
+Run with ``pytest benchmarks/ --benchmark-only``; select fidelity with
+``RCAST_BENCH_SCALE`` in {smoke, bench, paper}.
+"""

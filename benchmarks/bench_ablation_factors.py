@@ -1,0 +1,26 @@
+"""Benchmark: ablation A — Rcast's four decision factors (paper §3.2, §5).
+
+Runs Rcast with the neighbor-count base alone (the evaluated system) and
+with each optional factor (sender recency, mobility, battery) switched on,
+alone and combined.  Checks that every variant remains functional (high
+PDR) and reports the energy/balance movement of each factor.
+"""
+
+from repro.experiments import ablation
+
+from benchmarks.conftest import run_once
+
+
+def test_ablation_factors(benchmark, scale):
+    result = run_once(benchmark, ablation.run_factors, scale)
+    print()
+    print(ablation.format_result(result))
+
+    baseline = result.variants["neighbors-only"]
+    for name, agg in result.variants.items():
+        # Every factor combination must keep the network functional.
+        assert agg.pdr > 0.80, (name, agg.pdr)
+        # And stay in the same energy regime as the evaluated system
+        # (factors modulate overhearing, they must not reintroduce the
+        # unconditional-overhearing energy bill).
+        assert agg.total_energy < baseline.total_energy * 1.8, name

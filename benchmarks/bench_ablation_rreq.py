@@ -1,0 +1,25 @@
+"""Benchmark: ablation C — randomized RREQ reception (paper §3.3, §5).
+
+The broadcast-storm extension: RREQ advertisements too can be received by
+a random subset of neighbors, with a conservative probability floor so
+floods still propagate.  Expectation: energy drops (fewer nodes wake for
+broadcast-heavy intervals) while delivery stays high in a dense static
+network.
+"""
+
+from repro.experiments import ablation
+
+from benchmarks.conftest import run_once
+
+
+def test_ablation_rreq(benchmark, scale):
+    result = run_once(benchmark, ablation.run_rreq, scale)
+    print()
+    print(ablation.format_result(result))
+
+    every = result.variants["rreq-all"]
+    randomized = result.variants["rreq-randomized"]
+    # Floored randomization must not break discovery.
+    assert randomized.pdr > 0.85, randomized.pdr
+    # And should not cost extra energy.
+    assert randomized.total_energy <= every.total_energy * 1.1

@@ -1,0 +1,25 @@
+"""Benchmark: ablation B — opportunistic tap.
+
+Paper-faithful Rcast only *uses* overheard frames it explicitly elected to
+overhear; the opportunistic variant also feeds frames a node happens to
+decode while awake for other reasons into DSR (free route information at
+zero extra energy, since the radio was on anyway).  Expectation: the same
+energy, at-least-as-good routing overhead.
+"""
+
+from repro.experiments import ablation
+
+from benchmarks.conftest import run_once
+
+
+def test_ablation_tap(benchmark, scale):
+    result = run_once(benchmark, ablation.run_tap, scale)
+    print()
+    print(ablation.format_result(result))
+
+    off = result.variants["tap-off"]
+    on = result.variants["tap-on"]
+    # The tap is energetically (near) free: awake time is decided before
+    # any tapping happens.
+    assert abs(on.total_energy - off.total_energy) < 0.25 * off.total_energy
+    assert on.pdr > 0.85 and off.pdr > 0.85

@@ -1,0 +1,38 @@
+"""Benchmark: Figure 5 — per-node energy consumption, sorted ascending.
+
+Four panels (rate x mobility).  Shape checks: 802.11 flat at the maximum;
+ODPM's step profile (uninvolved floor vs involved ceiling); Rcast low with
+the smallest spread in the static high-rate panel.
+"""
+
+import numpy as np
+
+from repro.experiments import fig5
+
+from benchmarks.conftest import run_once
+
+
+def test_fig5(benchmark, scale):
+    result = run_once(benchmark, fig5.run, scale)
+    print()
+    print(fig5.format_result(result))
+
+    low_rate = result.rates[0]
+    for (rate, mobile), curves in result.panels.items():
+        label = f"rate={rate} mobile={mobile}"
+        e80211 = curves["ieee80211"]
+        odpm = curves["odpm"]
+        rcast = curves["rcast"]
+        # 802.11 is flat at the global maximum.
+        assert np.allclose(e80211, e80211[0], rtol=1e-6), label
+        assert e80211[0] >= odpm.max() - 1e-6, label
+        assert e80211[0] >= rcast.max() - 1e-6, label
+        # Rcast's spread (max - min) is tighter than ODPM's step profile.
+        assert rcast[-1] - rcast[0] < odpm[-1] - odpm[0], label
+        if rate == low_rate:
+            # Away from saturation, Rcast's hungriest node consumes less
+            # than ODPM's hungriest (at the top rate the involved nodes of
+            # both schemes pin to the ceiling and the maxima converge).
+            assert rcast[-1] < odpm[-1], label
+        else:
+            assert rcast[-1] <= odpm[-1] * 1.05, label

@@ -1,0 +1,23 @@
+"""Benchmark: Figure 6 — variance of per-node energy vs packet rate.
+
+Shape checks: 802.11 variance ~0 at every rate; Rcast's variance below
+ODPM's at every rate (the paper reports a 243-400% balance improvement).
+"""
+
+from repro.experiments import fig6
+
+from benchmarks.conftest import run_once
+
+
+def test_fig6(benchmark, scale):
+    result = run_once(benchmark, fig6.run, scale)
+    print()
+    print(fig6.format_result(result))
+
+    for mobile in (True, False):
+        label = "mobile" if mobile else "static"
+        var = result.variance[mobile]
+        assert all(v <= 1.0 for v in var["ieee80211"]), label
+        wins = sum(r < o for r, o in zip(var["rcast"], var["odpm"]))
+        # Rcast balances better than ODPM at (essentially) every rate.
+        assert wins >= len(result.rates) - 1, (label, var)

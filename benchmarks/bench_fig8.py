@@ -1,0 +1,39 @@
+"""Benchmark: Figure 8 — average delay and normalized routing overhead.
+
+Shape checks: delay ieee80211 < odpm < rcast (PSM pays ~125 ms per hop,
+ODPM's immediate AM transmissions land in between); routing overhead in the
+mobile scenario exceeds the static one; Rcast's overhead stays in the same
+band as the overhearing-rich schemes (limited overhearing does not break
+DSR's routing efficiency).
+"""
+
+from repro.experiments import fig8
+from repro.metrics.stats import mean
+
+from benchmarks.conftest import run_once
+
+
+def test_fig8(benchmark, scale):
+    result = run_once(benchmark, fig8.run, scale)
+    print()
+    print(fig8.format_result(result))
+
+    for mobile in (True, False):
+        label = "mobile" if mobile else "static"
+        delay = result.data[mobile]["avg_delay"]
+        for i, rate in enumerate(result.rates):
+            point = f"{label} rate={rate}"
+            assert delay["ieee80211"][i] < delay["odpm"][i], point
+            assert delay["odpm"][i] < delay["rcast"][i], point
+
+    # Mobility costs routing overhead (more breaks, more discovery).
+    for scheme in ("ieee80211", "odpm", "rcast"):
+        mobile_ovh = mean(result.data[True]["overhead"][scheme])
+        static_ovh = mean(result.data[False]["overhead"][scheme])
+        assert mobile_ovh > static_ovh * 0.8, (scheme, mobile_ovh, static_ovh)
+
+    # Rcast's overhead stays within a small factor of unconditional 802.11.
+    for mobile in (True, False):
+        rcast_ovh = mean(result.data[mobile]["overhead"]["rcast"])
+        base_ovh = mean(result.data[mobile]["overhead"]["ieee80211"])
+        assert rcast_ovh < max(base_ovh * 6.0, base_ovh + 5.0)

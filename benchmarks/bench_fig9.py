@@ -1,0 +1,30 @@
+"""Benchmark: Figure 9 — role number vs per-node energy (mobile scenario).
+
+Shape checks: 802.11's energy is role-independent (flat); at the high rate
+Rcast's role distribution is tighter than ODPM's (the paper reads max role
+~30 vs ~50) and its energy spread is far smaller.
+"""
+
+from repro.experiments import fig9
+
+from benchmarks.conftest import run_once
+
+
+def test_fig9(benchmark, scale):
+    result = run_once(benchmark, fig9.run, scale)
+    print()
+    print(fig9.format_result(result))
+
+    high = result.rates[1]
+    odpm = result.panels[("odpm", high)]
+    rcast = result.panels[("rcast", high)]
+    e80211 = result.panels[("ieee80211", high)]
+
+    # 802.11: all nodes burn the same energy regardless of role.
+    assert e80211.energy_variance <= 1.0
+    # Rcast balances energy far better than ODPM at high load.
+    assert rcast.energy_variance < odpm.energy_variance
+    # Forwarding responsibility is no more concentrated under Rcast.
+    assert rcast.role_variance <= odpm.role_variance * 1.5
+    # Scatter data is exposed for plotting.
+    assert len(rcast.scatter_points()) == rcast.roles.shape[0]

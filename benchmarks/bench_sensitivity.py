@@ -1,0 +1,30 @@
+"""Benchmark: extension — PSM timing sensitivity (beacon / ATIM sweep).
+
+Validates the trade encoded by the paper's 250 ms / 50 ms choice:
+delay grows with the beacon interval, and the network-wide energy floor
+grows with the ATIM fraction.
+"""
+
+from repro.experiments import sensitivity
+
+from benchmarks.conftest import run_once
+
+
+def test_sensitivity(benchmark, scale):
+    result = run_once(benchmark, sensitivity.run, scale)
+    print()
+    print(sensitivity.format_result(result))
+
+    beacons = sorted(result.by_beacon)
+    delays = [result.by_beacon[b].avg_delay for b in beacons]
+    # Delay rises with the beacon interval (~half an interval per hop).
+    assert delays[-1] > delays[0]
+
+    fractions = sorted(result.by_fraction)
+    energies = [result.by_fraction[f].total_energy for f in fractions]
+    # A larger ATIM window raises the always-awake floor.
+    assert energies[-1] > energies[0]
+
+    # Delivery survives every sweep point.
+    for agg in list(result.by_beacon.values()) + list(result.by_fraction.values()):
+        assert agg.pdr > 0.85

@@ -1,0 +1,31 @@
+"""Benchmark: extension — SPAN vs Rcast across network density.
+
+Quantifies the paper's related-work critique of SPAN: the coordinator
+backbone grows as the network sparsens (toward all-AM in the limit),
+while Rcast's overhearing cost is density-insensitive (P_R = 1/n adapts).
+"""
+
+from repro.experiments import span_study
+
+from benchmarks.conftest import run_once
+
+
+def test_span_density(benchmark, scale):
+    result = run_once(benchmark, span_study.run, scale)
+    print()
+    print(span_study.format_result(result))
+
+    factors = sorted(span_study.DENSITY_FACTORS)
+    # The backbone grows (in node-fraction terms) as the network sparsens.
+    assert result.backbone[factors[-1]] >= result.backbone[factors[0]]
+    for factor in factors:
+        span = result.cells[("span", factor)]
+        rcast = result.cells[("rcast", factor)]
+        # Both schemes must keep delivering.
+        assert span.pdr > 0.75, (factor, span.describe())
+        assert rcast.pdr > 0.75, (factor, rcast.describe())
+    # At the sparsest point, SPAN's always-on backbone makes it at least
+    # as expensive as Rcast.
+    sparsest = factors[-1]
+    assert (result.cells[("span", sparsest)].total_energy
+            >= 0.9 * result.cells[("rcast", sparsest)].total_energy)

@@ -1,0 +1,32 @@
+"""Benchmark: extension — residual clock-sync error.
+
+Quantifies the paper's perfect-synchronization assumption: error within
+one ATIM window is harmless (windows still overlap, ATIM retries succeed);
+beyond one window node pairs lose their ATIM exchange and DSR pays
+overhead/delay to route around them, but the network stays functional.
+"""
+
+from repro.experiments import sync_study
+
+from benchmarks.conftest import run_once
+
+
+def test_sync_jitter(benchmark, scale):
+    result = run_once(benchmark, sync_study.run, scale)
+    print()
+    print(sync_study.format_result(result))
+
+    perfect = result.cells[0.0]
+    # Perfect sync is the paper's operating point: near-lossless.
+    assert perfect.pdr > 0.95
+    # Error within one ATIM window is free (windows always overlap).
+    one_window = result.cells[0.05]
+    assert one_window.pdr > perfect.pdr - 0.03
+    for jitter, agg in result.cells.items():
+        # Even 80%-of-a-beacon error leaves the network functional (DSR
+        # routes around the disjoint-window pairs).
+        assert agg.pdr > 0.60, (jitter, agg.describe())
+    # Beyond one window the error costs routing overhead and delay.
+    worst = result.cells[max(result.cells)]
+    assert worst.normalized_overhead >= perfect.normalized_overhead
+    assert worst.avg_delay >= perfect.avg_delay

@@ -1,0 +1,19 @@
+"""Benchmark: Table 1 — scheme behaviour comparison, backed by measurement.
+
+Regenerates the paper's qualitative scheme table with measured energy,
+variance, PDR, delay and overhead for all five schemes, and verifies the
+expected orderings (802.11 most energy / best delay; Rcast least energy and
+best balance; ODPM in between with lower delay than Rcast).
+"""
+
+from repro.experiments import table1
+
+from benchmarks.conftest import run_once
+
+
+def test_table1(benchmark, scale):
+    result = run_once(benchmark, table1.run, scale)
+    print()
+    print(table1.format_result(result))
+    failed = [label for label, ok in result.checks if not ok]
+    assert not failed, f"behaviour expectations violated: {failed}"

@@ -1,0 +1,43 @@
+"""Benchmark configuration.
+
+Each benchmark regenerates one table/figure of the paper and prints the
+same rows/series the paper reports.  The scale is selected with the
+``RCAST_BENCH_SCALE`` environment variable:
+
+* ``smoke`` — minutes-scale sanity sweep (tiny network);
+* ``bench`` — the default: the paper's topology and traffic at a shorter
+  simulated duration (shape-preserving, laptop-friendly);
+* ``paper`` — the full 100-node / 1125 s / 10-repetition setup (hours).
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.experiments.scenarios import (
+    BENCH_SCALE,
+    PAPER_SCALE,
+    SMOKE_SCALE,
+    ExperimentScale,
+)
+
+_SCALES = {"smoke": SMOKE_SCALE, "bench": BENCH_SCALE, "paper": PAPER_SCALE}
+
+
+@pytest.fixture(scope="session")
+def scale() -> ExperimentScale:
+    """The experiment scale selected via RCAST_BENCH_SCALE."""
+    name = os.environ.get("RCAST_BENCH_SCALE", "bench").lower()
+    if name not in _SCALES:
+        raise ValueError(
+            f"RCAST_BENCH_SCALE must be one of {sorted(_SCALES)}, got {name!r}"
+        )
+    return _SCALES[name]
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run ``fn`` exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1,
+                              iterations=1)

@@ -1,0 +1,77 @@
+#!/usr/bin/env python
+"""Network lifetime: when does the first battery die?
+
+The paper motivates energy *balance* with network lifetime: in a MANET the
+nodes are the infrastructure, so the first exhausted battery can partition
+the network.  This example equips every node with a finite battery sized so
+that an always-awake radio drains it within the run, simulates each scheme,
+and reports:
+
+* time until the first node depletes (simulated via per-node energy
+  trajectories under each scheme's awake/sleep profile),
+* how many nodes survive the full run, and
+* the margin between the hungriest node and the average.
+
+Run:  python examples/network_lifetime.py
+"""
+
+import numpy as np
+
+from repro import SimulationConfig, build_network
+from repro.constants import POWER_AWAKE_W
+from repro.metrics.lifetime import lifetime_from_metrics
+from repro.metrics.report import format_table
+
+
+def main() -> None:
+    sim_time = 90.0
+    # An always-awake node exhausts this battery in 60% of the run.
+    battery = POWER_AWAKE_W * sim_time * 0.6
+
+    rows = []
+    for scheme in ("ieee80211", "odpm", "rcast"):
+        config = SimulationConfig(
+            scheme=scheme,
+            num_nodes=100,
+            num_connections=20,
+            packet_rate=0.4,
+            sim_time=sim_time,
+            mobility="static",
+            battery_joules=battery,
+            seed=5,
+        )
+        network = build_network(config)
+        metrics = network.run()
+
+        report = lifetime_from_metrics(metrics, battery)
+        energy = metrics.node_energy
+        dead_in_run = int((report.depletion_times <= sim_time).sum())
+        rows.append([
+            scheme,
+            f"{report.first_death:.1f}",
+            dead_in_run,
+            f"{float(energy.max()):.1f}",
+            f"{float(energy.mean()):.1f}",
+            f"{float(energy.max() / max(energy.mean(), 1e-9)):.2f}x",
+        ])
+        print(f"ran {scheme:10} -> {metrics.describe()}")
+        print(f"    lifetime: {report.describe()}")
+
+    print()
+    print(format_table(
+        ["scheme", "first depletion [s]", "nodes dead within run",
+         "max node E [J]", "mean node E [J]", "max/mean"],
+        rows,
+        title=f"Network lifetime with {battery:.0f} J batteries "
+              f"({sim_time:.0f} s run)",
+    ))
+    print(
+        "\nReading: 802.11 kills every battery at the same (early) moment;"
+        "\nODPM's overloaded forwarders die far before its average node;"
+        "\nRcast's flat profile pushes the first death out the furthest —"
+        "\nthe paper's network-lifetime argument."
+    )
+
+
+if __name__ == "__main__":
+    main()

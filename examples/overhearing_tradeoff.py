@@ -1,0 +1,78 @@
+#!/usr/bin/env python
+"""The overhearing trade-off: energy vs route knowledge.
+
+The paper's central tension: overhearing costs energy under PSM but feeds
+the DSR route caches.  This example sweeps the whole spectrum —
+
+* no overhearing        (``psm-nooh``),
+* randomized overhearing (``rcast``, P_R = 1/neighbors),
+* unconditional overhearing (``psm``) —
+
+in a *mobile* network, where route knowledge matters most, and reports how
+energy, delivery, delay and routing overhead move as overhearing increases.
+It also shows Rcast's per-announcement probability in action by querying
+the nodes' Rcast managers directly.
+
+Run:  python examples/overhearing_tradeoff.py
+"""
+
+from repro import SimulationConfig, build_network
+from repro.metrics.report import format_table
+
+
+def main() -> None:
+    schemes = ("psm-nooh", "rcast", "psm")
+    rows = []
+    election_note = ""
+    for scheme in schemes:
+        config = SimulationConfig(
+            scheme=scheme,
+            num_nodes=100,
+            num_connections=20,
+            packet_rate=0.4,
+            sim_time=80.0,
+            mobility="waypoint",
+            max_speed=1.5,   # matches the paper's *effective* mobility
+            pause_time=0.0,
+            seed=23,
+        )
+        network = build_network(config)
+        metrics = network.run()
+        rows.append([
+            scheme,
+            metrics.total_energy,
+            metrics.pdr * 100.0,
+            metrics.avg_delay * 1e3,
+            metrics.normalized_overhead,
+            int(metrics.overheard_by_node.sum()),
+        ])
+        print(f"ran {scheme:9} -> {metrics.describe()}")
+        if scheme == "rcast":
+            deciders = [n.rcast.decider for n in network.nodes if n.rcast]
+            decisions = sum(d.decisions for d in deciders)
+            overhears = sum(d.overhears for d in deciders)
+            rate = overhears / decisions * 100 if decisions else 0.0
+            election_note = (
+                f"\nRcast made {decisions} randomized overhearing decisions; "
+                f"{overhears} elected to stay awake ({rate:.1f}% — about "
+                "1/average-neighbor-count, as designed)."
+            )
+
+    print()
+    print(format_table(
+        ["scheme", "energy [J]", "PDR [%]", "delay [ms]",
+         "routing overhead", "packets overheard"],
+        rows,
+        title="Overhearing spectrum (mobile, 0.4 pkt/s)",
+    ))
+    print(election_note)
+    print(
+        "\nReading: unconditional overhearing buys marginally better routing"
+        "\nat a large energy premium; no overhearing is cheap but starves"
+        "\nroute caches (watch the overhead column); Rcast keeps overhead"
+        "\nnear the unconditional level at a fraction of the energy."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,67 @@
+#!/usr/bin/env python
+"""DSR vs AODV under power saving: why Rcast targets DSR.
+
+The paper's footnote 1 motivates the choice of DSR: AODV forbids
+overhearing and expires routes by timeout, so it floods RREQs constantly
+(Das et al. attribute ~90% of its overhead to RREQs) — there is simply no
+overhearing for Rcast to randomize.  DSR's caches live on overheard route
+information, which is exactly the energy/knowledge trade Rcast manages.
+
+This example runs both protocols in the same mobile network under
+unconditional-overhearing PSM and under Rcast, and prints the control
+traffic composition and the energy bill of each combination.
+
+Run:  python examples/protocol_comparison.py
+"""
+
+from repro import SimulationConfig, run_simulation
+from repro.metrics.report import format_table
+
+
+def main() -> None:
+    rows = []
+    for protocol in ("dsr", "aodv"):
+        for scheme in ("psm", "rcast"):
+            config = SimulationConfig(
+                scheme=scheme,
+                routing=protocol,
+                num_nodes=100,
+                num_connections=20,
+                packet_rate=0.4,
+                sim_time=80.0,
+                mobility="waypoint",
+                max_speed=2.0,
+                pause_time=0.0,
+                seed=17,
+            )
+            metrics = run_simulation(config)
+            tx = metrics.transmissions
+            control = sum(tx.get(k, 0) for k in ("rreq", "rrep", "rerr"))
+            rreq_share = tx.get("rreq", 0) / control * 100 if control else 0.0
+            rows.append([
+                protocol, scheme,
+                metrics.total_energy,
+                metrics.pdr * 100.0,
+                metrics.normalized_overhead,
+                f"{rreq_share:.0f}%",
+                tx.get("rreq", 0), tx.get("rrep", 0), tx.get("rerr", 0),
+            ])
+            print(f"ran {protocol}/{scheme:6} -> {metrics.describe()}")
+
+    print()
+    print(format_table(
+        ["protocol", "scheme", "energy [J]", "PDR [%]", "overhead",
+         "RREQ share", "#rreq", "#rrep", "#rerr"],
+        rows,
+        title="Protocol x overhearing scheme (mobile, 0.4 pkt/s)",
+    ))
+    print(
+        "\nReading: AODV's control traffic is RREQ floods (the footnote's"
+        "\n~90%), and randomizing overhearing barely moves its numbers —"
+        "\nthere is nothing to overhear.  DSR converts overheard packets"
+        "\ninto cache state, which is why the Rcast trade exists at all."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+``wheel`` is not available in this environment, so PEP-517 editable
+installs fail with ``invalid command 'bdist_wheel'``.  This shim lets
+``pip install -e . --no-use-pep517`` (and plain ``python setup.py develop``)
+work; all metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

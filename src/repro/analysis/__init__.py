@@ -1,0 +1,16 @@
+"""Post-hoc analysis utilities: topology structure, cache staleness."""
+
+from repro.analysis.staleness import StalenessReport, audit_staleness
+from repro.analysis.topology import (
+    TopologySnapshot,
+    connectivity_over_time,
+    snapshot_topology,
+)
+
+__all__ = [
+    "StalenessReport",
+    "TopologySnapshot",
+    "audit_staleness",
+    "connectivity_over_time",
+    "snapshot_topology",
+]

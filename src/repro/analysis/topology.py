@@ -1,0 +1,151 @@
+"""Topology structure of a simulated network.
+
+Scenario sanity matters for reproduction quality: the paper's results
+presume a (mostly) connected 100-node network with multihop paths.  These
+helpers snapshot the radio connectivity graph at a point in virtual time
+and report the structural quantities that determine routing behaviour —
+connectivity, hop distances, degree distribution — so experiments can
+assert they are exercising the regime the paper studied.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import networkx as nx
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.mobility.base import MobilityModel
+
+
+@dataclass(frozen=True)
+class TopologySnapshot:
+    """Connectivity structure of the network at one instant."""
+
+    time: float
+    num_nodes: int
+    num_links: int
+    is_connected: bool
+    num_components: int
+    largest_component_fraction: float
+    mean_degree: float
+    max_degree: int
+    min_degree: int
+    #: average shortest-path length (hops) within the largest component
+    mean_hops: float
+    #: eccentricity maximum within the largest component
+    diameter_hops: int
+
+    def describe(self) -> str:
+        """One-line summary."""
+        status = "connected" if self.is_connected else (
+            f"{self.num_components} components "
+            f"(largest {self.largest_component_fraction * 100:.0f}%)"
+        )
+        return (
+            f"t={self.time:.1f}s: {self.num_nodes} nodes, "
+            f"{self.num_links} links, {status}, "
+            f"deg {self.mean_degree:.1f} avg / {self.max_degree} max, "
+            f"{self.mean_hops:.2f} hops avg, diameter {self.diameter_hops}"
+        )
+
+
+def _graph_from_positions(positions: np.ndarray, tx_range: float) -> nx.Graph:
+    graph = nx.Graph()
+    n = positions.shape[0]
+    graph.add_nodes_from(range(n))
+    diff = positions[:, None, :] - positions[None, :, :]
+    dist = np.sqrt(np.einsum("ijk,ijk->ij", diff, diff))
+    for a in range(n):
+        for b in range(a + 1, n):
+            if dist[a, b] <= tx_range:
+                graph.add_edge(a, b)
+    return graph
+
+
+def snapshot_topology(
+    model: MobilityModel,
+    time: float,
+    tx_range: float,
+) -> TopologySnapshot:
+    """Snapshot the connectivity graph of ``model`` at ``time``."""
+    if tx_range <= 0:
+        raise ConfigurationError("tx_range must be positive")
+    positions = model.positions_at(time)
+    graph = _graph_from_positions(positions, tx_range)
+    components = list(nx.connected_components(graph))
+    largest = max(components, key=len)
+    subgraph = graph.subgraph(largest)
+    if len(largest) > 1:
+        mean_hops = nx.average_shortest_path_length(subgraph)
+        diameter = nx.diameter(subgraph)
+    else:
+        mean_hops = 0.0
+        diameter = 0
+    degrees = [d for _, d in graph.degree()]
+    return TopologySnapshot(
+        time=time,
+        num_nodes=graph.number_of_nodes(),
+        num_links=graph.number_of_edges(),
+        is_connected=len(components) == 1,
+        num_components=len(components),
+        largest_component_fraction=len(largest) / graph.number_of_nodes(),
+        mean_degree=float(np.mean(degrees)) if degrees else 0.0,
+        max_degree=int(max(degrees)) if degrees else 0,
+        min_degree=int(min(degrees)) if degrees else 0,
+        mean_hops=float(mean_hops),
+        diameter_hops=int(diameter),
+    )
+
+
+def connectivity_over_time(
+    model: MobilityModel,
+    tx_range: float,
+    duration: float,
+    samples: int = 10,
+) -> List[TopologySnapshot]:
+    """Snapshots at evenly spaced times in ``[0, duration]``.
+
+    Note: mobility models are forward-only, so this must be called on a
+    fresh model (before a simulation consumed it).
+    """
+    if samples < 1:
+        raise ConfigurationError("need at least one sample")
+    times = np.linspace(0.0, duration, samples)
+    return [snapshot_topology(model, float(t), tx_range) for t in times]
+
+
+def hop_histogram(model: MobilityModel, time: float, tx_range: float,
+                  pairs: Optional[List[Tuple[int, int]]] = None) -> Dict[int, int]:
+    """Histogram of shortest-path hop counts (all pairs, or the given ones).
+
+    Unreachable pairs are recorded under key ``-1``.
+    """
+    positions = model.positions_at(time)
+    graph = _graph_from_positions(positions, tx_range)
+    histogram: Dict[int, int] = {}
+    if pairs is None:
+        lengths = dict(nx.all_pairs_shortest_path_length(graph))
+        n = positions.shape[0]
+        pairs = [(a, b) for a in range(n) for b in range(a + 1, n)]
+        for a, b in pairs:
+            hops = lengths.get(a, {}).get(b, -1)
+            histogram[hops] = histogram.get(hops, 0) + 1
+        return histogram
+    for a, b in pairs:
+        try:
+            hops = nx.shortest_path_length(graph, a, b)
+        except nx.NetworkXNoPath:
+            hops = -1
+        histogram[hops] = histogram.get(hops, 0) + 1
+    return histogram
+
+
+__all__ = [
+    "TopologySnapshot",
+    "snapshot_topology",
+    "connectivity_over_time",
+    "hop_histogram",
+]

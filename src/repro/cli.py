@@ -1,0 +1,188 @@
+"""Command-line interface: ``rcast-repro`` / ``python -m repro.cli``.
+
+Subcommands:
+
+* ``run``      — one simulation, printing the run summary;
+* ``table1``   — the scheme-behaviour comparison (Table 1);
+* ``fig5`` .. ``fig9`` — regenerate one figure of the paper;
+* ``ablation`` — the extension studies (factors / tap / rreq).
+
+``--scale {smoke,bench,paper}`` selects the fidelity/time trade-off.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Optional, Sequence
+
+from repro.experiments import (
+    ablation,
+    aodv_study,
+    fig5,
+    fig6,
+    fig7,
+    fig8,
+    fig9,
+    lifetime,
+    sensitivity,
+    span_study,
+    staleness_study,
+    sync_study,
+    table1,
+)
+from repro.experiments.scenarios import (
+    BENCH_SCALE,
+    PAPER_SCALE,
+    SMOKE_SCALE,
+    ExperimentScale,
+)
+from repro.network import SCHEMES, SimulationConfig, run_simulation
+
+_SCALES = {"smoke": SMOKE_SCALE, "bench": BENCH_SCALE, "paper": PAPER_SCALE}
+
+_FIGURES = {
+    "table1": (table1.run, table1.format_result),
+    "fig5": (fig5.run, fig5.format_result),
+    "fig6": (fig6.run, fig6.format_result),
+    "fig7": (fig7.run, fig7.format_result),
+    "fig8": (fig8.run, fig8.format_result),
+    "fig9": (fig9.run, fig9.format_result),
+    "lifetime": (lifetime.run, lifetime.format_result),
+    "sensitivity": (sensitivity.run, sensitivity.format_result),
+    "aodv": (aodv_study.run, aodv_study.format_result),
+    "span": (span_study.run, span_study.format_result),
+    "sync": (sync_study.run, sync_study.format_result),
+    "staleness": (staleness_study.run, staleness_study.format_result),
+}
+
+_ABLATIONS = {
+    "factors": ablation.run_factors,
+    "tap": ablation.run_tap,
+    "rreq": ablation.run_rreq,
+}
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="rcast-repro",
+        description="Rcast (ICDCS 2005) reproduction harness",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run_p = sub.add_parser("run", help="run one simulation")
+    run_p.add_argument("--scheme", choices=SCHEMES, default="rcast")
+    run_p.add_argument("--nodes", type=int, default=100)
+    run_p.add_argument("--rate", type=float, default=0.4)
+    run_p.add_argument("--sim-time", type=float, default=120.0)
+    run_p.add_argument("--connections", type=int, default=20)
+    run_p.add_argument("--pause", type=float, default=600.0)
+    run_p.add_argument("--speed", type=float, default=20.0)
+    run_p.add_argument("--static", action="store_true")
+    run_p.add_argument("--seed", type=int, default=1)
+
+    for name in _FIGURES:
+        fig_p = sub.add_parser(name, help=f"reproduce {name}")
+        fig_p.add_argument("--scale", choices=_SCALES, default="bench")
+        fig_p.add_argument("--seed", type=int, default=1)
+
+    abl_p = sub.add_parser("ablation", help="run an ablation study")
+    abl_p.add_argument("study", choices=_ABLATIONS)
+    abl_p.add_argument("--scale", choices=_SCALES, default="bench")
+    abl_p.add_argument("--seed", type=int, default=1)
+
+    sweep_p = sub.add_parser(
+        "sweep", help="custom (scheme x rate x scenario) sweep with export"
+    )
+    sweep_p.add_argument("--schemes", default="ieee80211,odpm,rcast",
+                         help="comma-separated scheme keys")
+    sweep_p.add_argument("--rates", default=None,
+                         help="comma-separated packet rates (default: scale's)")
+    sweep_p.add_argument("--scenarios", default="mobile,static",
+                         help="comma-separated from {mobile,static}")
+    sweep_p.add_argument("--scale", choices=_SCALES, default="bench")
+    sweep_p.add_argument("--seed", type=int, default=1)
+    sweep_p.add_argument("--json", dest="json_path", default=None,
+                         help="write the full sweep (incl. vectors) as JSON")
+    sweep_p.add_argument("--csv", dest="csv_path", default=None,
+                         help="write the scalar metrics as CSV")
+    return parser
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    config = SimulationConfig(
+        scheme=args.scheme,
+        num_nodes=args.nodes,
+        packet_rate=args.rate,
+        sim_time=args.sim_time,
+        num_connections=args.connections,
+        mobility="static" if args.static else "waypoint",
+        max_speed=args.speed,
+        pause_time=args.pause,
+        seed=args.seed,
+    )
+    started = time.time()
+    metrics = run_simulation(config)
+    print(metrics.describe())
+    print(f"transmissions: {metrics.transmissions}")
+    print(f"drops: {metrics.drop_reasons}")
+    print(f"wall time: {time.time() - started:.1f}s")
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace, scale: ExperimentScale,
+               progress) -> int:
+    from repro.experiments.export import write_sweep_csv, write_sweep_json
+    from repro.experiments.sweep import sweep as run_sweep
+    from repro.metrics.report import format_series
+
+    schemes = [s.strip() for s in args.schemes.split(",") if s.strip()]
+    rates = ([float(r) for r in args.rates.split(",")]
+             if args.rates else None)
+    scenario_names = {s.strip() for s in args.scenarios.split(",")}
+    unknown = scenario_names - {"mobile", "static"}
+    if unknown:
+        raise SystemExit(f"unknown scenarios: {sorted(unknown)}")
+    scenarios = tuple(name == "mobile"
+                      for name in ("mobile", "static")
+                      if name in scenario_names)
+    result = run_sweep(scale, schemes, rates=rates, scenarios=scenarios,
+                       seed=args.seed, progress=progress)
+    for mobile in result.scenarios:
+        label = "mobile" if mobile else "static"
+        print(format_series(
+            "rate [pkt/s]", list(result.rates),
+            {s: result.series(s, mobile, lambda a: a.total_energy)
+             for s in schemes},
+            title=f"total energy [J], {label}",
+        ))
+        print()
+    if args.json_path:
+        print(f"wrote {write_sweep_json(result, args.json_path)}")
+    if args.csv_path:
+        print(f"wrote {write_sweep_csv(result, args.csv_path)}")
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point."""
+    args = _build_parser().parse_args(argv)
+    if args.command == "run":
+        return _cmd_run(args)
+    scale: ExperimentScale = _SCALES[args.scale]
+    progress = lambda line: print(f"  .. {line}", file=sys.stderr)  # noqa: E731
+    if args.command == "sweep":
+        return _cmd_sweep(args, scale, progress)
+    if args.command == "ablation":
+        result = _ABLATIONS[args.study](scale, seed=args.seed, progress=progress)
+        print(ablation.format_result(result))
+        return 0
+    run_fn, fmt_fn = _FIGURES[args.command]
+    result = run_fn(scale, seed=args.seed, progress=progress)
+    print(fmt_fn(result))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,137 @@
+"""Physical and protocol constants used across the reproduction.
+
+Values mirror the evaluation setup of the paper (Section 4.1) and the
+WaveLAN-II radio characterization it cites.  Everything here is a *default*:
+scenario objects may override any of them.
+"""
+
+from __future__ import annotations
+
+# --- Radio / energy (Lucent WaveLAN-II, as used by the paper) ---------------
+
+#: Power drawn while awake (idle listening, receiving or transmitting), watts.
+#: The paper lumps idle/rx/tx together at 1.15 W ("nodes consume 1.15W during
+#: AM").
+POWER_AWAKE_W = 1.15
+
+#: Power drawn in the low-power sleep ("doze") state, watts (9 mA x 5 V).
+POWER_SLEEP_W = 0.045
+
+#: Finer-grained powers for the optional four-state energy model.
+POWER_TX_W = 1.50
+POWER_RX_W = 1.40
+POWER_IDLE_W = 1.15
+
+# --- PHY ---------------------------------------------------------------------
+
+#: Nominal radio transmission range, meters (ns-2 default for 802.11/two-ray).
+TX_RANGE_M = 250.0
+
+#: Carrier-sense range, meters (ns-2 default is 2.2x the tx range; we keep the
+#: conventional 550 m).
+CS_RANGE_M = 550.0
+
+#: Channel bit rate, bits per second (2 Mbps in the paper).
+BITRATE_BPS = 2_000_000.0
+
+# --- MAC / PSM timing --------------------------------------------------------
+
+#: Beacon interval, seconds.  The paper's delay and ODPM-energy arithmetic
+#: (125 ms average per-hop wait; 225 s of ATIM-awake time over 1125 s) pins
+#: this at 250 ms with a 50 ms ATIM window.
+BEACON_INTERVAL_S = 0.250
+
+#: ATIM window, seconds.
+ATIM_WINDOW_S = 0.050
+
+#: Maximum MAC retransmission attempts for a unicast frame before the link is
+#: declared broken (the 802.11 short retry limit).
+MAC_RETRY_LIMIT = 7
+
+#: Mean MAC backoff delay, seconds.  This is the event-driven abstraction of
+#: the 802.11 contention window; the real DCF averages CWmin/2 = 15.5 slots
+#: of 20 us (~310 us), we use 0.5 ms to absorb the residual serialization
+#: the event model does not capture.
+MAC_BACKOFF_MEAN_S = 0.0005
+
+#: Backoff-mean growth factor per retransmission attempt (contention-window
+#: doubling).
+MAC_BACKOFF_GROWTH = 2.0
+
+#: Fixed per-frame MAC/PHY overhead in bytes (headers, preamble equivalent).
+MAC_HEADER_BYTES = 34
+
+#: MAC ACK frame size in bytes.
+ACK_BYTES = 14
+
+#: Short inter-frame space, seconds.
+SIFS_S = 10e-6
+
+#: DCF inter-frame space, seconds.
+DIFS_S = 50e-6
+
+# --- ODPM keep-alive timeouts (Zheng & Kravets; values used in the paper) ----
+
+#: Stay in AM this long after sending/receiving a RREP, seconds.
+ODPM_RREP_TIMEOUT_S = 5.0
+
+#: Stay in AM this long after sending/receiving a data packet (or while being
+#: a source/destination of an active flow), seconds.
+ODPM_DATA_TIMEOUT_S = 2.0
+
+# --- DSR ---------------------------------------------------------------------
+
+#: Maximum number of routes kept per node's route cache.
+DSR_CACHE_CAPACITY = 64
+
+#: Route-discovery retransmission backoff: initial wait before retrying a
+#: network-wide RREQ that got no answer, seconds.  Under PSM a discovery
+#: round-trip costs roughly two beacon intervals per hop, so this must sit
+#: well above the multi-second PSM RTT or every discovery re-floods.
+DSR_DISCOVERY_TIMEOUT_S = 2.5
+
+#: Wait after the non-propagating (TTL-1) ring before escalating to a
+#: network-wide flood, seconds (about two beacon intervals under PSM).
+DSR_NONPROP_TIMEOUT_S = 0.6
+
+#: Exponential backoff cap for repeated discoveries, seconds.
+DSR_DISCOVERY_MAX_BACKOFF_S = 10.0
+
+#: Maximum times a discovery is retried before the packet is dropped.
+DSR_DISCOVERY_MAX_RETRIES = 8
+
+#: TTL used for the non-propagating (ring-0) RREQ of expanding-ring search.
+DSR_NONPROP_TTL = 1
+
+#: Network-wide RREQ TTL.
+DSR_NETWORK_TTL = 16
+
+#: Maximum data packets buffered per node awaiting a route.
+DSR_SEND_BUFFER_CAPACITY = 64
+
+#: Seconds a packet may wait in the send buffer before being dropped.
+DSR_SEND_BUFFER_TIMEOUT_S = 30.0
+
+# --- Scenario defaults (paper Section 4.1) -----------------------------------
+
+#: Number of mobile nodes.
+NUM_NODES = 100
+
+#: Arena dimensions, meters.
+ARENA_W_M = 1500.0
+ARENA_H_M = 300.0
+
+#: Number of CBR connections.
+NUM_CONNECTIONS = 20
+
+#: CBR payload size, bytes.
+PACKET_BYTES = 512
+
+#: Simulated duration, seconds.
+SIM_TIME_S = 1125.0
+
+#: Random-waypoint maximum speed, m/s.
+MAX_SPEED_MPS = 20.0
+
+#: Neighbor-table refresh period for the position service, seconds.
+NEIGHBOR_REFRESH_S = 1.0

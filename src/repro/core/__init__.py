@@ -1,0 +1,69 @@
+"""Rcast: the paper's contribution.
+
+Rcast lets the sender of a unicast packet specify a *desired overhearing
+level* — none, randomized or unconditional — in the ATIM advertisement, so
+that under the 802.11 power-saving mechanism a controlled, random subset of
+neighbors stays awake to overhear and harvest DSR route information while
+everyone else sleeps.
+
+* :mod:`repro.core.policy` — overhearing levels, sender-side level selection
+  per DSR packet type, and the receiver-side randomized decision
+  (``P_R = 1 / number-of-neighbors`` by default).
+* :mod:`repro.core.factors` — the paper's four decision factors (neighbor
+  count, sender recency, mobility, remaining battery) as composable
+  probability modifiers; only the neighbor count is active by default,
+  matching the evaluated system.
+* :mod:`repro.core.atim` — the on-the-wire encoding: ATIM management-frame
+  subtypes ``1001`` (standard / no overhearing), ``1110`` (randomized) and
+  ``1111`` (unconditional).
+* :mod:`repro.core.rcast` — the per-node manager tying it together for the
+  PSM MAC.
+"""
+
+from repro.core.atim import (
+    SUBTYPE_ATIM_RANDOMIZED,
+    SUBTYPE_ATIM_STANDARD,
+    SUBTYPE_ATIM_UNCONDITIONAL,
+    decode_frame_control,
+    encode_frame_control,
+    level_from_subtype,
+    subtype_for_level,
+)
+from repro.core.factors import (
+    BatteryFactor,
+    CompositeProbability,
+    MobilityFactor,
+    NeighborCountProbability,
+    SenderRecencyFactor,
+)
+from repro.core.policy import (
+    NoOverhearing,
+    OverhearingLevel,
+    RandomizedOverhearing,
+    RcastPolicy,
+    SenderPolicy,
+    UnconditionalOverhearing,
+)
+from repro.core.rcast import RcastManager
+
+__all__ = [
+    "BatteryFactor",
+    "CompositeProbability",
+    "MobilityFactor",
+    "NeighborCountProbability",
+    "NoOverhearing",
+    "OverhearingLevel",
+    "RandomizedOverhearing",
+    "RcastManager",
+    "RcastPolicy",
+    "SenderPolicy",
+    "SenderRecencyFactor",
+    "SUBTYPE_ATIM_RANDOMIZED",
+    "SUBTYPE_ATIM_STANDARD",
+    "SUBTYPE_ATIM_UNCONDITIONAL",
+    "UnconditionalOverhearing",
+    "decode_frame_control",
+    "encode_frame_control",
+    "level_from_subtype",
+    "subtype_for_level",
+]

@@ -1,0 +1,141 @@
+"""Per-node Rcast manager.
+
+Glues the sender policy, the on-the-wire subtype encoding and the
+receiver-side randomized decision together for one node, and keeps the small
+amount of state the optional decision factors need (when each neighbor was
+last heard).
+
+The PSM MAC asks it two questions:
+
+* :meth:`advertise` — sender side: what level/subtype should this packet's
+  ATIM carry?
+* :meth:`should_overhear` — receiver side: given an ATIM advertisement not
+  addressed to us, do we stay awake to overhear?
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence, Tuple
+
+from repro.core.atim import subtype_for_level
+from repro.core.factors import (
+    BatteryFactor,
+    CompositeProbability,
+    MobilityFactor,
+    NeighborCountProbability,
+    SenderRecencyFactor,
+)
+from repro.core.policy import (
+    OverhearingLevel,
+    RandomizedOverhearing,
+    RcastPolicy,
+    SenderPolicy,
+)
+
+
+class RcastManager:
+    """Sender- and receiver-side Rcast logic for one node."""
+
+    def __init__(
+        self,
+        node_id: int,
+        sim,
+        positions,
+        rng,
+        sender_policy: Optional[SenderPolicy] = None,
+        use_sender_recency: bool = False,
+        use_mobility: bool = False,
+        use_battery: bool = False,
+        energy_meter=None,
+        recency_horizon: float = 10.0,
+        randomized_broadcast: bool = False,
+        broadcast_floor: float = 0.5,
+    ) -> None:
+        self.node_id = node_id
+        self.sim = sim
+        self.positions = positions
+        self.sender_policy = sender_policy if sender_policy is not None else RcastPolicy()
+        self.randomized_broadcast = randomized_broadcast
+        self.broadcast_floor = broadcast_floor
+        self._rng = rng
+        self._last_heard: Dict[int, float] = {}
+
+        base = NeighborCountProbability(lambda: positions.neighbor_count(node_id))
+        factors = []
+        if use_sender_recency:
+            factors.append(SenderRecencyFactor(
+                now_fn=lambda: sim.now,
+                last_heard_fn=self.last_heard,
+                horizon=recency_horizon,
+            ))
+        if use_mobility:
+            factors.append(MobilityFactor(
+                link_change_rate_fn=lambda: positions.link_change_rate(node_id),
+            ))
+        if use_battery:
+            if energy_meter is None:
+                raise ValueError("use_battery requires an energy_meter")
+            factors.append(BatteryFactor(
+                remaining_fraction_fn=lambda: energy_meter.remaining_fraction(sim.now),
+            ))
+        self._probability = CompositeProbability(base, factors)
+        self.decider = RandomizedOverhearing(rng, self._probability)
+
+    # ------------------------------------------------------------------
+    # Sender side
+    # ------------------------------------------------------------------
+
+    def advertise(self, packet) -> Tuple[OverhearingLevel, int]:
+        """Level and ATIM subtype to advertise for an outgoing packet."""
+        level = self.sender_policy.level_for(packet)
+        return level, subtype_for_level(level)
+
+    # ------------------------------------------------------------------
+    # Receiver side
+    # ------------------------------------------------------------------
+
+    def note_heard(self, sender: int) -> None:
+        """Record that ``sender`` was heard or overheard just now."""
+        self._last_heard[sender] = self.sim.now
+
+    def last_heard(self, sender: int) -> Optional[float]:
+        """Time ``sender`` was last heard, or None if never."""
+        return self._last_heard.get(sender)
+
+    def should_overhear(self, announcement) -> bool:
+        """Resolve an advertisement not addressed to this node.
+
+        NONE never overhears, UNCONDITIONAL always does, RANDOMIZED draws
+        with the composed probability.
+        """
+        level = announcement.level
+        if level is OverhearingLevel.NONE:
+            return False
+        if level is OverhearingLevel.UNCONDITIONAL:
+            return True
+        return self.decider.decide(announcement)
+
+    def should_receive_broadcast(self, announcement) -> bool:
+        """Resolve a broadcast (e.g. RREQ) advertisement.
+
+        Broadcasts are received by every awake node by default.  The
+        broadcast-storm extension (paper Sections 3.3 and 5) randomizes the
+        decision *conservatively*: stay awake with probability
+        ``max(P_R, broadcast_floor)`` so floods still propagate.
+        """
+        if not self.randomized_broadcast:
+            return True
+        p = max(self.decider.probability(announcement), self.broadcast_floor)
+        return self._rng.random() < p
+
+    def overhearing_probability(self, announcement) -> float:
+        """The P_R that :meth:`should_overhear` would use (diagnostics)."""
+        return self.decider.probability(announcement)
+
+    @property
+    def active_factors(self) -> Sequence[str]:
+        """Names of the optional decision factors in effect."""
+        return self._probability.factor_names
+
+
+__all__ = ["RcastManager"]

@@ -1,0 +1,36 @@
+"""Exception hierarchy for the Rcast reproduction.
+
+All library-raised exceptions derive from :class:`ReproError` so callers can
+catch everything from this package with a single ``except`` clause while still
+letting programming errors (``TypeError`` and friends) propagate unchanged.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this package."""
+
+
+class SimulationError(ReproError):
+    """The simulation kernel was driven into an invalid state."""
+
+
+class SchedulingError(SimulationError):
+    """An event was scheduled in the past or after the simulation horizon."""
+
+
+class ConfigurationError(ReproError):
+    """A scenario, node stack or protocol was configured inconsistently."""
+
+
+class ChannelError(ReproError):
+    """The radio channel was asked to do something physically meaningless."""
+
+
+class RoutingError(ReproError):
+    """A routing-layer invariant was violated (malformed route, bad index)."""
+
+
+class MacError(ReproError):
+    """A MAC-layer invariant was violated (bad frame, impossible state)."""

@@ -1,0 +1,123 @@
+"""Ablation studies for Rcast's design choices.
+
+Three studies, all marked future work or design alternatives in the paper:
+
+* **Decision factors** (paper Sections 3.2, 5) — the evaluated system uses
+  only the neighbor-count probability; we additionally switch on the
+  sender-recency, mobility and battery factors, alone and combined.
+* **Opportunistic tap** — the paper's Rcast only *uses* overheard frames it
+  elected to overhear; this study also taps frames a node happens to hear
+  while awake for other reasons (free route information, zero extra energy).
+* **Randomized RREQ reception** (paper Sections 3.3, 5) — broadcasts too
+  can be received by a random subset (conservatively floored) to fight the
+  broadcast-storm problem in dense networks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from repro.constants import POWER_AWAKE_W
+from repro.experiments.runner import AggregateMetrics, run_and_aggregate
+from repro.experiments.scenarios import ExperimentScale, make_config
+from repro.metrics.report import format_table
+
+#: factor combinations evaluated by the factor ablation
+FACTOR_SETS: Tuple[Tuple[str, ...], ...] = (
+    (),
+    ("sender",),
+    ("mobility",),
+    ("battery",),
+    ("sender", "mobility", "battery"),
+)
+
+
+@dataclass
+class AblationResult:
+    """Named variants -> aggregated metrics."""
+
+    study: str
+    scale_name: str
+    rate: float
+    variants: Dict[str, AggregateMetrics]
+
+
+def run_factors(scale: ExperimentScale, seed: int = 1,
+                progress=None) -> AblationResult:
+    """Rcast decision-factor ablation (mobile scenario, low rate)."""
+    # The battery factor needs a finite battery to have any effect; size it
+    # so an always-awake node would drain ~2/3 of it during the run.
+    battery = 1.5 * POWER_AWAKE_W * scale.sim_time
+    variants: Dict[str, AggregateMetrics] = {}
+    for factors in FACTOR_SETS:
+        name = "+".join(factors) if factors else "neighbors-only"
+        config = make_config(
+            scale, "rcast", scale.low_rate, mobile=True, seed=seed,
+            rcast_factors=factors, battery_joules=battery,
+        )
+        variants[name] = run_and_aggregate(config, scale.repetitions)
+        if progress is not None:
+            progress(f"{name}: {variants[name].describe()}")
+    return AblationResult("decision-factors", scale.name, scale.low_rate,
+                          variants)
+
+
+def run_tap(scale: ExperimentScale, seed: int = 1,
+            progress=None) -> AblationResult:
+    """Opportunistic-tap ablation (mobile scenario, low rate)."""
+    variants: Dict[str, AggregateMetrics] = {}
+    for tap in (False, True):
+        name = "tap-on" if tap else "tap-off"
+        config = make_config(
+            scale, "rcast", scale.low_rate, mobile=True, seed=seed,
+            opportunistic_tap=tap,
+        )
+        variants[name] = run_and_aggregate(config, scale.repetitions)
+        if progress is not None:
+            progress(f"{name}: {variants[name].describe()}")
+    return AblationResult("opportunistic-tap", scale.name, scale.low_rate,
+                          variants)
+
+
+def run_rreq(scale: ExperimentScale, seed: int = 1,
+             progress=None) -> AblationResult:
+    """Randomized RREQ-reception ablation (static dense network)."""
+    variants: Dict[str, AggregateMetrics] = {}
+    for randomized in (False, True):
+        name = "rreq-randomized" if randomized else "rreq-all"
+        config = make_config(
+            scale, "rcast", scale.low_rate, mobile=False, seed=seed,
+            rreq_randomized=randomized,
+        )
+        variants[name] = run_and_aggregate(config, scale.repetitions)
+        if progress is not None:
+            progress(f"{name}: {variants[name].describe()}")
+    return AblationResult("randomized-rreq", scale.name, scale.low_rate,
+                          variants)
+
+
+def format_result(result: AblationResult) -> str:
+    """Comparison table across variants."""
+    rows = []
+    for name, agg in result.variants.items():
+        rows.append([
+            name, agg.total_energy, agg.energy_variance, agg.pdr * 100.0,
+            agg.avg_delay * 1e3, agg.normalized_overhead,
+        ])
+    return format_table(
+        ["variant", "energy [J]", "variance", "PDR [%]", "delay [ms]",
+         "overhead"],
+        rows,
+        title=f"Ablation: {result.study} (rate={result.rate} pkt/s)",
+    )
+
+
+__all__ = [
+    "FACTOR_SETS",
+    "AblationResult",
+    "run_factors",
+    "run_tap",
+    "run_rreq",
+    "format_result",
+]

@@ -1,0 +1,99 @@
+"""Export experiment results to JSON/CSV for external plotting.
+
+The benchmark harness prints text tables; this module serializes the same
+data structurally so downstream users can regenerate the paper's figures
+with their plotting tool of choice.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+from typing import Dict, Union
+
+import numpy as np
+
+from repro.experiments.runner import AggregateMetrics
+from repro.experiments.sweep import SweepResult
+
+PathLike = Union[str, Path]
+
+#: scalar fields of AggregateMetrics exported per cell
+SCALAR_FIELDS = (
+    "total_energy", "total_energy_ci",
+    "energy_variance", "energy_variance_ci",
+    "pdr", "pdr_ci",
+    "avg_delay", "avg_delay_ci",
+    "energy_per_bit", "energy_per_bit_ci",
+    "normalized_overhead", "normalized_overhead_ci",
+)
+
+
+def aggregate_to_dict(agg: AggregateMetrics) -> Dict:
+    """JSON-safe dict of one aggregate (vectors included)."""
+    out = {"scheme": agg.scheme, "repetitions": agg.repetitions}
+    for field in SCALAR_FIELDS:
+        value = getattr(agg, field)
+        out[field] = None if not np.isfinite(value) else float(value)
+    out["sorted_node_energy"] = [float(v) for v in agg.sorted_node_energy]
+    out["role_numbers"] = [float(v) for v in agg.role_numbers]
+    out["node_energy"] = [float(v) for v in agg.node_energy]
+    return out
+
+
+def sweep_to_dict(result: SweepResult) -> Dict:
+    """JSON-safe dict of a full sweep grid."""
+    cells = []
+    for (scheme, rate, mobile), agg in sorted(
+        result.cells.items(), key=lambda kv: (kv[0][2], kv[0][1], kv[0][0])
+    ):
+        cell = aggregate_to_dict(agg)
+        cell.update(rate=rate, mobile=mobile)
+        cells.append(cell)
+    return {
+        "scale": result.scale_name,
+        "schemes": list(result.schemes),
+        "rates": list(result.rates),
+        "scenarios": ["mobile" if m else "static" for m in result.scenarios],
+        "cells": cells,
+    }
+
+
+def write_sweep_json(result: SweepResult, path: PathLike) -> Path:
+    """Serialize a sweep to JSON; returns the written path."""
+    path = Path(path)
+    path.write_text(json.dumps(sweep_to_dict(result), indent=2))
+    return path
+
+
+def write_sweep_csv(result: SweepResult, path: PathLike) -> Path:
+    """Serialize a sweep's scalar metrics to CSV; returns the written path."""
+    path = Path(path)
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["scheme", "rate", "scenario"] + list(SCALAR_FIELDS))
+        for (scheme, rate, mobile), agg in sorted(
+            result.cells.items(), key=lambda kv: (kv[0][2], kv[0][1], kv[0][0])
+        ):
+            row = [scheme, rate, "mobile" if mobile else "static"]
+            for field in SCALAR_FIELDS:
+                value = getattr(agg, field)
+                row.append("" if not np.isfinite(value) else f"{value:.10g}")
+            writer.writerow(row)
+    return path
+
+
+def load_sweep_json(path: PathLike) -> Dict:
+    """Read back a JSON export (plain dict; no object reconstruction)."""
+    return json.loads(Path(path).read_text())
+
+
+__all__ = [
+    "SCALAR_FIELDS",
+    "aggregate_to_dict",
+    "sweep_to_dict",
+    "write_sweep_json",
+    "write_sweep_csv",
+    "load_sweep_json",
+]

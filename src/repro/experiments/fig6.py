@@ -1,0 +1,64 @@
+"""Figure 6: variance of per-node energy consumption vs packet rate.
+
+Two panels (mobile / static).  Shape to reproduce: 802.11 has zero variance
+(every node burns the same maximum energy); ODPM's variance is several times
+Rcast's at every rate — the paper reports a 243%-400% energy-balance
+improvement for Rcast over ODPM.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.experiments.scenarios import ExperimentScale
+from repro.experiments.sweep import sweep
+from repro.metrics.report import format_series, ratio_improvement
+
+SCHEMES = ("ieee80211", "odpm", "rcast")
+
+
+@dataclass
+class Fig6Result:
+    """Energy variance series per scheme for both scenarios."""
+
+    scale_name: str
+    rates: Tuple[float, ...]
+    #: (mobile?) -> scheme -> variance series over rates
+    variance: Dict[bool, Dict[str, List[float]]]
+
+    def improvement_over_odpm(self, mobile: bool) -> List[float]:
+        """Rcast's variance improvement over ODPM, per rate, in percent."""
+        odpm = self.variance[mobile]["odpm"]
+        rcast = self.variance[mobile]["rcast"]
+        return [ratio_improvement(o, r) for o, r in zip(odpm, rcast)]
+
+
+def run(scale: ExperimentScale, seed: int = 1, progress=None) -> Fig6Result:
+    """Run the Figure 6 rate sweep."""
+    grid = sweep(scale, SCHEMES, scenarios=(True, False), seed=seed,
+                 progress=progress)
+    variance: Dict[bool, Dict[str, List[float]]] = {}
+    for mobile in (True, False):
+        variance[mobile] = {
+            scheme: grid.series(scheme, mobile, lambda a: a.energy_variance)
+            for scheme in SCHEMES
+        }
+    return Fig6Result(scale.name, grid.rates, variance)
+
+
+def format_result(result: Fig6Result) -> str:
+    """Text rendering of both panels plus the improvement row."""
+    blocks = []
+    for mobile in (True, False):
+        scenario = "mobile" if mobile else "static"
+        series = dict(result.variance[mobile])
+        series["rcast vs odpm [%]"] = result.improvement_over_odpm(mobile)
+        blocks.append(format_series(
+            "rate [pkt/s]", list(result.rates), series,
+            title=f"Fig.6: variance of per-node energy [J^2], {scenario}",
+        ))
+    return "\n\n".join(blocks)
+
+
+__all__ = ["Fig6Result", "run", "format_result", "SCHEMES"]

@@ -1,0 +1,94 @@
+"""Figure 7: total energy, packet delivery ratio and energy-per-bit vs rate.
+
+Two scenario rows (mobile / static), three metric columns.  Shape to
+reproduce:
+
+* total energy: ``ieee80211 > odpm > rcast`` at every rate (the paper
+  reports Rcast 28-75% below ODPM when mobile and 37-131% when static);
+* PDR: all schemes above ~90%, Rcast within a few points of the best;
+* energy-per-bit: lowest for Rcast (up to 75% less than 802.11).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.experiments.scenarios import ExperimentScale
+from repro.experiments.sweep import sweep
+from repro.metrics.report import format_series, ratio_improvement
+
+SCHEMES = ("ieee80211", "odpm", "rcast")
+
+METRICS = {
+    "total_energy": lambda a: a.total_energy,
+    "pdr": lambda a: a.pdr * 100.0,
+    "energy_per_bit": lambda a: a.energy_per_bit,
+}
+
+
+@dataclass
+class Fig7Result:
+    """Per-scenario, per-metric, per-scheme series over the rate axis."""
+
+    scale_name: str
+    rates: Tuple[float, ...]
+    #: (mobile?) -> metric -> scheme -> series
+    data: Dict[bool, Dict[str, Dict[str, List[float]]]]
+
+    def energy_gap_vs_odpm(self, mobile: bool) -> List[float]:
+        """Percent by which ODPM exceeds Rcast in total energy, per rate."""
+        odpm = self.data[mobile]["total_energy"]["odpm"]
+        rcast = self.data[mobile]["total_energy"]["rcast"]
+        return [ratio_improvement(o, r) for o, r in zip(odpm, rcast)]
+
+    def energy_gap_vs_80211(self, mobile: bool) -> List[float]:
+        """Percent by which 802.11 exceeds Rcast in total energy, per rate."""
+        base = self.data[mobile]["total_energy"]["ieee80211"]
+        rcast = self.data[mobile]["total_energy"]["rcast"]
+        return [ratio_improvement(b, r) for b, r in zip(base, rcast)]
+
+
+def run(scale: ExperimentScale, seed: int = 1, progress=None) -> Fig7Result:
+    """Run the Figure 7 rate sweep."""
+    grid = sweep(scale, SCHEMES, scenarios=(True, False), seed=seed,
+                 progress=progress)
+    data: Dict[bool, Dict[str, Dict[str, List[float]]]] = {}
+    for mobile in (True, False):
+        data[mobile] = {
+            name: {
+                scheme: grid.series(scheme, mobile, fn) for scheme in SCHEMES
+            }
+            for name, fn in METRICS.items()
+        }
+    return Fig7Result(scale.name, grid.rates, data)
+
+
+def format_result(result: Fig7Result) -> str:
+    """Text rendering of all six panels plus headline gaps."""
+    titles = {
+        "total_energy": "total energy [J]",
+        "pdr": "packet delivery ratio [%]",
+        "energy_per_bit": "energy per delivered bit [J/bit]",
+    }
+    blocks = []
+    for mobile in (True, False):
+        scenario = "mobile" if mobile else "static"
+        for name, title in titles.items():
+            blocks.append(format_series(
+                "rate [pkt/s]", list(result.rates),
+                result.data[mobile][name],
+                title=f"Fig.7: {title}, {scenario}",
+            ))
+        gaps = result.energy_gap_vs_odpm(mobile)
+        base_gaps = result.energy_gap_vs_80211(mobile)
+        blocks.append(
+            f"Rcast energy advantage ({scenario}): "
+            f"vs ODPM {min(gaps):.0f}%..{max(gaps):.0f}% "
+            f"(paper: 28..75% mobile / 37..131% static); "
+            f"vs 802.11 {min(base_gaps):.0f}%..{max(base_gaps):.0f}%"
+        )
+    return "\n\n".join(blocks)
+
+
+__all__ = ["Fig7Result", "run", "format_result", "SCHEMES"]

@@ -1,0 +1,111 @@
+"""Replication running and aggregation.
+
+The paper repeats every scenario ten times; :func:`run_replications` does
+the same with deterministically derived seeds and :func:`aggregate` folds
+the per-run :class:`~repro.metrics.collector.RunMetrics` into means with
+95% confidence half-widths.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.metrics.collector import RunMetrics
+from repro.metrics.stats import confidence_interval_95, mean
+from repro.network import SimulationConfig, run_simulation
+from repro.experiments.scenarios import replication_seed
+
+
+def run_replications(config: SimulationConfig, repetitions: int) -> List[RunMetrics]:
+    """Run ``config`` ``repetitions`` times with derived seeds."""
+    results = []
+    for rep in range(repetitions):
+        cfg = replace(config, seed=replication_seed(config.seed, rep))
+        results.append(run_simulation(cfg))
+    return results
+
+
+@dataclass
+class AggregateMetrics:
+    """Across-replication means (and 95% CIs) of the paper's quantities."""
+
+    scheme: str
+    repetitions: int
+    total_energy: float
+    total_energy_ci: float
+    energy_variance: float
+    energy_variance_ci: float
+    pdr: float
+    pdr_ci: float
+    avg_delay: float
+    avg_delay_ci: float
+    energy_per_bit: float
+    energy_per_bit_ci: float
+    normalized_overhead: float
+    normalized_overhead_ci: float
+    #: per-node energy sorted ascending, averaged element-wise across runs
+    #: (the paper's Fig. 5 curves)
+    sorted_node_energy: np.ndarray = None
+    #: element-wise mean role numbers (unsorted, node-indexed)
+    role_numbers: np.ndarray = None
+    #: mean per-node energy vector (node-indexed, for scatter plots)
+    node_energy: np.ndarray = None
+
+    def describe(self) -> str:
+        """One-line summary."""
+        return (
+            f"{self.scheme}: E={self.total_energy:.1f}J "
+            f"var={self.energy_variance:.1f} PDR={self.pdr * 100:.1f}% "
+            f"delay={self.avg_delay * 1e3:.0f}ms "
+            f"EPB={self.energy_per_bit * 1e6:.1f}uJ/bit "
+            f"ovh={self.normalized_overhead:.2f}"
+        )
+
+
+def aggregate(runs: Sequence[RunMetrics]) -> AggregateMetrics:
+    """Fold replications into means with confidence half-widths."""
+    if not runs:
+        raise ValueError("cannot aggregate zero runs")
+    scheme = runs[0].scheme
+
+    def agg(values: List[float]) -> tuple:
+        """Mean and 95% CI over the finite values."""
+        finite = [v for v in values if np.isfinite(v)]
+        if not finite:
+            return float("inf"), 0.0
+        return mean(finite), confidence_interval_95(finite)
+
+    te, te_ci = agg([r.total_energy for r in runs])
+    ev, ev_ci = agg([r.energy_variance for r in runs])
+    pdr, pdr_ci = agg([r.pdr for r in runs])
+    dly, dly_ci = agg([r.avg_delay for r in runs])
+    epb, epb_ci = agg([r.energy_per_bit for r in runs])
+    ovh, ovh_ci = agg([r.normalized_overhead for r in runs])
+    sorted_energy = np.mean(
+        np.stack([r.sorted_node_energy() for r in runs]), axis=0
+    )
+    roles = np.mean(np.stack([r.role_numbers for r in runs]), axis=0)
+    node_energy = np.mean(np.stack([r.node_energy for r in runs]), axis=0)
+    return AggregateMetrics(
+        scheme=scheme, repetitions=len(runs),
+        total_energy=te, total_energy_ci=te_ci,
+        energy_variance=ev, energy_variance_ci=ev_ci,
+        pdr=pdr, pdr_ci=pdr_ci,
+        avg_delay=dly, avg_delay_ci=dly_ci,
+        energy_per_bit=epb, energy_per_bit_ci=epb_ci,
+        normalized_overhead=ovh, normalized_overhead_ci=ovh_ci,
+        sorted_node_energy=sorted_energy,
+        role_numbers=roles,
+        node_energy=node_energy,
+    )
+
+
+def run_and_aggregate(config: SimulationConfig, repetitions: int) -> AggregateMetrics:
+    """Convenience composition of :func:`run_replications` + :func:`aggregate`."""
+    return aggregate(run_replications(config, repetitions))
+
+
+__all__ = ["AggregateMetrics", "aggregate", "run_replications", "run_and_aggregate"]

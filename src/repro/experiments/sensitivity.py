@@ -1,0 +1,89 @@
+"""Extension experiment: sensitivity to the PSM timing parameters.
+
+The paper fixes beacon interval = 250 ms and ATIM window = 50 ms (citing
+Woesner et al. for the choice).  This experiment sweeps the beacon interval
+(holding the ATIM fraction at 20%) and, separately, the ATIM fraction
+(holding the beacon interval), quantifying the energy/delay trade that
+choice encodes:
+
+* longer beacon intervals let idle nodes sleep longer (less energy) but
+  every hop waits longer on average (more delay);
+* a larger ATIM fraction raises the guaranteed-awake floor
+  (``P_awake x fraction``) for every node in the network.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.experiments.runner import AggregateMetrics, run_and_aggregate
+from repro.experiments.scenarios import ExperimentScale, make_config
+from repro.metrics.report import format_table
+
+#: beacon intervals swept (seconds), ATIM fraction fixed at 0.2
+BEACON_INTERVALS = (0.1, 0.25, 0.5, 1.0)
+
+#: ATIM fractions swept, beacon interval fixed at 0.25 s
+ATIM_FRACTIONS = (0.1, 0.2, 0.4)
+
+
+@dataclass
+class SensitivityResult:
+    """Aggregates per (beacon interval) and per (ATIM fraction)."""
+
+    scale_name: str
+    rate: float
+    by_beacon: Dict[float, AggregateMetrics]
+    by_fraction: Dict[float, AggregateMetrics]
+
+
+def run(scale: ExperimentScale, seed: int = 1, progress=None) -> SensitivityResult:
+    """Sweep PSM timing for Rcast (static scenario, low rate)."""
+    by_beacon: Dict[float, AggregateMetrics] = {}
+    for beacon in BEACON_INTERVALS:
+        config = make_config(
+            scale, "rcast", scale.low_rate, mobile=False, seed=seed,
+            beacon_interval=beacon, atim_window=0.2 * beacon,
+        )
+        by_beacon[beacon] = run_and_aggregate(config, scale.repetitions)
+        if progress is not None:
+            progress(f"beacon={beacon}s: {by_beacon[beacon].describe()}")
+    by_fraction: Dict[float, AggregateMetrics] = {}
+    for fraction in ATIM_FRACTIONS:
+        config = make_config(
+            scale, "rcast", scale.low_rate, mobile=False, seed=seed,
+            beacon_interval=0.25, atim_window=0.25 * fraction,
+        )
+        by_fraction[fraction] = run_and_aggregate(config, scale.repetitions)
+        if progress is not None:
+            progress(f"atim={fraction:.0%}: {by_fraction[fraction].describe()}")
+    return SensitivityResult(scale.name, scale.low_rate, by_beacon,
+                             by_fraction)
+
+
+def format_result(result: SensitivityResult) -> str:
+    """Two tables: beacon-interval sweep and ATIM-fraction sweep."""
+    rows = []
+    for beacon, agg in sorted(result.by_beacon.items()):
+        rows.append([f"{beacon * 1e3:.0f} ms", agg.total_energy,
+                     agg.pdr * 100.0, agg.avg_delay * 1e3])
+    beacon_table = format_table(
+        ["beacon interval", "energy [J]", "PDR [%]", "delay [ms]"],
+        rows,
+        title="PSM sensitivity: beacon interval (ATIM fraction fixed at 20%)",
+    )
+    rows = []
+    for fraction, agg in sorted(result.by_fraction.items()):
+        rows.append([f"{fraction:.0%}", agg.total_energy, agg.pdr * 100.0,
+                     agg.avg_delay * 1e3])
+    fraction_table = format_table(
+        ["ATIM fraction", "energy [J]", "PDR [%]", "delay [ms]"],
+        rows,
+        title="PSM sensitivity: ATIM window fraction (beacon fixed at 250 ms)",
+    )
+    return beacon_table + "\n\n" + fraction_table
+
+
+__all__ = ["SensitivityResult", "run", "format_result",
+           "BEACON_INTERVALS", "ATIM_FRACTIONS"]

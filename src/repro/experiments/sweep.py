@@ -1,0 +1,70 @@
+"""Parameter sweeps: (scheme x rate x scenario) grids.
+
+The paper's Figures 6-8 are rate sweeps at two pause times; :func:`sweep`
+runs the full grid and returns a :class:`SweepResult` the figure modules
+slice series out of.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.experiments.runner import AggregateMetrics, run_and_aggregate
+from repro.experiments.scenarios import ExperimentScale, make_config
+
+#: Result key: (scheme, rate, mobile?).
+SweepKey = Tuple[str, float, bool]
+
+
+@dataclass
+class SweepResult:
+    """Aggregated metrics over a (scheme x rate x scenario) grid."""
+
+    scale_name: str
+    schemes: Tuple[str, ...]
+    rates: Tuple[float, ...]
+    scenarios: Tuple[bool, ...]  # True = mobile, False = static
+    cells: Dict[SweepKey, AggregateMetrics] = field(default_factory=dict)
+
+    def get(self, scheme: str, rate: float, mobile: bool) -> AggregateMetrics:
+        """Aggregate for one grid cell."""
+        return self.cells[(scheme, rate, mobile)]
+
+    def series(self, scheme: str, mobile: bool,
+               metric: Callable[[AggregateMetrics], float]) -> List[float]:
+        """Extract ``metric`` across the rate axis for one scheme/scenario."""
+        return [metric(self.cells[(scheme, r, mobile)]) for r in self.rates]
+
+
+def sweep(
+    scale: ExperimentScale,
+    schemes: Sequence[str],
+    rates: Optional[Sequence[float]] = None,
+    scenarios: Sequence[bool] = (True, False),
+    seed: int = 1,
+    progress: Optional[Callable[[str], None]] = None,
+    **config_overrides,
+) -> SweepResult:
+    """Run the full grid; each cell is aggregated over the scale's reps."""
+    rates = tuple(rates if rates is not None else scale.rates)
+    result = SweepResult(
+        scale_name=scale.name,
+        schemes=tuple(schemes),
+        rates=rates,
+        scenarios=tuple(scenarios),
+    )
+    for mobile in scenarios:
+        for rate in rates:
+            for scheme in schemes:
+                config = make_config(scale, scheme, rate, mobile, seed=seed,
+                                     **config_overrides)
+                agg = run_and_aggregate(config, scale.repetitions)
+                result.cells[(scheme, rate, mobile)] = agg
+                if progress is not None:
+                    label = "mobile" if mobile else "static"
+                    progress(f"[{label} rate={rate}] {agg.describe()}")
+    return result
+
+
+__all__ = ["SweepKey", "SweepResult", "sweep"]

@@ -1,0 +1,76 @@
+"""Extension experiment: how much does the paper's sync assumption carry?
+
+The paper assumes a perfect distributed clock-sync algorithm (citing Tseng
+et al. and Huang & Lai) and sets synchronization aside.  This experiment
+injects residual clock error — each node's beacon clock shifted by a
+uniform offset in ``[0, jitter)`` — and measures what happens to Rcast.
+
+ATIM exchange follows window-overlap semantics (senders retry ATIMs
+throughout their window): sync error within one ATIM window is harmless,
+because any two windows still overlap.  Beyond one window, node pairs whose
+phase difference exceeds the window lose their ATIM exchange entirely —
+and what rescues the network is routing, not the MAC: DSR detects the
+failing links and routes around badly-synchronized pairs, trading overhead
+and delay for delivery.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.experiments.runner import AggregateMetrics, run_and_aggregate
+from repro.experiments.scenarios import ExperimentScale, make_config
+from repro.metrics.report import format_table
+
+#: clock-jitter bounds swept, seconds.  0 = the paper's perfect sync; up
+#: to one ATIM window (0.05 s) windows always overlap and nothing is lost;
+#: beyond it node pairs with larger phase differences lose their ATIM
+#: exchange entirely and DSR must route around them.
+JITTERS = (0.0, 0.05, 0.1, 0.2)
+
+
+@dataclass
+class SyncStudyResult:
+    """Aggregates per jitter bound (Rcast, static scenario)."""
+
+    scale_name: str
+    rate: float
+    cells: Dict[float, AggregateMetrics]
+
+
+def run(scale: ExperimentScale, seed: int = 1, progress=None) -> SyncStudyResult:
+    """Sweep residual clock error for Rcast (static, low rate)."""
+    cells: Dict[float, AggregateMetrics] = {}
+    for jitter in JITTERS:
+        config = make_config(scale, "rcast", scale.low_rate, mobile=False,
+                             seed=seed, clock_jitter=jitter)
+        cells[jitter] = run_and_aggregate(config, scale.repetitions)
+        if progress is not None:
+            progress(f"jitter={jitter * 1e3:.0f}ms: {cells[jitter].describe()}")
+    return SyncStudyResult(scale.name, scale.low_rate, cells)
+
+
+def format_result(result: SyncStudyResult) -> str:
+    """PDR / energy / overhead across the jitter sweep."""
+    rows = []
+    for jitter in sorted(result.cells):
+        agg = result.cells[jitter]
+        rows.append([
+            f"{jitter * 1e3:.0f} ms", agg.pdr * 100.0, agg.total_energy,
+            agg.avg_delay * 1e3, agg.normalized_overhead,
+        ])
+    table = format_table(
+        ["clock jitter", "PDR [%]", "energy [J]", "delay [ms]", "overhead"],
+        rows,
+        title=(f"Residual clock-sync error under Rcast (static, "
+               f"rate={result.rate} pkt/s)"),
+    )
+    return table + (
+        "\nReading: the paper's perfect-sync assumption is load-bearing for"
+        "\ndelay/overhead, but DSR's rerouting keeps delivery functional by"
+        "\nsteering around consistently-missynchronized links."
+    )
+
+
+__all__ = ["SyncStudyResult", "run", "format_result", "JITTERS"]

@@ -1,0 +1,110 @@
+"""Table 1: protocol behaviour of the three schemes, backed by measurement.
+
+The paper's Table 1 is qualitative ("802.11: best PDR and delay but most
+energy; ODPM: less delay than Rcast, more energy; Rcast: least energy and
+best balance").  This experiment runs all schemes (the paper's three plus
+the two PSM baselines) at a mid-load point and checks each expectation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.experiments.runner import AggregateMetrics, run_and_aggregate
+from repro.experiments.scenarios import ExperimentScale, make_config
+from repro.metrics.report import format_table
+
+SCHEMES = ("ieee80211", "psm", "psm-nooh", "odpm", "rcast")
+
+BEHAVIOUR = {
+    "ieee80211": "no PSM; always awake; immediate transmission",
+    "psm": "PSM; unconditional overhearing of every advertisement",
+    "psm-nooh": "PSM; no overhearing at all (naive baseline)",
+    "odpm": "PSM + AM/PS switching on RREP(5s)/data(2s) timers",
+    "rcast": "PSM; randomized overhearing, P_R = 1/neighbors",
+}
+
+EXPECTED = {
+    "ieee80211": "best PDR/delay, most energy, zero variance",
+    "psm": "high energy (everyone overhears), PSM delay",
+    "psm-nooh": "least energy, weakest route knowledge",
+    "odpm": "lower delay than Rcast, more energy and variance",
+    "rcast": "low energy, best energy balance, PSM delay",
+}
+
+
+@dataclass
+class Table1Result:
+    """Measured behaviour of every scheme at one operating point."""
+
+    scale_name: str
+    rate: float
+    mobile: bool
+    rows: Dict[str, AggregateMetrics]
+    checks: List[Tuple[str, bool]]
+
+
+def run(scale: ExperimentScale, seed: int = 1, progress=None) -> Table1Result:
+    """Run all schemes at the scale's low rate, mobile scenario."""
+    rate = scale.low_rate
+    rows: Dict[str, AggregateMetrics] = {}
+    for scheme in SCHEMES:
+        config = make_config(scale, scheme, rate, mobile=True, seed=seed)
+        rows[scheme] = run_and_aggregate(config, scale.repetitions)
+        if progress is not None:
+            progress(rows[scheme].describe())
+    checks = _verify(rows)
+    return Table1Result(scale.name, rate, True, rows, checks)
+
+
+def _verify(rows: Dict[str, AggregateMetrics]) -> List[Tuple[str, bool]]:
+    r = rows
+    return [
+        ("802.11 consumes the most energy",
+         all(r["ieee80211"].total_energy >= r[s].total_energy
+             for s in SCHEMES)),
+        ("802.11 has the best delay",
+         all(r["ieee80211"].avg_delay <= r[s].avg_delay for s in SCHEMES)),
+        ("802.11 energy variance is (near) zero",
+         r["ieee80211"].energy_variance <= 1.0),
+        ("Rcast consumes less energy than ODPM",
+         r["rcast"].total_energy < r["odpm"].total_energy),
+        ("Rcast consumes less energy than unconditional PSM",
+         r["rcast"].total_energy < r["psm"].total_energy),
+        ("ODPM delay is below Rcast delay (immediate AM transmissions)",
+         r["odpm"].avg_delay < r["rcast"].avg_delay),
+        ("Rcast balances energy better than ODPM (lower variance)",
+         r["rcast"].energy_variance < r["odpm"].energy_variance),
+        ("every scheme delivers most packets (PDR > 85%)",
+         all(r[s].pdr > 0.85 for s in SCHEMES)),
+    ]
+
+
+def format_result(result: Table1Result) -> str:
+    """Behaviour table plus measured metrics plus check outcomes."""
+    rows = []
+    for scheme in SCHEMES:
+        agg = result.rows[scheme]
+        rows.append([
+            scheme, agg.total_energy, agg.energy_variance,
+            agg.pdr * 100.0, agg.avg_delay * 1e3, agg.normalized_overhead,
+        ])
+    table = format_table(
+        ["scheme", "energy [J]", "variance", "PDR [%]", "delay [ms]",
+         "overhead"],
+        rows,
+        title=(f"Table 1 (measured @ rate={result.rate} pkt/s, "
+               f"{'mobile' if result.mobile else 'static'})"),
+    )
+    lines = [table, "", "behaviour / expectation:"]
+    for scheme in SCHEMES:
+        lines.append(f"  {scheme:10} {BEHAVIOUR[scheme]}")
+        lines.append(f"  {'':10} expected: {EXPECTED[scheme]}")
+    lines.append("")
+    for label, ok in result.checks:
+        lines.append(f"  [{'PASS' if ok else 'FAIL'}] {label}")
+    return "\n".join(lines)
+
+
+__all__ = ["Table1Result", "run", "format_result", "SCHEMES", "BEHAVIOUR"]

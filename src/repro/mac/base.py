@@ -1,0 +1,142 @@
+"""MAC interface and the plain-802.11 (no PSM) MAC.
+
+The upper layer (DSR) talks to every MAC through four callbacks set with
+:meth:`MacBase.set_upper`:
+
+* ``on_receive(packet, prev_hop)`` — a packet addressed to this node (or a
+  broadcast) was decoded;
+* ``on_promiscuous(packet, transmitter)`` — a packet addressed to somebody
+  else was decoded *and* the MAC's overhearing rules say the routing layer
+  may use it;
+* ``on_link_failure(packet, next_hop)`` — a unicast send exhausted its MAC
+  retries (DSR treats this as a broken link);
+* ``on_sent(packet, next_hop)`` — a unicast was delivered and acknowledged
+  (or a broadcast was put on air);
+* ``on_dropped(packet)`` — the MAC discarded the packet without a
+  transmission verdict (interface-queue overflow).  NOT a link failure:
+  congestion drops must not trigger DSR route maintenance.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Set
+
+from repro.mac.dcf import DcfTransmitter, TxOutcome
+from repro.mac.frames import BROADCAST, Frame, FrameKind
+from repro.mobility.manager import PositionService
+from repro.phy.channel import Channel
+from repro.phy.radio import Radio
+from repro.sim.engine import Simulator
+from repro.sim.trace import NULL_TRACE
+
+
+class MacBase:
+    """Common wiring for all MAC personalities."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        node_id: int,
+        channel: Channel,
+        radio: Radio,
+        positions: PositionService,
+        rng,
+        trace=NULL_TRACE,
+    ) -> None:
+        self.sim = sim
+        self.node_id = node_id
+        self.channel = channel
+        self.radio = radio
+        self.positions = positions
+        self.rng = rng
+        self.trace = trace
+        self.dcf = DcfTransmitter(sim, node_id, channel, rng, trace=trace)
+        channel.attach(node_id, self._on_channel_receive, self.dcf.on_tx_complete)
+        self._on_receive: Callable = _noop
+        self._on_promiscuous: Callable = _noop
+        self._on_link_failure: Callable = _noop
+        self._on_sent: Callable = _noop
+        self._on_dropped: Callable = _noop
+        # Statistics
+        self.unicasts_sent = 0
+        self.unicasts_failed = 0
+        self.broadcasts_sent = 0
+
+    # ------------------------------------------------------------------
+
+    def set_upper(
+        self,
+        on_receive: Callable,
+        on_promiscuous: Optional[Callable] = None,
+        on_link_failure: Optional[Callable] = None,
+        on_sent: Optional[Callable] = None,
+        on_dropped: Optional[Callable] = None,
+    ) -> None:
+        """Install the routing-layer callbacks."""
+        self._on_receive = on_receive
+        self._on_promiscuous = on_promiscuous or _noop
+        self._on_link_failure = on_link_failure or _noop
+        self._on_sent = on_sent or _noop
+        self._on_dropped = on_dropped or _noop
+
+    def start(self) -> None:
+        """Begin operation (PSM MACs schedule their beacon clock here)."""
+
+    def finalize(self) -> None:
+        """Stop operation at the end of a run."""
+
+    def send(self, packet, dst: int) -> None:
+        """Transmit ``packet`` to neighbor ``dst`` (or :data:`BROADCAST`)."""
+        raise NotImplementedError
+
+    def power_hint(self, kind: str) -> None:
+        """Power-relevant event hint from upper layers (ODPM consumes it)."""
+
+    # ------------------------------------------------------------------
+
+    def _on_channel_receive(self, frame: Frame, sender: int) -> None:
+        raise NotImplementedError
+
+
+def _noop(*_args, **_kwargs) -> None:
+    """Default do-nothing upper-layer callback."""
+
+
+class AlwaysOnMac(MacBase):
+    """Plain IEEE 802.11 DCF: the radio never sleeps, packets go immediately.
+
+    This is the paper's ``802.11`` baseline — best delivery ratio and delay,
+    maximum (and perfectly uniform) energy: every node idles at 1.15 W for
+    the whole run.  Overhearing is unconditional and free.
+    """
+
+    def start(self) -> None:
+        """Wake the radio permanently (no PSM)."""
+        self.radio.wake()
+
+    def send(self, packet, dst: int) -> None:
+        """Transmit immediately under DCF contention."""
+        frame = Frame(self.node_id, dst, packet, FrameKind.DATA)
+        if dst == BROADCAST:
+            self.broadcasts_sent += 1
+        else:
+            self.unicasts_sent += 1
+        self.dcf.submit(frame, self._on_dcf_done)
+
+    def _on_dcf_done(self, frame: Frame, outcome: TxOutcome, delivered: Set[int]) -> None:
+        if outcome is TxOutcome.DELIVERED:
+            self._on_sent(frame.packet, frame.dst)
+        elif outcome is TxOutcome.FAILED:
+            self.unicasts_failed += 1
+            self._on_link_failure(frame.packet, frame.dst)
+        # DEFERRED cannot happen here (no deadlines without PSM).
+
+    def _on_channel_receive(self, frame: Frame, sender: int) -> None:
+        if frame.dst == self.node_id or frame.is_broadcast:
+            self._on_receive(frame.packet, sender)
+        else:
+            # Always-awake radios overhear everything, as classic DSR assumes.
+            self._on_promiscuous(frame.packet, sender)
+
+
+__all__ = ["MacBase", "AlwaysOnMac"]

@@ -1,0 +1,189 @@
+"""Event-driven abstraction of the 802.11 DCF (CSMA/CA) transmit path.
+
+Per node, the :class:`DcfTransmitter` serializes outgoing frames and, for
+each one:
+
+1. waits DIFS plus a random backoff slot (desynchronizing nodes that sensed
+   the medium idle at the same instant, e.g. at a data-window start),
+2. defers with a fresh backoff while carrier sense reports the medium busy,
+3. transmits, and applies ACK semantics: a unicast frame succeeded iff the
+   destination decoded it; otherwise the frame is retried up to the retry
+   limit with a new backoff each time,
+4. honours a *deadline* (the PSM data-window end): an attempt that could not
+   finish before the deadline completes with outcome ``DEFERRED`` so the PSM
+   MAC can re-announce the frame in the next beacon interval.
+
+Backoff lengths are exponential with a configurable mean — the event-level
+stand-in for the binary-exponential contention window, preserving the two
+properties the results depend on: randomized desynchronization and a busy
+medium pushing attempts out in time.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from enum import Enum
+from typing import Callable, Deque, Optional, Set
+
+from repro.constants import (
+    DIFS_S,
+    MAC_BACKOFF_GROWTH,
+    MAC_BACKOFF_MEAN_S,
+    MAC_RETRY_LIMIT,
+)
+from repro.mac.frames import Frame
+from repro.phy.channel import Channel
+from repro.sim.engine import Simulator
+from repro.sim.trace import NULL_TRACE
+
+
+class TxOutcome(Enum):
+    """Final disposition of a submitted frame."""
+
+    DELIVERED = "delivered"  # unicast ACKed / broadcast put on air
+    FAILED = "failed"        # retry limit exhausted (link considered broken)
+    DEFERRED = "deferred"    # could not finish before the deadline
+
+
+@dataclass
+class _Submission:
+    frame: Frame
+    on_done: Callable[[Frame, TxOutcome, Set[int]], None]
+    deadline: Optional[float]
+    attempts: int = 0
+
+
+class DcfTransmitter:
+    """Serializing CSMA/CA transmit pipeline for one node."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        node_id: int,
+        channel: Channel,
+        rng,
+        retry_limit: int = MAC_RETRY_LIMIT,
+        backoff_mean: float = MAC_BACKOFF_MEAN_S,
+        trace=NULL_TRACE,
+    ) -> None:
+        self.sim = sim
+        self.node_id = node_id
+        self.channel = channel
+        self.rng = rng
+        self.retry_limit = retry_limit
+        self.backoff_mean = backoff_mean
+        self.trace = trace
+        self._pending: Deque[_Submission] = deque()
+        self._current: Optional[_Submission] = None
+        self._attempt_event = None
+        # Statistics
+        self.busy_deferrals = 0
+        self.retries = 0
+        self.failures = 0
+
+    # ------------------------------------------------------------------
+
+    @property
+    def idle(self) -> bool:
+        """True when nothing is queued or in flight."""
+        return self._current is None and not self._pending
+
+    def submit(
+        self,
+        frame: Frame,
+        on_done: Callable[[Frame, TxOutcome, Set[int]], None],
+        deadline: Optional[float] = None,
+    ) -> None:
+        """Queue ``frame`` for CSMA/CA transmission."""
+        self._pending.append(_Submission(frame, on_done, deadline))
+        if self._current is None:
+            self._next()
+
+    def cancel_all(self) -> None:
+        """Drop everything (used at beacon boundaries for stale attempts)."""
+        if self._attempt_event is not None:
+            self._attempt_event.cancel()
+            self._attempt_event = None
+        self._pending.clear()
+        self._current = None
+
+    # ------------------------------------------------------------------
+
+    def _backoff(self, attempts: int = 0) -> float:
+        """Exponential backoff whose mean doubles with each retry.
+
+        Mirrors the 802.11 contention-window doubling: retransmissions
+        spread out in time, de-correlating repeated interference.
+        """
+        mean = self.backoff_mean * (MAC_BACKOFF_GROWTH ** min(attempts, 6))
+        return self.rng.expovariate(1.0 / mean)
+
+    def _next(self) -> None:
+        if self._current is not None:
+            # A completion callback already submitted (and started) new
+            # work; clobbering it here would orphan that submission.
+            return
+        if not self._pending:
+            return
+        self._current = self._pending.popleft()
+        self._schedule_attempt(DIFS_S + self._backoff())
+
+    def _schedule_attempt(self, delay: float) -> None:
+        self._attempt_event = self.sim.schedule(delay, self._attempt)
+
+    def _finish(self, outcome: TxOutcome, delivered: Set[int]) -> None:
+        sub = self._current
+        self._current = None
+        self._attempt_event = None
+        if outcome is TxOutcome.FAILED:
+            self.failures += 1
+        sub.on_done(sub.frame, outcome, delivered)
+        self._next()
+
+    def _attempt(self) -> None:
+        sub = self._current
+        if sub is None:  # cancelled between scheduling and firing
+            return
+        now = self.sim.now
+        airtime = self.channel.transmission_time(sub.frame.size_bytes)
+        if sub.deadline is not None and now + airtime > sub.deadline:
+            self._finish(TxOutcome.DEFERRED, set())
+            return
+        radio = self.channel.radios[self.node_id]
+        if not radio.is_awake:
+            # The PSM MAC keeps senders awake; reaching this means the node
+            # went to sleep with work queued — defer to the next interval.
+            self._finish(TxOutcome.DEFERRED, set())
+            return
+        if self.channel.is_busy(self.node_id):
+            self.busy_deferrals += 1
+            self._schedule_attempt(self._backoff(sub.attempts))
+            return
+        self.channel.transmit(self.node_id, sub.frame)
+        # Completion arrives via the channel's tx-complete callback, which
+        # the owning MAC routes back into :meth:`on_tx_complete`.
+
+    def on_tx_complete(self, frame: Frame, delivered: Set[int]) -> None:
+        """Channel callback: our transmission finished."""
+        sub = self._current
+        if sub is None or sub.frame is not frame:
+            return  # stale completion after cancel_all()
+        if frame.is_broadcast or frame.dst in delivered:
+            if self.trace.enabled:
+                self.trace.emit(self.sim.now, "dcf.ok", self.node_id,
+                                frame.describe())
+            self._finish(TxOutcome.DELIVERED, delivered)
+            return
+        sub.attempts += 1
+        self.retries += 1
+        if sub.attempts >= self.retry_limit:
+            if self.trace.enabled:
+                self.trace.emit(self.sim.now, "dcf.fail", self.node_id,
+                                frame.describe())
+            self._finish(TxOutcome.FAILED, delivered)
+            return
+        self._schedule_attempt(self._backoff(sub.attempts))
+
+
+__all__ = ["DcfTransmitter", "TxOutcome"]

@@ -1,0 +1,88 @@
+"""MAC frames and ATIM announcements.
+
+A :class:`Frame` wraps one network-layer packet for transmission on the
+channel.  An :class:`Announcement` is the ATIM-window advertisement of a
+buffered frame; in Rcast it additionally carries the sender's desired
+overhearing level, encoded on the wire as a management-frame subtype
+(see :mod:`repro.core.atim`).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from enum import Enum
+
+#: MAC broadcast address.
+BROADCAST = -1
+
+_frame_ids = itertools.count()
+
+
+class FrameKind(Enum):
+    """MAC-level frame classes."""
+
+    DATA = "data"      # carries a network-layer packet (data or DSR control)
+    ATIM = "atim"      # ad-hoc traffic indication (PSM announcement)
+    BEACON = "beacon"  # beacon (implicit under the global-sync assumption)
+
+
+@dataclass
+class Frame:
+    """A MAC frame in flight.
+
+    ``src``/``dst`` are MAC addresses (node ids, or :data:`BROADCAST`);
+    ``packet`` is the network-layer payload and supplies the size.
+    """
+
+    src: int
+    dst: int
+    packet: object
+    kind: FrameKind = FrameKind.DATA
+    frame_id: int = field(default_factory=lambda: next(_frame_ids))
+    #: sender's power-management mode at transmission time (the PwrMgt bit);
+    #: ODPM receivers use it to maintain their neighbor-mode beliefs.
+    sender_mode: object = None
+
+    @property
+    def size_bytes(self) -> int:
+        """Payload size in bytes (MAC overhead is added by the channel)."""
+        return self.packet.size_bytes
+
+    @property
+    def is_broadcast(self) -> bool:
+        """True for MAC broadcast frames."""
+        return self.dst == BROADCAST
+
+    def describe(self) -> str:
+        """Short human-readable summary for traces."""
+        pkt = getattr(self.packet, "kind", "?")
+        return f"{self.kind.value}/{pkt} {self.src}->{self.dst} #{self.frame_id}"
+
+
+@dataclass(frozen=True)
+class Announcement:
+    """An ATIM-window advertisement of a pending frame.
+
+    ``level`` is the advertised overhearing level
+    (:class:`repro.core.policy.OverhearingLevel`); ``subtype`` is its
+    on-the-wire encoding.  ``packet_kind`` lets receivers reason about what
+    is being advertised (the Rcast sender-ID factor uses it).
+    """
+
+    sender: int
+    dst: int
+    frame_id: int
+    level: object
+    subtype: int
+    packet_kind: str
+    #: sender's power-management mode (PwrMgt bit of the ATIM frame control)
+    sender_mode: object = None
+
+    @property
+    def is_broadcast(self) -> bool:
+        """True for broadcast advertisements (e.g. RREQ)."""
+        return self.dst == BROADCAST
+
+
+__all__ = ["BROADCAST", "Frame", "FrameKind", "Announcement"]

@@ -1,0 +1,72 @@
+"""On-Demand Power Management (Zheng & Kravets, INFOCOM 2003).
+
+ODPM keeps a node in active mode (AM) for a while after communication events
+that predict more traffic, and lets it fall back to PS mode otherwise:
+
+* receiving or forwarding a **RREP** arms a 5 s keep-alive (a route through
+  this node was just set up, data is likely to follow);
+* sending, receiving or forwarding a **data packet** — or being the source or
+  destination of an active flow — arms a 2 s keep-alive.
+
+The keep-alive is a high-water mark: each event extends the AM deadline to
+``now + timeout`` if that is later than the current deadline.  The paper uses
+exactly these two timeout values and observes the resulting behaviour: with
+0.5 s inter-packet gaps (2 pkt/s) the 2 s timer never expires, so every node
+on an active path stays awake for the entire run.
+"""
+
+from __future__ import annotations
+
+from repro.constants import ODPM_DATA_TIMEOUT_S, ODPM_RREP_TIMEOUT_S
+from repro.errors import ConfigurationError
+from repro.mac.power import PowerManager, PowerMode
+
+
+class OdpmPowerManager(PowerManager):
+    """Event-driven AM/PS switching with per-event keep-alive timeouts."""
+
+    def __init__(
+        self,
+        rrep_timeout: float = ODPM_RREP_TIMEOUT_S,
+        data_timeout: float = ODPM_DATA_TIMEOUT_S,
+    ) -> None:
+        if rrep_timeout <= 0 or data_timeout <= 0:
+            raise ConfigurationError("ODPM timeouts must be positive")
+        self.rrep_timeout = rrep_timeout
+        self.data_timeout = data_timeout
+        self._am_until = 0.0
+        #: number of PS->AM transitions (mode-switch overhead diagnostics)
+        self.switches_to_am = 0
+
+    @property
+    def am_deadline(self) -> float:
+        """Absolute time until which the node stays in AM."""
+        return self._am_until
+
+    def mode(self, now: float) -> PowerMode:
+        """AM while a keep-alive is armed, PS otherwise."""
+        return PowerMode.AM if now < self._am_until else PowerMode.PS
+
+    def note_event(self, kind: str, now: float) -> None:
+        """Arm/extend the AM keep-alive for a communication event."""
+        if kind == "rrep":
+            timeout = self.rrep_timeout
+        elif kind in ("data", "endpoint"):
+            timeout = self.data_timeout
+        else:
+            raise ConfigurationError(f"unknown ODPM event kind {kind!r}")
+        was_ps = now >= self._am_until
+        deadline = now + timeout
+        if deadline > self._am_until:
+            self._am_until = deadline
+        if was_ps:
+            self.switches_to_am += 1
+
+    def describe(self) -> str:
+        """Label with the configured timeouts."""
+        return (
+            f"ODPM(rrep={self.rrep_timeout:g}s, data={self.data_timeout:g}s)"
+        )
+
+
+__all__ = ["OdpmPowerManager"]

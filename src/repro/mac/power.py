@@ -1,0 +1,61 @@
+"""Power-mode managers.
+
+A power manager answers one question for the PSM MAC at each decision point:
+*may this node sleep for the rest of the beacon interval?*  The unmodified
+PSM keeps every node permanently in PS mode (:class:`AlwaysPs`); the plain
+802.11 baseline is permanently active (:class:`AlwaysAm`); ODPM
+(:mod:`repro.mac.odpm`) switches between the two based on communication
+events.
+
+Managers also receive *hints* from the routing/traffic layers ("a RREP went
+through me", "I'm the endpoint of an active flow"), which only ODPM uses.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+
+
+class PowerMode(Enum):
+    """IEEE 802.11 power-management modes."""
+
+    AM = "active"      # active mode: awake for whole beacon intervals
+    PS = "power-save"  # PS mode: awake only for ATIM windows / own traffic
+
+
+class PowerManager:
+    """Interface for per-node power-mode decisions."""
+
+    def mode(self, now: float) -> PowerMode:
+        """Current power-management mode."""
+        raise NotImplementedError
+
+    def note_event(self, kind: str, now: float) -> None:
+        """Absorb a communication-event hint.
+
+        ``kind`` is one of ``"rrep"``, ``"data"`` or ``"endpoint"``.  The
+        default managers ignore hints.
+        """
+
+    def describe(self) -> str:
+        """Short label for traces and reports."""
+        return type(self).__name__
+
+
+class AlwaysPs(PowerManager):
+    """Permanently power-save: the unmodified-PSM and Rcast configuration."""
+
+    def mode(self, now: float) -> PowerMode:
+        """Always PS."""
+        return PowerMode.PS
+
+
+class AlwaysAm(PowerManager):
+    """Permanently active: the plain-802.11 (no PSM) configuration."""
+
+    def mode(self, now: float) -> PowerMode:
+        """Always AM."""
+        return PowerMode.AM
+
+
+__all__ = ["PowerMode", "PowerManager", "AlwaysPs", "AlwaysAm"]

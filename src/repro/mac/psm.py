@@ -1,0 +1,370 @@
+"""IEEE 802.11 PSM MAC with pluggable overhearing and power management.
+
+Time is divided into globally synchronized beacon intervals (the paper
+assumes a distributed clock-sync algorithm).  Each interval:
+
+1. **Beacon boundary** — every radio wakes; per-interval state resets.
+2. **ATIM window** — every node advertises its buffered frames to its
+   radio neighbors.  Announcements carry the Rcast overhearing level as an
+   ATIM subtype.  Each neighbor classifies every advertisement: *addressed*
+   (stay awake), *broadcast* (stay awake), or *somebody else's unicast*
+   (consult the Rcast manager: NONE -> sleep, UNCONDITIONAL -> stay awake,
+   RANDOMIZED -> Bernoulli(P_R)).  Per the paper's explicit simplifying
+   assumption, advertisements themselves always succeed; their energy cost
+   is captured by everyone being awake for the whole window.
+3. **ATIM window end** — nodes with no reason to stay awake (no frames to
+   send, not addressed, no audible broadcast, no elected overhearing, not
+   in AM mode) sleep until the next beacon boundary.  The rest transmit
+   their announced frames under DCF contention, with the boundary as a hard
+   deadline; frames that do not make it are re-announced next interval.
+
+ODPM rides on top via its power manager: AM-mode nodes stay awake through
+entire intervals, and an AM sender that *believes* its next hop is also in
+AM (from the PwrMgt bit of previously heard frames) bypasses the ATIM path
+and transmits immediately; if the belief turns out wrong the frame falls
+back to the ATIM path, paying delay rather than losing the packet — exactly
+the failure mode the paper describes for inaccurate mode information.
+"""
+
+from __future__ import annotations
+
+from functools import partial
+from typing import Dict, Optional, Set, Tuple
+
+from repro.constants import ATIM_WINDOW_S, BEACON_INTERVAL_S
+from repro.core.rcast import RcastManager
+from repro.errors import ConfigurationError
+from repro.mac.base import MacBase
+from repro.mac.dcf import TxOutcome
+from repro.mac.frames import BROADCAST, Announcement, Frame, FrameKind
+from repro.mac.power import AlwaysPs, PowerManager, PowerMode
+from repro.mac.queue import QueuedFrame, TxQueue
+from repro.sim.events import PRIORITY_KERNEL
+
+
+class PsmMac(MacBase):
+    """802.11 PSM MAC; see module docstring for the interval protocol."""
+
+    def __init__(
+        self,
+        sim,
+        node_id: int,
+        channel,
+        radio,
+        positions,
+        rng,
+        rcast: RcastManager,
+        power_manager: Optional[PowerManager] = None,
+        beacon_interval: float = BEACON_INTERVAL_S,
+        atim_window: float = ATIM_WINDOW_S,
+        queue_capacity: int = 64,
+        max_announcements: int = 8,
+        tap_in_am: bool = False,
+        opportunistic_tap: bool = False,
+        mode_belief_ttl: float = 2.0,
+        clock_offset: float = 0.0,
+        trace=None,
+    ) -> None:
+        from repro.sim.trace import NULL_TRACE
+
+        super().__init__(sim, node_id, channel, radio, positions, rng,
+                         trace=trace if trace is not None else NULL_TRACE)
+        if not 0 < atim_window < beacon_interval:
+            raise ConfigurationError(
+                f"need 0 < atim_window < beacon_interval, got "
+                f"{atim_window} / {beacon_interval}"
+            )
+        self.rcast = rcast
+        self.power = power_manager if power_manager is not None else AlwaysPs()
+        self.beacon_interval = beacon_interval
+        self.atim_window = atim_window
+        if max_announcements < 1:
+            raise ConfigurationError("max_announcements must be >= 1")
+        self.max_announcements = max_announcements
+        self.tap_in_am = tap_in_am
+        self.opportunistic_tap = opportunistic_tap
+        self.mode_belief_ttl = mode_belief_ttl
+        if not 0 <= clock_offset < beacon_interval:
+            raise ConfigurationError(
+                f"clock_offset must be in [0, beacon_interval), got "
+                f"{clock_offset}"
+            )
+        #: this node's clock error relative to true beacon time.  The paper
+        #: assumes a perfect sync algorithm (Tseng et al.); a nonzero offset
+        #: models residual sync error: the node's windows shift, so ATIMs
+        #: from better-synchronized neighbors can miss its listening window.
+        self.clock_offset = clock_offset
+
+        self._queue = TxQueue(queue_capacity)
+        self._peers: Dict[int, "PsmMac"] = {}
+        # -inf until the first beacon fires: a node whose (offset) clock has
+        # not started its first interval is not listening for ATIMs yet.
+        self._interval_start = float("-inf")
+        self._reasons: Set[str] = set()
+        #: senders whose traffic this node elected to overhear this interval
+        self._overhear_senders: Set[int] = set()
+        self._mode_beliefs: Dict[int, Tuple[PowerMode, float]] = {}
+        self._started = False
+        # Statistics
+        self.intervals_slept = 0
+        self.intervals_awake = 0
+        self.immediate_sends = 0
+        self.immediate_fallbacks = 0
+        self.announcements_made = 0
+        self.overhear_elections = 0
+        self.missed_announcements = 0
+
+    # ------------------------------------------------------------------
+    # Wiring and lifecycle
+    # ------------------------------------------------------------------
+
+    def set_peers(self, peers: Dict[int, "PsmMac"]) -> None:
+        """Install the node-id -> MAC map used for ATIM delivery."""
+        self._peers = peers
+
+    def start(self) -> None:
+        """Begin the synchronized beacon clock."""
+        if self._started:
+            return
+        self._started = True
+        self.radio.wake()
+        self.sim.schedule(self.clock_offset, self._on_beacon,
+                          priority=PRIORITY_KERNEL)
+
+    # ------------------------------------------------------------------
+    # Beacon-interval machinery
+    # ------------------------------------------------------------------
+
+    @property
+    def next_boundary(self) -> float:
+        """Absolute time of the next beacon boundary."""
+        return self._interval_start + self.beacon_interval
+
+    def _on_beacon(self) -> None:
+        now = self.sim.now
+        self._interval_start = now
+        self.radio.wake()
+        # Stale submissions from the previous interval are NOT cancelled:
+        # their expired deadline makes them complete as DEFERRED on their
+        # next attempt, and cancelling would also silently kill in-flight
+        # ODPM immediate sends (which carry no deadline).
+        self._reasons = set()
+        self._overhear_senders = set()
+        self._queue.clear_announcements()
+        # Announce after every node has processed its beacon boundary.
+        self.sim.schedule_at(now, self._announce)
+        self.sim.schedule(self.atim_window, self._end_atim_window)
+        self.sim.schedule(self.beacon_interval, self._on_beacon,
+                          priority=PRIORITY_KERNEL)
+
+    def _announce(self) -> None:
+        if not self._queue:
+            return
+        mode = self.power.mode(self.sim.now)
+        neighbors = self.positions.neighbors(self.node_id)
+        # One ATIM per destination, as in the 802.11 PSM: a single
+        # advertisement covers every frame buffered for that receiver, and
+        # the strongest overhearing level among them is the one encoded.
+        # The ATIM window is also a finite contention period, so at most
+        # ``max_announcements`` destinations get through per interval —
+        # a deep backlog therefore cannot wake the whole neighborhood.
+        per_dst: Dict[int, list] = {}
+        for entry in self._queue:
+            per_dst.setdefault(entry.frame.dst, []).append(entry)
+        budget = self.max_announcements
+        for dst, entries in per_dst.items():
+            if budget <= 0:
+                break
+            budget -= 1
+            best_level, best_subtype, best_kind = None, None, "data"
+            for entry in entries:
+                level, subtype = self.rcast.advertise(entry.frame.packet)
+                if best_level is None or level.rank > best_level.rank:
+                    best_level, best_subtype = level, subtype
+                    best_kind = getattr(entry.frame.packet, "kind", "data")
+                entry.announced = True
+                entry.frame.sender_mode = mode
+            announcement = Announcement(
+                sender=self.node_id,
+                dst=dst,
+                frame_id=entries[0].frame.frame_id,
+                level=best_level,
+                subtype=best_subtype,
+                packet_kind=best_kind,
+                sender_mode=mode,
+            )
+            self.announcements_made += 1
+            for neighbor in neighbors:
+                peer = self._peers.get(neighbor)
+                if peer is not None and peer is not self:
+                    peer.on_announcement(announcement)
+
+    def on_announcement(self, announcement: Announcement) -> None:
+        """Absorb an ATIM advertisement, subject to window overlap.
+
+        With clock error, ATIM exchange succeeds when the sender's and the
+        receiver's windows *overlap* (senders retry ATIMs throughout their
+        window).  The advertisement is emitted at the sender's window start:
+        if that instant falls inside our current window we process it now;
+        if our *next* window starts within one window-length the exchange
+        succeeds there (deferred); otherwise the windows are disjoint and
+        the advertisement is lost.  Perfectly synchronized nodes never miss.
+        """
+        if not self._started:
+            return
+        delta = self.sim.now - self._interval_start
+        if 0.0 <= delta < self.atim_window:
+            self._process_announcement(announcement)
+        elif (delta < self.beacon_interval
+                and self.beacon_interval - delta < self.atim_window):
+            # The tail of the sender's window reaches into our next one.
+            self.sim.schedule(self.beacon_interval - delta,
+                              self._process_announcement, announcement)
+        else:
+            self.missed_announcements += 1
+
+    def _process_announcement(self, announcement: Announcement) -> None:
+        if announcement.sender_mode is not None:
+            self._mode_beliefs[announcement.sender] = (
+                announcement.sender_mode, self.sim.now,
+            )
+        self.rcast.note_heard(announcement.sender)
+        if announcement.dst == self.node_id:
+            self._reasons.add("addressed")
+        elif announcement.is_broadcast:
+            if self.rcast.should_receive_broadcast(announcement):
+                self._reasons.add("broadcast")
+        elif self.rcast.should_overhear(announcement):
+            self._reasons.add("overhear")
+            self._overhear_senders.add(announcement.sender)
+            self.overhear_elections += 1
+
+    def _end_atim_window(self) -> None:
+        now = self.sim.now
+        if self.power.mode(now) is PowerMode.AM:
+            self._reasons.add("am")
+        announced = self._queue.announced_entries()
+        if announced:
+            self._reasons.add("tx")
+        if not self._reasons:
+            self.intervals_slept += 1
+            self.radio.sleep()
+            return
+        self.intervals_awake += 1
+        deadline = self.next_boundary
+        for entry in announced:
+            self.dcf.submit(entry.frame, partial(self._on_queue_done, entry),
+                            deadline=deadline)
+
+    # ------------------------------------------------------------------
+    # Sending
+    # ------------------------------------------------------------------
+
+    def send(self, packet, dst: int) -> None:
+        """Queue for the next ATIM window, or transmit immediately when
+        ODPM believes both ends are in AM."""
+        now = self.sim.now
+        self._note_power_event(packet)
+        if (
+            dst != BROADCAST
+            and self.power.mode(now) is PowerMode.AM
+            and self.radio.is_awake
+            and self._believes_am(dst)
+        ):
+            frame = Frame(self.node_id, dst, packet, FrameKind.DATA,
+                          sender_mode=PowerMode.AM)
+            self.unicasts_sent += 1
+            self.immediate_sends += 1
+            self.dcf.submit(frame, self._on_immediate_done)
+            return
+        self._enqueue(packet, dst)
+
+    def _enqueue(self, packet, dst: int) -> None:
+        if dst == BROADCAST:
+            self.broadcasts_sent += 1
+        else:
+            self.unicasts_sent += 1
+        frame = Frame(self.node_id, dst, packet, FrameKind.DATA)
+        self._queue.push(QueuedFrame(
+            frame, self.sim.now,
+            on_failure=lambda f: self._on_dropped(f.packet),
+        ))
+
+    def _believes_am(self, dst: int) -> bool:
+        belief = self._mode_beliefs.get(dst)
+        if belief is None:
+            return False
+        mode, when = belief
+        return mode is PowerMode.AM and self.sim.now - when <= self.mode_belief_ttl
+
+    # ------------------------------------------------------------------
+    # DCF completions
+    # ------------------------------------------------------------------
+
+    def _on_immediate_done(self, frame: Frame, outcome: TxOutcome, delivered) -> None:
+        if outcome is TxOutcome.DELIVERED:
+            self._on_sent(frame.packet, frame.dst)
+            return
+        # Wrong belief (receiver asleep) or collisions: fall back to the
+        # announced path — pay delay instead of declaring the link dead.
+        self.immediate_fallbacks += 1
+        self._mode_beliefs.pop(frame.dst, None)
+        fresh = Frame(self.node_id, frame.dst, frame.packet, FrameKind.DATA)
+        self._queue.push(QueuedFrame(
+            fresh, self.sim.now,
+            on_failure=lambda f: self._on_dropped(f.packet),
+        ))
+
+    def _on_queue_done(self, entry: QueuedFrame, frame: Frame,
+                       outcome: TxOutcome, delivered) -> None:
+        if outcome is TxOutcome.DELIVERED:
+            self._queue.remove(entry)
+            self._on_sent(frame.packet, frame.dst)
+        elif outcome is TxOutcome.FAILED:
+            self._queue.remove(entry)
+            self.unicasts_failed += 1
+            self._on_link_failure(frame.packet, frame.dst)
+        # DEFERRED: entry stays queued and is re-announced next interval.
+
+    # ------------------------------------------------------------------
+    # Receiving
+    # ------------------------------------------------------------------
+
+    def _on_channel_receive(self, frame: Frame, sender: int) -> None:
+        self.rcast.note_heard(sender)
+        if frame.sender_mode is not None:
+            self._mode_beliefs[sender] = (frame.sender_mode, self.sim.now)
+        packet = frame.packet
+        if frame.dst == self.node_id or frame.is_broadcast:
+            self._note_power_event(packet)
+            self._on_receive(packet, sender)
+            return
+        if self._may_tap(frame):
+            self._on_promiscuous(packet, sender)
+
+    def _may_tap(self, frame: Frame) -> bool:
+        """May the routing layer use this frame addressed to someone else?"""
+        if frame.src in self._overhear_senders:
+            return True
+        if self.opportunistic_tap:
+            return True
+        if self.tap_in_am and self.power.mode(self.sim.now) is PowerMode.AM:
+            return True
+        return False
+
+    # ------------------------------------------------------------------
+    # Power hints
+    # ------------------------------------------------------------------
+
+    def _note_power_event(self, packet) -> None:
+        kind = getattr(packet, "kind", None)
+        if kind in ("data", "rrep"):
+            self.power.note_event("data" if kind == "data" else "rrep",
+                                  self.sim.now)
+
+    def power_hint(self, kind: str) -> None:
+        """Forward an upper-layer power hint to the power manager."""
+        self.power.note_event(kind, self.sim.now)
+
+
+__all__ = ["PsmMac"]

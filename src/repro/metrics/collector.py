@@ -1,0 +1,210 @@
+"""Run-time metric collection and the end-of-run summary.
+
+The collector is shared by all nodes; the routing and traffic layers feed
+it events and the network harness finalizes it with the per-node energy
+meters.  Everything the paper's evaluation section reports comes out of
+:class:`RunMetrics`:
+
+* total / per-node energy and its variance (Figs. 5, 6),
+* packet delivery ratio and energy-per-bit (Fig. 7),
+* average end-to-end delay and normalized routing overhead (Fig. 8),
+* role numbers (Fig. 9).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Sequence
+
+import numpy as np
+
+from repro.metrics.role import RoleTracker
+from repro.metrics.stats import mean, sample_variance
+
+
+@dataclass
+class _DataRecord:
+    uid: int
+    src: int
+    dst: int
+    sent_at: float
+    payload_bytes: int
+    delivered_at: Optional[float] = None
+    drop_reason: Optional[str] = None
+
+
+class MetricsCollector:
+    """Event sink for one simulation run."""
+
+    def __init__(self, num_nodes: int) -> None:
+        self.num_nodes = num_nodes
+        self.roles = RoleTracker(num_nodes)
+        self._data: Dict[int, _DataRecord] = {}
+        #: per-hop transmissions by packet kind
+        self.transmissions: Dict[str, int] = {
+            "data": 0, "rreq": 0, "rrep": 0, "rerr": 0,
+        }
+        self.link_breaks = 0
+        self.overheard_by_node = np.zeros(num_nodes, dtype=np.int64)
+
+    # ------------------------------------------------------------------
+    # Events (called by routing/traffic layers)
+    # ------------------------------------------------------------------
+
+    def data_originated(self, uid: int, src: int, dst: int, now: float,
+                        payload_bytes: int) -> None:
+        """Record an application packet entering the network."""
+        self._data[uid] = _DataRecord(uid, src, dst, now, payload_bytes)
+
+    def data_delivered(self, uid: int, now: float) -> None:
+        """Record end-to-end delivery (duplicates are ignored)."""
+        record = self._data.get(uid)
+        if record is None or record.delivered_at is not None:
+            return  # unknown or duplicate delivery: count once
+        record.delivered_at = now
+
+    def data_dropped(self, uid: int, reason: str) -> None:
+        """Record a drop with its reason (ignored after delivery)."""
+        record = self._data.get(uid)
+        if record is None or record.delivered_at is not None:
+            return
+        record.drop_reason = reason
+
+    def transmission(self, kind: str) -> None:
+        """Count one per-hop transmission of the given packet kind."""
+        self.transmissions[kind] = self.transmissions.get(kind, 0) + 1
+
+    def route_used(self, route: Sequence[int]) -> None:
+        """Credit role numbers for a source route committed to data."""
+        self.roles.record_route(route)
+
+    def link_break(self) -> None:
+        """Count one detected link break."""
+        self.link_breaks += 1
+
+    def overheard(self, node: int) -> None:
+        """Count one promiscuously received packet at ``node``."""
+        self.overheard_by_node[node] += 1
+
+    # ------------------------------------------------------------------
+    # Finalization
+    # ------------------------------------------------------------------
+
+    def finalize(
+        self,
+        scheme: str,
+        sim_time: float,
+        node_energy: Sequence[float],
+        node_awake_time: Sequence[float],
+    ) -> "RunMetrics":
+        """Combine collected events with energy meters into a summary."""
+        records = list(self._data.values())
+        sent = len(records)
+        delivered = [r for r in records if r.delivered_at is not None]
+        delays = [r.delivered_at - r.sent_at for r in delivered]
+        delivered_bits = sum(r.payload_bytes * 8 for r in delivered)
+        energy = np.asarray(node_energy, dtype=float)
+        total_energy = float(energy.sum())
+        control = sum(self.transmissions.get(k, 0)
+                      for k in ("rreq", "rrep", "rerr"))
+        drop_reasons: Dict[str, int] = {}
+        for record in records:
+            if record.delivered_at is None:
+                reason = record.drop_reason or "in_flight"
+                drop_reasons[reason] = drop_reasons.get(reason, 0) + 1
+        return RunMetrics(
+            scheme=scheme,
+            sim_time=sim_time,
+            num_nodes=self.num_nodes,
+            data_sent=sent,
+            data_delivered=len(delivered),
+            pdr=(len(delivered) / sent) if sent else 0.0,
+            avg_delay=mean(delays),
+            node_energy=energy,
+            node_awake_time=np.asarray(node_awake_time, dtype=float),
+            total_energy=total_energy,
+            energy_variance=sample_variance(energy.tolist()),
+            energy_per_bit=(total_energy / delivered_bits) if delivered_bits else float("inf"),
+            control_transmissions=control,
+            transmissions=dict(self.transmissions),
+            normalized_overhead=(control / len(delivered)) if delivered else float("inf"),
+            role_numbers=self.roles.counts(),
+            link_breaks=self.link_breaks,
+            overheard_by_node=self.overheard_by_node.copy(),
+            drop_reasons=drop_reasons,
+        )
+
+
+@dataclass
+class RunMetrics:
+    """Summary of one simulation run (the paper's reported quantities)."""
+
+    scheme: str
+    sim_time: float
+    num_nodes: int
+    data_sent: int
+    data_delivered: int
+    pdr: float
+    avg_delay: float
+    node_energy: np.ndarray
+    node_awake_time: np.ndarray
+    total_energy: float
+    energy_variance: float
+    energy_per_bit: float
+    control_transmissions: int
+    transmissions: Dict[str, int]
+    normalized_overhead: float
+    role_numbers: np.ndarray
+    link_breaks: int
+    overheard_by_node: np.ndarray
+    drop_reasons: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def mean_node_energy(self) -> float:
+        """Average per-node energy in joules."""
+        return float(self.node_energy.mean()) if self.node_energy.size else 0.0
+
+    def sorted_node_energy(self) -> np.ndarray:
+        """Per-node energy, ascending (the paper's Fig. 5 presentation)."""
+        return np.sort(self.node_energy)
+
+    def describe(self) -> str:
+        """One-line summary for logs."""
+        return (
+            f"{self.scheme}: E={self.total_energy:.1f}J "
+            f"var={self.energy_variance:.1f} PDR={self.pdr * 100:.1f}% "
+            f"delay={self.avg_delay * 1e3:.1f}ms "
+            f"EPB={self.energy_per_bit * 1e6:.2f}uJ/bit "
+            f"ovh={self.normalized_overhead:.2f}"
+        )
+
+    def to_dict(self) -> Dict:
+        """JSON-safe dict of this run (vectors as lists, inf as None)."""
+
+        def safe(value: float):
+            """None for non-finite values (JSON has no inf)."""
+            return None if not np.isfinite(value) else float(value)
+
+        return {
+            "scheme": self.scheme,
+            "sim_time": self.sim_time,
+            "num_nodes": self.num_nodes,
+            "data_sent": self.data_sent,
+            "data_delivered": self.data_delivered,
+            "pdr": safe(self.pdr),
+            "avg_delay": safe(self.avg_delay),
+            "total_energy": safe(self.total_energy),
+            "energy_variance": safe(self.energy_variance),
+            "energy_per_bit": safe(self.energy_per_bit),
+            "control_transmissions": self.control_transmissions,
+            "transmissions": dict(self.transmissions),
+            "normalized_overhead": safe(self.normalized_overhead),
+            "link_breaks": self.link_breaks,
+            "drop_reasons": dict(self.drop_reasons),
+            "node_energy": [float(v) for v in self.node_energy],
+            "node_awake_time": [float(v) for v in self.node_awake_time],
+            "role_numbers": [int(v) for v in self.role_numbers],
+        }
+
+
+__all__ = ["MetricsCollector", "RunMetrics"]

@@ -1,0 +1,70 @@
+"""Plain-text tables for experiment output.
+
+The benchmark harness prints the same rows/series the paper reports; these
+helpers keep that formatting in one place and dependency-free.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    title: Optional[str] = None,
+) -> str:
+    """Render an aligned ASCII table."""
+    str_rows: List[List[str]] = [[_fmt(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    sep = "-+-".join("-" * w for w in widths)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append(sep)
+    for row in str_rows:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def _fmt(cell: object) -> str:
+    if isinstance(cell, float):
+        if cell == 0:
+            return "0"
+        magnitude = abs(cell)
+        if magnitude >= 1000 or magnitude < 0.01:
+            return f"{cell:.3g}"
+        return f"{cell:.3f}".rstrip("0").rstrip(".")
+    return str(cell)
+
+
+def format_series(
+    x_label: str,
+    xs: Sequence[float],
+    series: Dict[str, Sequence[float]],
+    title: Optional[str] = None,
+) -> str:
+    """Render an x-column plus one column per named series."""
+    headers = [x_label] + list(series.keys())
+    rows = []
+    for i, x in enumerate(xs):
+        rows.append([x] + [series[name][i] for name in series])
+    return format_table(headers, rows, title)
+
+
+def ratio_improvement(base: float, other: float) -> float:
+    """The paper's "X% less" convention: ``(base - other) / other * 100``.
+
+    The paper reports e.g. "236% less than PSM", i.e. PSM consumes 3.36x
+    what Rcast does; that convention is ``(base/other - 1) * 100``.
+    """
+    if other == 0:
+        return float("inf")
+    return (base / other - 1.0) * 100.0
+
+
+__all__ = ["format_table", "format_series", "ratio_improvement"]

@@ -1,0 +1,80 @@
+"""Small, dependency-light statistics helpers.
+
+numpy is available, but these helpers accept plain sequences, define edge
+cases (empty input) explicitly, and always return Python floats so metric
+dataclasses stay serialization-friendly.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+
+def mean(values: Sequence[float]) -> float:
+    """Arithmetic mean; 0.0 for empty input."""
+    values = list(values)
+    if not values:
+        return 0.0
+    return float(sum(values)) / len(values)
+
+
+def sample_variance(values: Sequence[float]) -> float:
+    """Unbiased (n-1) sample variance; 0.0 for fewer than two values."""
+    values = list(values)
+    n = len(values)
+    if n < 2:
+        return 0.0
+    mu = mean(values)
+    return sum((v - mu) ** 2 for v in values) / (n - 1)
+
+
+def population_variance(values: Sequence[float]) -> float:
+    """Population (n) variance; 0.0 for empty input."""
+    values = list(values)
+    if not values:
+        return 0.0
+    mu = mean(values)
+    return sum((v - mu) ** 2 for v in values) / len(values)
+
+
+def std_dev(values: Sequence[float]) -> float:
+    """Sample standard deviation."""
+    return math.sqrt(sample_variance(values))
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """Linear-interpolated percentile, q in [0, 100]; 0.0 for empty input."""
+    if not 0 <= q <= 100:
+        raise ValueError(f"percentile q must be in [0, 100], got {q}")
+    ordered = sorted(values)
+    if not ordered:
+        return 0.0
+    if len(ordered) == 1:
+        return float(ordered[0])
+    rank = (q / 100.0) * (len(ordered) - 1)
+    lo = int(math.floor(rank))
+    hi = int(math.ceil(rank))
+    if lo == hi:
+        return float(ordered[lo])
+    frac = rank - lo
+    return float(ordered[lo] * (1 - frac) + ordered[hi] * frac)
+
+
+def confidence_interval_95(values: Sequence[float]) -> float:
+    """Half-width of the normal-approximation 95% CI of the mean."""
+    values = list(values)
+    n = len(values)
+    if n < 2:
+        return 0.0
+    return 1.96 * math.sqrt(sample_variance(values) / n)
+
+
+__all__ = [
+    "mean",
+    "sample_variance",
+    "population_variance",
+    "std_dev",
+    "percentile",
+    "confidence_interval_95",
+]

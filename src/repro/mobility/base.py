@@ -1,0 +1,65 @@
+"""Mobility model interface and the rectangular arena."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class Arena:
+    """Rectangular simulation area with corners (0, 0) and (width, height)."""
+
+    width: float
+    height: float
+
+    def __post_init__(self) -> None:
+        if self.width <= 0 or self.height <= 0:
+            raise ConfigurationError(
+                f"arena dimensions must be positive, got {self.width} x {self.height}"
+            )
+
+    def contains(self, x: float, y: float, tol: float = 1e-9) -> bool:
+        """True when (x, y) lies inside the arena (with tolerance)."""
+        return -tol <= x <= self.width + tol and -tol <= y <= self.height + tol
+
+    def clamp(self, x: float, y: float) -> Tuple[float, float]:
+        """Project (x, y) onto the arena."""
+        return (min(max(x, 0.0), self.width), min(max(y, 0.0), self.height))
+
+    @property
+    def diagonal(self) -> float:
+        """Length of the arena diagonal (an upper bound on any leg length)."""
+        return float(np.hypot(self.width, self.height))
+
+
+class MobilityModel:
+    """Interface: positions of ``num_nodes`` nodes as a function of time.
+
+    Implementations must be *functional in time*: ``positions_at(t)`` may be
+    called for any non-decreasing sequence of times and must be consistent
+    (the same ``t`` always yields the same positions).  Querying strictly
+    backwards in time is not required to work.
+    """
+
+    def __init__(self, num_nodes: int, arena: Arena) -> None:
+        if num_nodes <= 0:
+            raise ConfigurationError(f"num_nodes must be positive, got {num_nodes}")
+        self.num_nodes = num_nodes
+        self.arena = arena
+
+    def positions_at(self, time: float) -> np.ndarray:
+        """Return an ``(num_nodes, 2)`` float array of positions at ``time``."""
+        raise NotImplementedError
+
+    def position_of(self, node: int, time: float) -> Tuple[float, float]:
+        """Return the position of one node at ``time``."""
+        pos = self.positions_at(time)
+        return (float(pos[node, 0]), float(pos[node, 1]))
+
+
+__all__ = ["Arena", "MobilityModel"]

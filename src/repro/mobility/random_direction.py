@@ -1,0 +1,128 @@
+"""Random direction mobility model (extension / robustness checks).
+
+Unlike random waypoint, nodes travel to the arena *boundary* in a uniformly
+random direction, pause, then pick a fresh direction.  This avoids the
+center-density bias of random waypoint and is used by the ablation studies to
+check that Rcast's gains are not an artifact of the mobility model.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.mobility.base import Arena, MobilityModel
+
+
+@dataclass
+class _Segment:
+    start_time: float
+    start_x: float
+    start_y: float
+    dest_x: float
+    dest_y: float
+    speed: float
+    pause: float
+
+    @property
+    def travel_time(self) -> float:
+        """Seconds spent moving on this segment."""
+        dist = math.hypot(self.dest_x - self.start_x, self.dest_y - self.start_y)
+        return dist / self.speed if self.speed > 0 else float("inf")
+
+    @property
+    def end_time(self) -> float:
+        """Time at which the node departs for its next segment."""
+        return self.start_time + self.travel_time + self.pause
+
+    def position_at(self, time: float) -> tuple:
+        """Position on this segment at ``time``."""
+        elapsed = time - self.start_time
+        travel = self.travel_time
+        if elapsed >= travel:
+            return (self.dest_x, self.dest_y)
+        frac = elapsed / travel if travel > 0 else 1.0
+        return (
+            self.start_x + frac * (self.dest_x - self.start_x),
+            self.start_y + frac * (self.dest_y - self.start_y),
+        )
+
+
+def _ray_to_boundary(x: float, y: float, angle: float, arena: Arena) -> tuple:
+    """First intersection of the ray from (x, y) at ``angle`` with the walls."""
+    dx, dy = math.cos(angle), math.sin(angle)
+    best_t = float("inf")
+    if dx > 1e-12:
+        best_t = min(best_t, (arena.width - x) / dx)
+    elif dx < -1e-12:
+        best_t = min(best_t, -x / dx)
+    if dy > 1e-12:
+        best_t = min(best_t, (arena.height - y) / dy)
+    elif dy < -1e-12:
+        best_t = min(best_t, -y / dy)
+    if not math.isfinite(best_t) or best_t < 0:
+        return (x, y)
+    return arena.clamp(x + best_t * dx, y + best_t * dy)
+
+
+class RandomDirection(MobilityModel):
+    """Travel to the boundary in a random direction, pause, repeat."""
+
+    def __init__(
+        self,
+        num_nodes: int,
+        arena: Arena,
+        rng,
+        max_speed: float,
+        min_speed: float = 0.1,
+        pause_time: float = 0.0,
+    ) -> None:
+        super().__init__(num_nodes, arena)
+        if max_speed <= 0:
+            raise ConfigurationError(f"max_speed must be positive, got {max_speed}")
+        self._rng = rng
+        self.max_speed = max_speed
+        self.min_speed = max(min_speed, 1e-6)
+        self.pause_time = pause_time
+        self._segments: List[_Segment] = [self._initial_segment() for _ in range(num_nodes)]
+        self._last_query = 0.0
+
+    def _initial_segment(self) -> _Segment:
+        x = self._rng.uniform(0.0, self.arena.width)
+        y = self._rng.uniform(0.0, self.arena.height)
+        return self._fresh_segment(0.0, x, y)
+
+    def _fresh_segment(self, start_time: float, x: float, y: float) -> _Segment:
+        angle = self._rng.uniform(0.0, 2 * math.pi)
+        dest = _ray_to_boundary(x, y, angle, self.arena)
+        speed = self._rng.uniform(self.min_speed, self.max_speed)
+        return _Segment(start_time, x, y, dest[0], dest[1], speed, self.pause_time)
+
+    def _advance(self, node: int, time: float) -> _Segment:
+        seg = self._segments[node]
+        while seg.end_time < time:
+            seg = self._fresh_segment(seg.end_time, seg.dest_x, seg.dest_y)
+            self._segments[node] = seg
+        return seg
+
+    def positions_at(self, time: float) -> np.ndarray:
+        """All node positions at ``time`` (forward-only queries)."""
+        if time < self._last_query - 1e-9:
+            raise ConfigurationError("RandomDirection queried backwards in time")
+        self._last_query = max(self._last_query, time)
+        out = np.empty((self.num_nodes, 2), dtype=float)
+        for node in range(self.num_nodes):
+            seg = self._advance(node, time)
+            out[node, 0], out[node, 1] = seg.position_at(time)
+        return out
+
+    def position_of(self, node: int, time: float) -> tuple:
+        """Position of one node at ``time``."""
+        return self._advance(node, time).position_at(time)
+
+
+__all__ = ["RandomDirection"]

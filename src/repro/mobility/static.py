@@ -1,0 +1,85 @@
+"""Static node placements (tests, topology-controlled experiments)."""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.mobility.base import Arena, MobilityModel
+
+
+class StaticPlacement(MobilityModel):
+    """Nodes that never move.
+
+    Construct either from explicit coordinates or with one of the topology
+    helpers (:meth:`line`, :meth:`grid`, :meth:`uniform_random`), which are
+    what the integration tests use to pin down multihop behaviour.
+    """
+
+    def __init__(self, positions: Sequence[Tuple[float, float]], arena: Arena) -> None:
+        coords = np.asarray(positions, dtype=float)
+        if coords.ndim != 2 or coords.shape[1] != 2:
+            raise ConfigurationError(
+                f"positions must be an (n, 2) sequence, got shape {coords.shape}"
+            )
+        super().__init__(coords.shape[0], arena)
+        for x, y in coords:
+            if not arena.contains(float(x), float(y)):
+                raise ConfigurationError(f"position ({x}, {y}) outside arena")
+        self._coords = coords
+
+    # Topology helpers --------------------------------------------------
+
+    @classmethod
+    def line(cls, num_nodes: int, spacing: float, arena: Optional[Arena] = None,
+             y: Optional[float] = None) -> "StaticPlacement":
+        """Nodes on a horizontal line, ``spacing`` meters apart."""
+        width = spacing * max(num_nodes - 1, 1) + 1.0
+        if arena is None:
+            arena = Arena(width, max(10.0, width / 10))
+        if y is None:
+            y = arena.height / 2
+        positions = [(i * spacing, y) for i in range(num_nodes)]
+        return cls(positions, arena)
+
+    @classmethod
+    def grid(cls, rows: int, cols: int, spacing: float,
+             arena: Optional[Arena] = None) -> "StaticPlacement":
+        """A ``rows x cols`` grid with the given spacing."""
+        if arena is None:
+            arena = Arena(
+                spacing * max(cols - 1, 1) + 1.0,
+                spacing * max(rows - 1, 1) + 1.0,
+            )
+        positions = [
+            (c * spacing, r * spacing) for r in range(rows) for c in range(cols)
+        ]
+        return cls(positions, arena)
+
+    @classmethod
+    def uniform_random(cls, num_nodes: int, arena: Arena, rng) -> "StaticPlacement":
+        """Uniform random placement (the paper's static scenario start)."""
+        positions = [
+            (rng.uniform(0.0, arena.width), rng.uniform(0.0, arena.height))
+            for _ in range(num_nodes)
+        ]
+        return cls(positions, arena)
+
+    # MobilityModel interface -------------------------------------------
+
+    def positions_at(self, time: float) -> np.ndarray:
+        """The fixed coordinates (a defensive copy)."""
+        return self._coords.copy()
+
+    def position_of(self, node: int, time: float) -> Tuple[float, float]:
+        """The fixed position of one node."""
+        return (float(self._coords[node, 0]), float(self._coords[node, 1]))
+
+    def velocity_of(self, node: int, time: float) -> Tuple[float, float]:
+        """Always zero."""
+        return (0.0, 0.0)
+
+
+__all__ = ["StaticPlacement"]

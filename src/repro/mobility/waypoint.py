@@ -1,0 +1,186 @@
+"""Random waypoint mobility (the paper's model).
+
+Each node repeats: pick a uniform destination in the arena, travel to it in a
+straight line at a speed drawn uniformly from ``(min_speed, max_speed]``,
+then pause for ``pause_time`` seconds.  Positions at an arbitrary time are
+computed analytically by advancing each node's per-leg state lazily, so the
+model costs O(legs), not O(ticks).
+
+A pause time equal to (or exceeding) the simulated duration yields the
+paper's "static scenario" (T_pause = 1125 s): nodes never complete their
+first pause.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.mobility.base import Arena, MobilityModel
+from repro.sim.rng import RngRegistry
+
+
+@dataclass
+class _Leg:
+    """One travel-then-pause segment of a node's trajectory."""
+
+    start_time: float
+    start_x: float
+    start_y: float
+    dest_x: float
+    dest_y: float
+    speed: float
+    pause: float
+
+    @property
+    def travel_time(self) -> float:
+        """Seconds spent moving on this leg."""
+        dist = float(np.hypot(self.dest_x - self.start_x, self.dest_y - self.start_y))
+        if self.speed <= 0:
+            return float("inf")
+        return dist / self.speed
+
+    @property
+    def end_time(self) -> float:
+        """Time at which the node leaves for its *next* destination."""
+        return self.start_time + self.travel_time + self.pause
+
+    def position_at(self, time: float) -> tuple:
+        """Position during this leg (valid for start_time <= time <= end_time)."""
+        elapsed = time - self.start_time
+        travel = self.travel_time
+        if elapsed >= travel:
+            return (self.dest_x, self.dest_y)
+        frac = elapsed / travel if travel > 0 else 1.0
+        return (
+            self.start_x + frac * (self.dest_x - self.start_x),
+            self.start_y + frac * (self.dest_y - self.start_y),
+        )
+
+
+class RandomWaypoint(MobilityModel):
+    """Random waypoint model with uniform initial placement.
+
+    Parameters
+    ----------
+    num_nodes, arena
+        Population and area.
+    rng
+        The ``"mobility"`` stream of a :class:`~repro.sim.rng.RngRegistry`
+        (or any ``random.Random``).
+    max_speed, min_speed
+        Speed is drawn uniformly from ``(min_speed, max_speed]``.  A small
+        positive default ``min_speed`` avoids the well-known speed-decay
+        pathology of the classic model (nodes stuck at near-zero speed).
+    pause_time
+        Seconds spent stationary at each waypoint.
+    """
+
+    def __init__(
+        self,
+        num_nodes: int,
+        arena: Arena,
+        rng,
+        max_speed: float,
+        min_speed: float = 0.1,
+        pause_time: float = 0.0,
+    ) -> None:
+        super().__init__(num_nodes, arena)
+        if max_speed <= 0:
+            raise ConfigurationError(f"max_speed must be positive, got {max_speed}")
+        if not 0 <= min_speed <= max_speed:
+            raise ConfigurationError(
+                f"need 0 <= min_speed <= max_speed, got {min_speed}, {max_speed}"
+            )
+        if pause_time < 0:
+            raise ConfigurationError(f"pause_time must be >= 0, got {pause_time}")
+        self._rng = rng
+        self.max_speed = max_speed
+        self.min_speed = min_speed
+        self.pause_time = pause_time
+        self._legs: List[_Leg] = [self._initial_leg() for _ in range(num_nodes)]
+        self._last_query = 0.0
+
+    @classmethod
+    def from_registry(
+        cls,
+        num_nodes: int,
+        arena: Arena,
+        rngs: RngRegistry,
+        max_speed: float,
+        min_speed: float = 0.1,
+        pause_time: float = 0.0,
+    ) -> "RandomWaypoint":
+        """Construct using the registry's ``"mobility"`` stream."""
+        return cls(num_nodes, arena, rngs.stream("mobility"),
+                   max_speed, min_speed, pause_time)
+
+    # ------------------------------------------------------------------
+
+    def _random_point(self) -> tuple:
+        return (
+            self._rng.uniform(0.0, self.arena.width),
+            self._rng.uniform(0.0, self.arena.height),
+        )
+
+    def _random_speed(self) -> float:
+        lo = max(self.min_speed, 1e-6)
+        return self._rng.uniform(lo, self.max_speed)
+
+    def _initial_leg(self) -> _Leg:
+        x, y = self._random_point()
+        dx, dy = self._random_point()
+        return _Leg(0.0, x, y, dx, dy, self._random_speed(), self.pause_time)
+
+    def _next_leg(self, prev: _Leg) -> _Leg:
+        dx, dy = self._random_point()
+        return _Leg(
+            prev.end_time, prev.dest_x, prev.dest_y, dx, dy,
+            self._random_speed(), self.pause_time,
+        )
+
+    def _advance(self, node: int, time: float) -> _Leg:
+        leg = self._legs[node]
+        while leg.end_time < time:
+            leg = self._next_leg(leg)
+            self._legs[node] = leg
+        return leg
+
+    # ------------------------------------------------------------------
+
+    def positions_at(self, time: float) -> np.ndarray:
+        """All node positions at ``time`` (forward-only queries)."""
+        if time < self._last_query - 1e-9:
+            raise ConfigurationError(
+                f"RandomWaypoint queried backwards in time "
+                f"({time} < {self._last_query})"
+            )
+        self._last_query = max(self._last_query, time)
+        out = np.empty((self.num_nodes, 2), dtype=float)
+        for node in range(self.num_nodes):
+            leg = self._advance(node, time)
+            out[node, 0], out[node, 1] = leg.position_at(time)
+        return out
+
+    def position_of(self, node: int, time: float) -> tuple:
+        """Position of one node at ``time``."""
+        leg = self._advance(node, time)
+        return leg.position_at(time)
+
+    def velocity_of(self, node: int, time: float) -> tuple:
+        """Instantaneous velocity vector of ``node`` at ``time``."""
+        leg = self._advance(node, time)
+        if time - leg.start_time >= leg.travel_time:
+            return (0.0, 0.0)  # pausing
+        dist = float(np.hypot(leg.dest_x - leg.start_x, leg.dest_y - leg.start_y))
+        if dist == 0:
+            return (0.0, 0.0)
+        ux = (leg.dest_x - leg.start_x) / dist
+        uy = (leg.dest_y - leg.start_y) / dist
+        return (ux * leg.speed, uy * leg.speed)
+
+
+__all__ = ["RandomWaypoint"]

@@ -1,0 +1,364 @@
+"""Network assembly: build a complete simulated MANET for one scheme.
+
+:class:`SimulationConfig` captures everything about a run — scheme, arena,
+mobility, traffic, protocol knobs, seed.  :func:`build_network` wires the
+full stack (mobility -> position service -> channel -> radios -> MAC ->
+DSR -> CBR sources) and :meth:`Network.run` executes it, returning the
+:class:`~repro.metrics.collector.RunMetrics` the experiments consume.
+
+Scheme matrix (paper Table 1 plus the naive baseline):
+
+============  ==============  ===============  ============================
+key           MAC             power manager    overhearing
+============  ==============  ===============  ============================
+`ieee80211`   AlwaysOnMac     (always awake)   everything (free)
+`psm`         PsmMac          always PS        unconditional
+`psm-nooh`    PsmMac          always PS        none
+`odpm`        PsmMac          ODPM timers      AM nodes only
+`rcast`       PsmMac          always PS        randomized (P_R = 1/n)
+`span`        PsmMac          SPAN backbone    AM coordinators only
+============  ==============  ===============  ============================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Tuple
+
+from repro import constants
+from repro.core.policy import (
+    NoOverhearing,
+    RcastPolicy,
+    UnconditionalOverhearing,
+)
+from repro.core.rcast import RcastManager
+from repro.errors import ConfigurationError
+from repro.mac.base import AlwaysOnMac
+from repro.mac.odpm import OdpmPowerManager
+from repro.mac.power import AlwaysPs
+from repro.mac.psm import PsmMac
+from repro.metrics.collector import MetricsCollector, RunMetrics
+from repro.mobility.base import Arena
+from repro.mobility.manager import PositionService
+from repro.mobility.random_direction import RandomDirection
+from repro.mobility.static import StaticPlacement
+from repro.mobility.waypoint import RandomWaypoint
+from repro.node import Node
+from repro.phy.channel import Channel
+from repro.phy.energy import EnergyMeter
+from repro.phy.radio import Radio
+from repro.routing.dsr.config import DsrConfig
+from repro.routing.dsr.protocol import DsrProtocol
+from repro.sim.engine import Simulator
+from repro.sim.rng import RngRegistry
+from repro.sim.trace import NULL_TRACE
+from repro.traffic.cbr import CbrSource
+from repro.traffic.pairs import choose_connections
+from repro.traffic.poisson import PoissonSource
+
+#: All supported scheme keys.
+SCHEMES = ("ieee80211", "psm", "psm-nooh", "odpm", "rcast", "span")
+
+
+@dataclass
+class SimulationConfig:
+    """Complete description of one simulation run."""
+
+    scheme: str = "rcast"
+    seed: int = 1
+    sim_time: float = constants.SIM_TIME_S
+
+    # Topology / PHY
+    num_nodes: int = constants.NUM_NODES
+    arena_w: float = constants.ARENA_W_M
+    arena_h: float = constants.ARENA_H_M
+    tx_range: float = constants.TX_RANGE_M
+    cs_range: float = constants.CS_RANGE_M
+    bitrate: float = constants.BITRATE_BPS
+    neighbor_refresh: float = constants.NEIGHBOR_REFRESH_S
+
+    # Mobility
+    mobility: str = "waypoint"  # 'waypoint' | 'static' | 'random_direction'
+    max_speed: float = constants.MAX_SPEED_MPS
+    pause_time: float = 600.0
+    #: explicit static coordinates (mobility='static' only); None = uniform
+    positions: Optional[Tuple[Tuple[float, float], ...]] = None
+
+    # MAC / PSM
+    beacon_interval: float = constants.BEACON_INTERVAL_S
+    atim_window: float = constants.ATIM_WINDOW_S
+    queue_capacity: int = 64
+    #: ATIM-window announcement capacity per node per beacon interval
+    max_announcements: int = 8
+    #: residual clock-sync error: each PSM node gets a uniform random clock
+    #: offset in [0, clock_jitter) seconds (0 = the paper's perfect sync)
+    clock_jitter: float = 0.0
+    odpm_rrep_timeout: float = constants.ODPM_RREP_TIMEOUT_S
+    odpm_data_timeout: float = constants.ODPM_DATA_TIMEOUT_S
+
+    # Traffic
+    traffic: str = "cbr"  # 'cbr' | 'poisson' | 'none'
+    num_connections: int = constants.NUM_CONNECTIONS
+    packet_rate: float = 0.4
+    packet_bytes: int = constants.PACKET_BYTES
+    traffic_start: float = 1.0
+    traffic_stop_guard: float = 10.0
+
+    # Routing
+    routing: str = "dsr"  # 'dsr' (paper) | 'aodv' (footnote-1 baseline)
+    dsr: DsrConfig = field(default_factory=DsrConfig)
+    aodv: "AodvConfig" = None
+
+    # Rcast options
+    rcast_factors: Tuple[str, ...] = ()
+    rreq_randomized: bool = False
+    opportunistic_tap: bool = False
+
+    # Energy
+    battery_joules: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.scheme not in SCHEMES:
+            raise ConfigurationError(
+                f"unknown scheme {self.scheme!r}; choose one of {SCHEMES}"
+            )
+        if self.sim_time <= 0:
+            raise ConfigurationError("sim_time must be positive")
+        if self.packet_rate <= 0:
+            raise ConfigurationError("packet_rate must be positive")
+        unknown = set(self.rcast_factors) - {"sender", "mobility", "battery"}
+        if unknown:
+            raise ConfigurationError(f"unknown rcast factors: {sorted(unknown)}")
+        if self.routing not in ("dsr", "aodv"):
+            raise ConfigurationError(
+                f"unknown routing protocol {self.routing!r}"
+            )
+        if not 0 <= self.clock_jitter < self.beacon_interval:
+            raise ConfigurationError(
+                "clock_jitter must be in [0, beacon_interval)"
+            )
+
+    def with_scheme(self, scheme: str) -> "SimulationConfig":
+        """Copy of this config targeting a different scheme."""
+        return replace(self, scheme=scheme)
+
+
+class Network:
+    """A fully wired simulated MANET, ready to run."""
+
+    def __init__(
+        self,
+        config: SimulationConfig,
+        sim: Simulator,
+        rngs: RngRegistry,
+        positions: PositionService,
+        channel: Channel,
+        nodes: List[Node],
+        metrics: MetricsCollector,
+        trace=NULL_TRACE,
+    ) -> None:
+        self.config = config
+        self.sim = sim
+        self.rngs = rngs
+        self.positions = positions
+        self.channel = channel
+        self.nodes = nodes
+        self.metrics = metrics
+        self.trace = trace
+        self._ran = False
+
+    def run(self) -> RunMetrics:
+        """Execute the configured run and return its metrics."""
+        if self._ran:
+            raise ConfigurationError("Network.run() may only be called once")
+        self._ran = True
+        for node in self.nodes:
+            node.start()
+        self.sim.run(until=self.config.sim_time)
+        for node in self.nodes:
+            node.finalize()
+        return self.metrics.finalize(
+            scheme=self.config.scheme,
+            sim_time=self.config.sim_time,
+            node_energy=[n.radio.meter.energy_joules() for n in self.nodes],
+            node_awake_time=[n.radio.meter.awake_time for n in self.nodes],
+        )
+
+
+def build_mobility(config: SimulationConfig, rngs: RngRegistry, arena: Arena):
+    """Construct the configured mobility model."""
+    rng = rngs.stream("mobility")
+    if config.mobility == "waypoint":
+        return RandomWaypoint(
+            config.num_nodes, arena, rng,
+            max_speed=config.max_speed, pause_time=config.pause_time,
+        )
+    if config.mobility == "static":
+        if config.positions is not None:
+            if len(config.positions) != config.num_nodes:
+                raise ConfigurationError(
+                    f"{len(config.positions)} positions for "
+                    f"{config.num_nodes} nodes"
+                )
+            return StaticPlacement(list(config.positions), arena)
+        return StaticPlacement.uniform_random(config.num_nodes, arena, rng)
+    if config.mobility == "random_direction":
+        return RandomDirection(
+            config.num_nodes, arena, rng,
+            max_speed=config.max_speed, pause_time=config.pause_time,
+        )
+    raise ConfigurationError(f"unknown mobility model {config.mobility!r}")
+
+
+def _sender_policy(scheme: str):
+    if scheme == "psm":
+        return UnconditionalOverhearing()
+    if scheme in ("psm-nooh", "odpm", "span"):
+        return NoOverhearing()
+    return RcastPolicy()  # rcast
+
+
+def _build_mac(config: SimulationConfig, sim, node_id, channel, radio,
+               positions, rngs: RngRegistry, trace, span_election=None):
+    mac_rng = rngs.stream(f"mac:{node_id}")
+    if config.scheme == "ieee80211":
+        return AlwaysOnMac(sim, node_id, channel, radio, positions,
+                           mac_rng, trace=trace), None
+    rcast = RcastManager(
+        node_id, sim, positions, rngs.stream(f"rcast:{node_id}"),
+        sender_policy=_sender_policy(config.scheme),
+        use_sender_recency="sender" in config.rcast_factors,
+        use_mobility="mobility" in config.rcast_factors,
+        use_battery="battery" in config.rcast_factors,
+        energy_meter=radio.meter if "battery" in config.rcast_factors else None,
+        randomized_broadcast=config.rreq_randomized,
+    )
+    if config.scheme == "odpm":
+        power = OdpmPowerManager(config.odpm_rrep_timeout, config.odpm_data_timeout)
+        tap_in_am = True
+    elif config.scheme == "span":
+        from repro.mac.span import SpanPowerManager
+
+        power = SpanPowerManager(node_id, span_election)
+        tap_in_am = True
+    else:
+        power = AlwaysPs()
+        tap_in_am = False
+    mac = PsmMac(
+        sim, node_id, channel, radio, positions, mac_rng,
+        rcast=rcast, power_manager=power,
+        beacon_interval=config.beacon_interval,
+        atim_window=config.atim_window,
+        queue_capacity=config.queue_capacity,
+        max_announcements=config.max_announcements,
+        clock_offset=(rngs.stream("clock").uniform(0.0, config.clock_jitter)
+                      if config.clock_jitter > 0 else 0.0),
+        tap_in_am=tap_in_am,
+        opportunistic_tap=config.opportunistic_tap,
+        trace=trace,
+    )
+    return mac, rcast
+
+
+def build_network(config: SimulationConfig, trace=NULL_TRACE) -> Network:
+    """Wire a complete network for ``config``."""
+    sim = Simulator()
+    rngs = RngRegistry(config.seed)
+    arena = Arena(config.arena_w, config.arena_h)
+    mobility = build_mobility(config, rngs, arena)
+    positions = PositionService(
+        sim, mobility,
+        tx_range=config.tx_range, cs_range=config.cs_range,
+        refresh=config.neighbor_refresh,
+    )
+    radios: Dict[int, Radio] = {
+        i: Radio(sim, i, EnergyMeter(battery_joules=config.battery_joules))
+        for i in range(config.num_nodes)
+    }
+    channel = Channel(sim, positions, radios, bitrate=config.bitrate, trace=trace)
+    metrics = MetricsCollector(config.num_nodes)
+
+    nodes: List[Node] = []
+    psm_macs: Dict[int, PsmMac] = {}
+    span_election = None
+    if config.scheme == "span":
+        from repro.mac.span import SpanElection
+
+        span_election = SpanElection(
+            sim, positions, rngs.stream("span"),
+            energy_meters={i: r.meter for i, r in radios.items()},
+        )
+        span_election.start()
+    for i in range(config.num_nodes):
+        mac, rcast = _build_mac(config, sim, i, channel, radios[i],
+                                positions, rngs, trace,
+                                span_election=span_election)
+        if config.routing == "aodv":
+            from repro.routing.aodv.config import AodvConfig
+            from repro.routing.aodv.protocol import AodvProtocol
+
+            aodv_config = (replace(config.aodv) if config.aodv is not None
+                           else AodvConfig())
+            agent = AodvProtocol(sim, i, mac, config=aodv_config,
+                                 metrics=metrics,
+                                 rng=rngs.stream(f"aodv:{i}"), trace=trace)
+        else:
+            agent = DsrProtocol(sim, i, mac, config=replace(config.dsr),
+                                metrics=metrics, rng=rngs.stream(f"dsr:{i}"),
+                                trace=trace)
+        nodes.append(Node(i, radios[i], mac, agent, rcast))
+        if isinstance(mac, PsmMac):
+            psm_macs[i] = mac
+    for mac in psm_macs.values():
+        mac.set_peers(psm_macs)
+
+    _attach_traffic(config, sim, rngs, nodes)
+    network = Network(config, sim, rngs, positions, channel, nodes, metrics,
+                      trace)
+    network.span_election = span_election
+    return network
+
+
+def _attach_traffic(config: SimulationConfig, sim, rngs: RngRegistry,
+                    nodes: List[Node]) -> None:
+    if config.traffic == "none" or config.num_connections == 0:
+        return
+    pairs = choose_connections(
+        config.num_nodes, config.num_connections, rngs.stream("traffic")
+    )
+    # The guard keeps late packets from skewing PDR, but must never eat
+    # more than half of the active window (short test runs).
+    window = config.sim_time - config.traffic_start
+    stop = config.sim_time - min(config.traffic_stop_guard, window / 2)
+    for index, (src, dst) in enumerate(pairs):
+        rng = rngs.stream(f"traffic:{index}")
+        if config.traffic == "cbr":
+            source = CbrSource(
+                sim, nodes[src].dsr, dst,
+                rate_pps=config.packet_rate, packet_bytes=config.packet_bytes,
+                start=config.traffic_start, stop=stop, rng=rng,
+            )
+        elif config.traffic == "poisson":
+            source = PoissonSource(
+                sim, nodes[src].dsr, dst,
+                rate_pps=config.packet_rate, packet_bytes=config.packet_bytes,
+                rng=rng, start=config.traffic_start, stop=stop,
+            )
+        else:
+            raise ConfigurationError(f"unknown traffic model {config.traffic!r}")
+        nodes[src].sources.append(source)
+
+
+def run_simulation(config: SimulationConfig, trace=NULL_TRACE) -> RunMetrics:
+    """Build and run one simulation; convenience one-liner."""
+    return build_network(config, trace).run()
+
+
+__all__ = [
+    "SCHEMES",
+    "SimulationConfig",
+    "Network",
+    "build_network",
+    "build_mobility",
+    "run_simulation",
+]

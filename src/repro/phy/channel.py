@@ -1,0 +1,213 @@
+"""The shared wireless medium.
+
+A :class:`Transmission` occupies the channel for ``bits / bitrate`` seconds.
+Delivery semantics (matching what the paper's results actually depend on):
+
+* **Audibility** — receivers are the nodes within transmission range of the
+  sender at transmission start, captured as a snapshot (node speeds are two
+  orders of magnitude below what would move a node across the range edge
+  within one frame time).
+* **Eligibility** — a node can only decode if its radio is awake and not
+  itself transmitting, both when the frame starts and when it ends.
+* **Collision** — a frame is corrupted at receiver ``r`` if any other
+  transmission overlaps it in time with a sender within carrier-sense range
+  of ``r``, or if ``r`` itself transmitted during the overlap.
+* **Carrier sense** — a sender defers when any active transmission's sender
+  is within its carrier-sense range (the MAC layer implements backoff).
+
+The channel does not model MAC ACK frames explicitly: the sender's MAC is
+told which nodes decoded the frame and applies ACK semantics itself.  This
+halves the event count and is energetically neutral under the paper's model
+(sender and receiver are awake for the exchange either way).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Callable, Dict, List, Optional, Set
+
+from repro.constants import BITRATE_BPS, MAC_HEADER_BYTES
+from repro.errors import ChannelError
+from repro.mobility.manager import PositionService
+from repro.phy.radio import Radio
+from repro.sim.engine import Simulator
+from repro.sim.trace import NULL_TRACE
+
+_tx_ids = itertools.count()
+
+
+class Transmission:
+    """One frame in flight."""
+
+    __slots__ = (
+        "tx_id", "sender", "frame", "start", "end",
+        "audible", "eligible_at_start", "overlaps", "corrupted_at",
+    )
+
+    def __init__(self, sender: int, frame, start: float, end: float) -> None:
+        self.tx_id = next(_tx_ids)
+        self.sender = sender
+        self.frame = frame
+        self.start = start
+        self.end = end
+        #: nodes within rx range at start (excluding sender)
+        self.audible: Set[int] = set()
+        #: audible nodes whose radio could decode at start
+        self.eligible_at_start: Set[int] = set()
+        #: transmissions that overlapped this one in time
+        self.overlaps: List["Transmission"] = []
+        #: receivers where this frame is already known corrupted
+        self.corrupted_at: Set[int] = set()
+
+    @property
+    def duration(self) -> float:
+        """Airtime of this transmission in seconds."""
+        return self.end - self.start
+
+
+class Channel:
+    """Shared broadcast medium connecting all radios."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        positions: PositionService,
+        radios: Dict[int, Radio],
+        bitrate: float = BITRATE_BPS,
+        mac_overhead_bytes: int = MAC_HEADER_BYTES,
+        trace=NULL_TRACE,
+    ) -> None:
+        if bitrate <= 0:
+            raise ChannelError(f"bitrate must be positive, got {bitrate}")
+        self.sim = sim
+        self.positions = positions
+        self.radios = radios
+        self.bitrate = bitrate
+        self.mac_overhead_bytes = mac_overhead_bytes
+        self.trace = trace
+        self._active: Dict[int, Transmission] = {}
+        self._receivers: Dict[int, Callable] = {}
+        self._tx_complete: Dict[int, Callable] = {}
+        # Statistics
+        self.frames_sent = 0
+        self.frames_delivered = 0
+        self.frames_collided = 0
+        self.frames_missed_asleep = 0
+
+    # ------------------------------------------------------------------
+    # Wiring
+    # ------------------------------------------------------------------
+
+    def attach(
+        self,
+        node_id: int,
+        on_receive: Callable,
+        on_tx_complete: Optional[Callable] = None,
+    ) -> None:
+        """Register the MAC callbacks for ``node_id``.
+
+        ``on_receive(frame, sender_id)`` fires for each decoded frame;
+        ``on_tx_complete(frame, delivered_to)`` fires on the sender when its
+        transmission ends, with the set of nodes that decoded the frame.
+        """
+        self._receivers[node_id] = on_receive
+        if on_tx_complete is not None:
+            self._tx_complete[node_id] = on_tx_complete
+
+    # ------------------------------------------------------------------
+    # Carrier sense
+    # ------------------------------------------------------------------
+
+    def is_busy(self, node_id: int) -> bool:
+        """Would ``node_id`` sense the medium busy right now?"""
+        if node_id in self._active:
+            return True
+        if not self._active:
+            return False
+        cs = self.positions.cs_neighbors(node_id)
+        return any(tx.sender in cs for tx in self._active.values())
+
+    def transmission_time(self, payload_bytes: int) -> float:
+        """Airtime for a frame carrying ``payload_bytes`` of payload."""
+        bits = (payload_bytes + self.mac_overhead_bytes) * 8
+        return bits / self.bitrate
+
+    # ------------------------------------------------------------------
+    # Transmission
+    # ------------------------------------------------------------------
+
+    def transmit(self, sender_id: int, frame) -> Transmission:
+        """Start transmitting ``frame`` from ``sender_id``.
+
+        The caller (MAC) is responsible for carrier sensing first; starting
+        a transmission while one from the same sender is active is an error.
+        """
+        if sender_id in self._active:
+            raise ChannelError(f"node {sender_id} is already transmitting")
+        radio = self.radios[sender_id]
+        if not radio.is_awake:
+            raise ChannelError(f"node {sender_id} tried to transmit while asleep")
+
+        duration = self.transmission_time(frame.size_bytes)
+        now = self.sim.now
+        tx = Transmission(sender_id, frame, now, now + duration)
+        tx.audible = set(self.positions.neighbors(sender_id))
+        for node in tx.audible:
+            if self.radios[node].can_receive():
+                tx.eligible_at_start.add(node)
+
+        # Record mutual overlap with every currently active transmission and
+        # mark collisions eagerly where interference domains intersect.
+        for other in self._active.values():
+            tx.overlaps.append(other)
+            other.overlaps.append(tx)
+            self._mark_mutual_corruption(tx, other)
+
+        self._active[sender_id] = tx
+        radio.note_tx(duration)
+        self.frames_sent += 1
+        if self.trace.enabled:
+            self.trace.emit(now, "chan.tx", sender_id,
+                            f"{frame.describe()} dur={duration * 1e3:.3f}ms")
+        self.sim.schedule(duration, self._finish, tx)
+        return tx
+
+    def _mark_mutual_corruption(self, a: Transmission, b: Transmission) -> None:
+        """Corrupt each transmission at receivers that can hear both senders."""
+        for tx, other in ((a, b), (b, a)):
+            other_cs = self.positions.cs_neighbors(other.sender)
+            for node in tx.audible:
+                if node in other_cs or node == other.sender:
+                    tx.corrupted_at.add(node)
+
+    def _finish(self, tx: Transmission) -> None:
+        del self._active[tx.sender]
+        self.radios[tx.sender].end_tx()
+
+        delivered: Set[int] = set()
+        for node in tx.audible:
+            if node not in tx.eligible_at_start:
+                self.frames_missed_asleep += 1
+                continue
+            if node in tx.corrupted_at:
+                self.frames_collided += 1
+                continue
+            radio = self.radios[node]
+            if not radio.can_receive():
+                # Fell asleep or started transmitting mid-frame.
+                self.frames_missed_asleep += 1
+                continue
+            delivered.add(node)
+
+        for node in delivered:
+            self.frames_delivered += 1
+            receiver = self._receivers.get(node)
+            if receiver is not None:
+                receiver(tx.frame, tx.sender)
+
+        on_complete = self._tx_complete.get(tx.sender)
+        if on_complete is not None:
+            on_complete(tx.frame, delivered)
+
+
+__all__ = ["Channel", "Transmission"]

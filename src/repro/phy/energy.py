@@ -1,0 +1,136 @@
+"""State-timed energy accounting.
+
+The paper measures energy exactly as ``power(state) x time-in-state`` with
+two effective states: awake (1.15 W, covering idle listening, receive and
+transmit alike) and sleep (0.045 W).  :class:`EnergyMeter` implements that
+accounting generally over the four radio states so extension studies can
+distinguish tx/rx if desired; with the default power table, IDLE/RX/TX all
+cost 1.15 W, reproducing the paper's model.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Dict, Optional
+
+from repro.constants import POWER_AWAKE_W, POWER_SLEEP_W
+from repro.errors import ConfigurationError, SimulationError
+
+
+class RadioState(enum.Enum):
+    """Radio operating states."""
+
+    SLEEP = "sleep"
+    IDLE = "idle"
+    RX = "rx"
+    TX = "tx"
+
+    @property
+    def awake(self) -> bool:
+        """True for every state except SLEEP."""
+        return self is not RadioState.SLEEP
+
+
+#: The paper's two-level power table, expressed over four states.
+PAPER_POWER_TABLE: Dict[RadioState, float] = {
+    RadioState.SLEEP: POWER_SLEEP_W,
+    RadioState.IDLE: POWER_AWAKE_W,
+    RadioState.RX: POWER_AWAKE_W,
+    RadioState.TX: POWER_AWAKE_W,
+}
+
+
+class EnergyMeter:
+    """Accumulates per-state residence time and energy for one radio.
+
+    The meter is driven by :meth:`transition` calls with the current virtual
+    time; time never flows backwards.  ``finalize`` closes the books at the
+    end of a run so the last state's residency is counted.
+    """
+
+    def __init__(
+        self,
+        power_table: Optional[Dict[RadioState, float]] = None,
+        initial_state: RadioState = RadioState.IDLE,
+        initial_time: float = 0.0,
+        battery_joules: Optional[float] = None,
+    ) -> None:
+        self._power = dict(PAPER_POWER_TABLE if power_table is None else power_table)
+        missing = [s for s in RadioState if s not in self._power]
+        if missing:
+            raise ConfigurationError(f"power table missing states: {missing}")
+        self._state = initial_state
+        self._last_time = initial_time
+        self._state_time: Dict[RadioState, float] = {s: 0.0 for s in RadioState}
+        self._energy = 0.0
+        self.battery_joules = battery_joules
+        self._finalized = False
+
+    # ------------------------------------------------------------------
+
+    @property
+    def state(self) -> RadioState:
+        """Current radio state."""
+        return self._state
+
+    def transition(self, new_state: RadioState, time: float) -> None:
+        """Move to ``new_state`` at virtual time ``time``."""
+        if self._finalized:
+            raise SimulationError("EnergyMeter already finalized")
+        self._accumulate(time)
+        self._state = new_state
+
+    def _accumulate(self, time: float) -> None:
+        if time < self._last_time - 1e-12:
+            raise SimulationError(
+                f"energy meter driven backwards: {time} < {self._last_time}"
+            )
+        dt = max(time - self._last_time, 0.0)
+        self._state_time[self._state] += dt
+        self._energy += dt * self._power[self._state]
+        self._last_time = time
+
+    def finalize(self, time: float) -> None:
+        """Account residency up to ``time`` and freeze the meter."""
+        self._accumulate(time)
+        self._finalized = True
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+
+    def energy_joules(self, time: Optional[float] = None) -> float:
+        """Energy consumed so far (optionally projected to ``time``)."""
+        extra = 0.0
+        if time is not None and not self._finalized:
+            dt = max(time - self._last_time, 0.0)
+            extra = dt * self._power[self._state]
+        return self._energy + extra
+
+    def time_in(self, state: RadioState) -> float:
+        """Seconds spent in ``state`` so far."""
+        return self._state_time[state]
+
+    @property
+    def awake_time(self) -> float:
+        """Total seconds spent in any awake state."""
+        return sum(self._state_time[s] for s in RadioState if s.awake)
+
+    @property
+    def sleep_time(self) -> float:
+        """Total seconds spent asleep."""
+        return self._state_time[RadioState.SLEEP]
+
+    def remaining_fraction(self, time: Optional[float] = None) -> float:
+        """Remaining battery fraction in [0, 1]; 1.0 when no battery is set."""
+        if self.battery_joules is None:
+            return 1.0
+        used = self.energy_joules(time)
+        return max(0.0, 1.0 - used / self.battery_joules)
+
+    def depleted(self, time: Optional[float] = None) -> bool:
+        """True when a finite battery has been exhausted."""
+        return self.remaining_fraction(time) <= 0.0
+
+
+__all__ = ["EnergyMeter", "RadioState", "PAPER_POWER_TABLE"]

@@ -1,0 +1,102 @@
+"""Per-node radio: wake/sleep state plus energy accounting.
+
+The radio is the single authority on whether a node can hear the channel.
+MAC layers call :meth:`sleep` / :meth:`wake`; the channel calls
+:meth:`can_receive` when deciding frame delivery and briefly marks TX/RX
+states for the four-state energy extension (with the paper's power table
+those states cost the same as idle, so the headline numbers are unaffected).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.phy.energy import EnergyMeter, RadioState
+from repro.sim.engine import Simulator
+
+
+class Radio:
+    """Radio state machine for one node."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        node_id: int,
+        meter: Optional[EnergyMeter] = None,
+    ) -> None:
+        self.sim = sim
+        self.node_id = node_id
+        self.meter = meter if meter is not None else EnergyMeter()
+        self._tx_until = 0.0
+        self._rx_until = 0.0
+
+    # ------------------------------------------------------------------
+
+    @property
+    def is_awake(self) -> bool:
+        """True unless the radio is in the doze state."""
+        return self.meter.state.awake
+
+    @property
+    def is_transmitting(self) -> bool:
+        """True while a transmission of ours is on the air."""
+        return self.sim.now < self._tx_until
+
+    def can_receive(self) -> bool:
+        """True when the radio could decode an incoming frame right now.
+
+        A half-duplex radio cannot receive while transmitting.
+        """
+        return self.is_awake and not self.is_transmitting
+
+    # ------------------------------------------------------------------
+    # State transitions (driven by MAC)
+    # ------------------------------------------------------------------
+
+    def wake(self) -> None:
+        """Wake the radio into idle listening (no-op when awake)."""
+        if not self.is_awake:
+            self.meter.transition(RadioState.IDLE, self.sim.now)
+
+    def sleep(self) -> None:
+        """Put the radio into the low-power doze state (no-op when asleep)."""
+        if self.is_awake:
+            self.meter.transition(RadioState.SLEEP, self.sim.now)
+
+    def note_tx(self, duration: float) -> None:
+        """Mark the radio as transmitting for ``duration`` seconds.
+
+        The radio must already be awake.  The IDLE transition back is
+        recorded by the matching :meth:`end_tx` the channel schedules.
+        """
+        self.meter.transition(RadioState.TX, self.sim.now)
+        self._tx_until = self.sim.now + duration
+
+    def end_tx(self) -> None:
+        """Return from TX to idle listening (channel callback)."""
+        if self.meter.state is RadioState.TX:
+            self.meter.transition(RadioState.IDLE, self.sim.now)
+
+    def note_rx(self, duration: float) -> None:
+        """Mark the radio as receiving for ``duration`` seconds."""
+        if self.meter.state is RadioState.IDLE:
+            self.meter.transition(RadioState.RX, self.sim.now)
+            self._rx_until = self.sim.now + duration
+
+    def end_rx(self) -> None:
+        """Return from RX to idle listening (channel callback)."""
+        if self.meter.state is RadioState.RX:
+            self.meter.transition(RadioState.IDLE, self.sim.now)
+
+    # ------------------------------------------------------------------
+
+    def energy_joules(self) -> float:
+        """Energy consumed so far at the current virtual time."""
+        return self.meter.energy_joules(self.sim.now)
+
+    def finalize(self) -> None:
+        """Close the energy books at the current virtual time."""
+        self.meter.finalize(self.sim.now)
+
+
+__all__ = ["Radio"]

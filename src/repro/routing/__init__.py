@@ -1,0 +1,22 @@
+"""Network layer: DSR (Dynamic Source Routing).
+
+The paper integrates DSR with the 802.11 PSM; everything DSR-specific lives
+in :mod:`repro.routing.dsr`.  :mod:`repro.routing.packets` defines the
+network-layer packet types shared with the MAC and metrics layers.
+"""
+
+from repro.routing.packets import (
+    DataPacket,
+    PacketBase,
+    RouteError,
+    RouteReply,
+    RouteRequest,
+)
+
+__all__ = [
+    "DataPacket",
+    "PacketBase",
+    "RouteError",
+    "RouteReply",
+    "RouteRequest",
+]

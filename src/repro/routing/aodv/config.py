@@ -1,0 +1,50 @@
+"""AODV protocol tunables (paper-era defaults)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+
+@dataclass
+class AodvConfig:
+    """Knobs for :class:`~repro.routing.aodv.protocol.AodvProtocol`."""
+
+    #: seconds a route stays valid after its last use/update (RFC default 3 s)
+    active_route_timeout: float = 3.0
+    #: first discovery ring TTL
+    ttl_start: int = 1
+    #: TTL increment per expanding-ring retry
+    ttl_increment: int = 2
+    #: TTL at which the search becomes network-wide
+    ttl_threshold: int = 7
+    #: network-wide TTL
+    network_ttl: int = 16
+    #: discovery retries before buffered packets are dropped
+    max_discovery_retries: int = 3
+    #: base wait per discovery ring (scaled by TTL; PSM RTT-aware)
+    ring_wait_per_ttl: float = 0.6
+    #: cap on any single discovery wait
+    max_ring_wait: float = 4.0
+    #: send-buffer capacity while waiting for a route
+    send_buffer_capacity: int = 64
+    #: seconds a packet may wait in the send buffer
+    send_buffer_timeout: float = 30.0
+
+    def __post_init__(self) -> None:
+        if self.active_route_timeout <= 0:
+            raise ConfigurationError("active_route_timeout must be positive")
+        if not 0 < self.ttl_start <= self.network_ttl:
+            raise ConfigurationError("need 0 < ttl_start <= network_ttl")
+        if self.ttl_increment < 1:
+            raise ConfigurationError("ttl_increment must be >= 1")
+        if self.max_discovery_retries < 1:
+            raise ConfigurationError("max_discovery_retries must be >= 1")
+        if self.ring_wait_per_ttl <= 0 or self.max_ring_wait <= 0:
+            raise ConfigurationError("discovery waits must be positive")
+        if self.send_buffer_capacity <= 0 or self.send_buffer_timeout <= 0:
+            raise ConfigurationError("invalid send-buffer parameters")
+
+
+__all__ = ["AodvConfig"]

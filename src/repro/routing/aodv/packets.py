@@ -1,0 +1,124 @@
+"""AODV packet types.
+
+Unlike DSR, AODV packets carry no source routes: data moves hop-by-hop via
+forwarding tables, and control packets carry sequence numbers for loop
+freedom.  Sizes follow RFC 3561 message formats over a 20-byte IP header
+(RREQ 24 B, RREP 20 B, RERR 4 + 8 per unreachable destination).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.errors import RoutingError
+from repro.routing.packets import IP_HEADER_BYTES
+
+
+@dataclass(frozen=True)
+class AodvData:
+    """Application data forwarded hop-by-hop (no source route)."""
+
+    src: int
+    dst: int
+    uid: int
+    created_at: float
+    payload_bytes: int
+    hops_travelled: int = 0
+
+    kind = "data"
+
+    @property
+    def size_bytes(self) -> int:
+        """IP header + payload (no per-packet route in AODV)."""
+        return IP_HEADER_BYTES + self.payload_bytes
+
+    def forwarded(self) -> "AodvData":
+        """Copy as retransmitted by the next hop."""
+        return dataclasses.replace(self, hops_travelled=self.hops_travelled + 1)
+
+
+@dataclass(frozen=True)
+class AodvRreq:
+    """Broadcast route request."""
+
+    src: int                  # originator
+    dst: int                  # discovery target
+    uid: int
+    created_at: float
+    rreq_id: int
+    origin_seq: int
+    dst_seq: int              # last known; -1 = unknown
+    hop_count: int
+    ttl: int
+
+    kind = "rreq"
+
+    def __post_init__(self) -> None:
+        if self.ttl < 0 or self.hop_count < 0:
+            raise RoutingError("negative TTL or hop count")
+
+    @property
+    def size_bytes(self) -> int:
+        """IP header + 24-byte RREQ message (RFC 3561)."""
+        return IP_HEADER_BYTES + 24
+
+    def rebroadcast(self) -> "AodvRreq":
+        """Copy as re-flooded by an intermediate node."""
+        if self.ttl < 1:
+            raise RoutingError("cannot rebroadcast with exhausted TTL")
+        return dataclasses.replace(self, hop_count=self.hop_count + 1,
+                                   ttl=self.ttl - 1)
+
+
+@dataclass(frozen=True)
+class AodvRrep:
+    """Route reply, unicast hop-by-hop along reverse routes."""
+
+    src: int                  # replying node (target or cache holder)
+    dst: int                  # discovery originator
+    uid: int
+    created_at: float
+    route_dst: int            # destination the route leads to
+    dst_seq: int
+    hop_count: int            # hops from the transmitter to route_dst
+
+    kind = "rrep"
+
+    @property
+    def size_bytes(self) -> int:
+        """IP header + 20-byte RREP message (RFC 3561)."""
+        return IP_HEADER_BYTES + 20
+
+    def forwarded(self) -> "AodvRrep":
+        """Copy as forwarded one hop closer to the originator."""
+        return dataclasses.replace(self, hop_count=self.hop_count + 1)
+
+
+@dataclass(frozen=True)
+class AodvRerr:
+    """Route error: the listed destinations became unreachable via sender.
+
+    TTL-1 broadcast; receivers that invalidated a route re-propagate.
+    """
+
+    src: int
+    uid: int
+    created_at: float
+    unreachable: Tuple[Tuple[int, int], ...]  # (dst, dst_seq) pairs
+
+    kind = "rerr"
+    dst = -1  # broadcast
+
+    def __post_init__(self) -> None:
+        if not self.unreachable:
+            raise RoutingError("RERR must list at least one destination")
+
+    @property
+    def size_bytes(self) -> int:
+        """IP header + RERR message (8 bytes per listed destination)."""
+        return IP_HEADER_BYTES + 4 + 8 * len(self.unreachable)
+
+
+__all__ = ["AodvData", "AodvRreq", "AodvRrep", "AodvRerr"]

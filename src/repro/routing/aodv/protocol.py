@@ -1,0 +1,375 @@
+"""The AODV protocol engine for one node.
+
+Implements on-demand discovery with expanding-ring search, hop-by-hop data
+forwarding over the routing table, and route maintenance through RERR
+broadcasts — the conservative, timeout-driven design the paper's footnote
+contrasts with DSR.  No promiscuous learning happens anywhere: frames
+overheard by the MAC are counted (for the energy accounting the overhearing
+level implies) but never feed the routing table.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.mac.frames import BROADCAST
+from repro.routing.aodv.config import AodvConfig
+from repro.routing.aodv.packets import AodvData, AodvRerr, AodvRrep, AodvRreq
+from repro.routing.aodv.table import RoutingTable
+from repro.routing.packets import next_uid
+from repro.sim.trace import NULL_TRACE
+
+
+@dataclass
+class _BufferedSend:
+    uid: int
+    dst: int
+    payload_bytes: int
+    created_at: float
+    expires_at: float
+
+
+@dataclass
+class _Discovery:
+    target: int
+    attempts: int = 0
+    ttl: int = 0
+    timer: object = None
+
+
+class AodvProtocol:
+    """AODV routing agent bound to one node's MAC."""
+
+    def __init__(
+        self,
+        sim,
+        node_id: int,
+        mac,
+        config: Optional[AodvConfig] = None,
+        metrics=None,
+        rng=None,
+        trace=NULL_TRACE,
+    ) -> None:
+        self.sim = sim
+        self.node_id = node_id
+        self.mac = mac
+        self.config = config if config is not None else AodvConfig()
+        self.metrics = metrics
+        self.trace = trace
+        self.table = RoutingTable(node_id, self.config.active_route_timeout)
+        self._seq = 0
+        self._rreq_ids = itertools.count()
+        self._seen_rreqs: Set[Tuple[int, int]] = set()
+        self._send_buffer: List[_BufferedSend] = []
+        self._discoveries: Dict[int, _Discovery] = {}
+        self.delivery_callback = None
+        mac.set_upper(
+            on_receive=self._on_receive,
+            on_promiscuous=self._on_promiscuous,
+            on_link_failure=self._on_link_failure,
+            on_dropped=self._on_ifq_drop,
+        )
+        # Statistics
+        self.data_originated = 0
+        self.data_forwarded = 0
+        self.rreq_sent = 0
+        self.rrep_sent = 0
+        self.rerr_sent = 0
+        self.overheard_packets = 0
+
+    # ------------------------------------------------------------------
+    # Application interface
+    # ------------------------------------------------------------------
+
+    def send_data(self, dst: int, payload_bytes: int, app_seq: int = 0) -> int:
+        """Send application data to ``dst``; returns the packet uid."""
+        now = self.sim.now
+        uid = next_uid()
+        if self.metrics is not None:
+            self.metrics.data_originated(uid, self.node_id, dst, now,
+                                         payload_bytes)
+        if dst == self.node_id:
+            if self.metrics is not None:
+                self.metrics.data_delivered(uid, now)
+            return uid
+        route = self.table.lookup(dst, now)
+        if route is not None:
+            self._forward_data(AodvData(self.node_id, dst, uid, now,
+                                        payload_bytes), route)
+            self.data_originated += 1
+        else:
+            self._buffer(_BufferedSend(uid, dst, payload_bytes, now,
+                                       now + self.config.send_buffer_timeout))
+            self._start_discovery(dst)
+        return uid
+
+    # ------------------------------------------------------------------
+    # Data plane
+    # ------------------------------------------------------------------
+
+    def _forward_data(self, packet: AodvData, route) -> None:
+        self.table.refresh(packet.dst, self.sim.now)
+        if self.metrics is not None:
+            self.metrics.transmission("data")
+            if packet.src != self.node_id:
+                self.metrics.roles.record_route(
+                    (packet.src, self.node_id, packet.dst)
+                )
+        self.mac.send(packet, route.next_hop)
+
+    def _handle_data(self, packet: AodvData, prev_hop: int) -> None:
+        now = self.sim.now
+        if packet.dst == self.node_id:
+            if self.metrics is not None:
+                self.metrics.data_delivered(packet.uid, now)
+            if self.delivery_callback is not None:
+                self.delivery_callback(packet)
+            # Data arriving keeps the reverse route to its source alive.
+            self.table.refresh(packet.src, now)
+            return
+        route = self.table.lookup(packet.dst, now)
+        if route is None:
+            # No route at a relay: drop and report, per AODV.
+            if self.metrics is not None:
+                self.metrics.data_dropped(packet.uid, "no_route_at_relay")
+            self._broadcast_rerr([(packet.dst,
+                                   self.table.last_known_seq(packet.dst))])
+            return
+        self.data_forwarded += 1
+        self._forward_data(packet.forwarded(), route)
+
+    # ------------------------------------------------------------------
+    # Route discovery
+    # ------------------------------------------------------------------
+
+    def _start_discovery(self, target: int) -> None:
+        if target in self._discoveries:
+            return
+        state = _Discovery(target, ttl=self.config.ttl_start)
+        self._discoveries[target] = state
+        self._send_rreq(state)
+
+    def _send_rreq(self, state: _Discovery) -> None:
+        cfg = self.config
+        state.attempts += 1
+        self._seq += 1
+        rreq = AodvRreq(
+            src=self.node_id, dst=state.target, uid=next_uid(),
+            created_at=self.sim.now, rreq_id=next(self._rreq_ids),
+            origin_seq=self._seq,
+            dst_seq=self.table.last_known_seq(state.target),
+            hop_count=0, ttl=state.ttl,
+        )
+        self.rreq_sent += 1
+        if self.metrics is not None:
+            self.metrics.transmission("rreq")
+        self.mac.send(rreq, BROADCAST)
+        wait = min(cfg.ring_wait_per_ttl * max(state.ttl, 1),
+                   cfg.max_ring_wait)
+        state.timer = self.sim.schedule(wait, self._discovery_timeout, state)
+
+    def _discovery_timeout(self, state: _Discovery) -> None:
+        if state.target not in self._discoveries:
+            return
+        if self.table.lookup(state.target, self.sim.now) is not None:
+            self._complete_discovery(state.target)
+            return
+        cfg = self.config
+        if state.ttl < cfg.network_ttl:
+            # Expanding ring: widen and retry without consuming a retry.
+            state.ttl = (cfg.network_ttl if state.ttl >= cfg.ttl_threshold
+                         else min(state.ttl + cfg.ttl_increment,
+                                  cfg.network_ttl))
+            self._send_rreq(state)
+            return
+        if state.attempts >= cfg.max_discovery_retries + 1:
+            del self._discoveries[state.target]
+            self._drop_buffered(state.target, "no_route")
+            return
+        self._send_rreq(state)
+
+    def _complete_discovery(self, target: int) -> None:
+        state = self._discoveries.pop(target, None)
+        if state is not None and state.timer is not None:
+            state.timer.cancel()
+        self._drain_buffer()
+
+    def _handle_rreq(self, rreq: AodvRreq, prev_hop: int) -> None:
+        if rreq.src == self.node_id:
+            return
+        now = self.sim.now
+        # Reverse route to the originator (through prev_hop).
+        self.table.update(rreq.src, prev_hop, rreq.hop_count + 1,
+                          rreq.origin_seq, now)
+        key = (rreq.src, rreq.rreq_id)
+        if key in self._seen_rreqs:
+            return
+        self._seen_rreqs.add(key)
+        if rreq.dst == self.node_id:
+            self._seq = max(self._seq, rreq.dst_seq) + 1
+            self._send_rrep(origin=rreq.src, route_dst=self.node_id,
+                            dst_seq=self._seq, hop_count=0)
+            return
+        route = self.table.lookup(rreq.dst, now)
+        if route is not None and route.dst_seq >= rreq.dst_seq >= 0:
+            # Intermediate reply from a fresh-enough table entry.
+            self._send_rrep(origin=rreq.src, route_dst=rreq.dst,
+                            dst_seq=route.dst_seq, hop_count=route.hop_count)
+            return
+        if rreq.ttl > 1:
+            if self.metrics is not None:
+                self.metrics.transmission("rreq")
+            self.mac.send(rreq.rebroadcast(), BROADCAST)
+
+    def _send_rrep(self, origin: int, route_dst: int, dst_seq: int,
+                   hop_count: int) -> None:
+        back = self.table.lookup(origin, self.sim.now)
+        if back is None:
+            return  # reverse route evaporated
+        rrep = AodvRrep(
+            src=self.node_id, dst=origin, uid=next_uid(),
+            created_at=self.sim.now, route_dst=route_dst,
+            dst_seq=dst_seq, hop_count=hop_count,
+        )
+        self.rrep_sent += 1
+        if self.metrics is not None:
+            self.metrics.transmission("rrep")
+        self.mac.send(rrep, back.next_hop)
+
+    def _handle_rrep(self, rrep: AodvRrep, prev_hop: int) -> None:
+        now = self.sim.now
+        # Forward route to the replied destination, through prev_hop.
+        self.table.update(rrep.route_dst, prev_hop, rrep.hop_count + 1,
+                          rrep.dst_seq, now)
+        if rrep.dst == self.node_id:
+            self._complete_discovery(rrep.route_dst)
+            return
+        back = self.table.lookup(rrep.dst, now)
+        if back is None:
+            return
+        forwarded = rrep.forwarded()
+        if self.metrics is not None:
+            self.metrics.transmission("rrep")
+        self.mac.send(forwarded, back.next_hop)
+
+    # ------------------------------------------------------------------
+    # Route maintenance
+    # ------------------------------------------------------------------
+
+    def _on_link_failure(self, packet, next_hop: int) -> None:
+        broken = self.table.invalidate_via(next_hop)
+        if self.metrics is not None:
+            self.metrics.link_break()
+        if broken:
+            self._broadcast_rerr([(r.dst, r.dst_seq) for r in broken])
+        if getattr(packet, "kind", None) == "data":
+            if packet.src == self.node_id:
+                # Re-buffer and rediscover at the source.
+                self._buffer(_BufferedSend(
+                    packet.uid, packet.dst, packet.payload_bytes,
+                    packet.created_at,
+                    self.sim.now + self.config.send_buffer_timeout,
+                ))
+                self._start_discovery(packet.dst)
+            elif self.metrics is not None:
+                self.metrics.data_dropped(packet.uid, "link_break")
+
+    def _broadcast_rerr(self, unreachable: List[Tuple[int, int]]) -> None:
+        rerr = AodvRerr(src=self.node_id, uid=next_uid(),
+                        created_at=self.sim.now,
+                        unreachable=tuple(unreachable))
+        self.rerr_sent += 1
+        if self.metrics is not None:
+            self.metrics.transmission("rerr")
+        self.mac.send(rerr, BROADCAST)
+
+    def _handle_rerr(self, rerr: AodvRerr, prev_hop: int) -> None:
+        changed = []
+        for dst, dst_seq in rerr.unreachable:
+            if self.table.invalidate_dst(dst, dst_seq, via=prev_hop):
+                changed.append((dst, dst_seq))
+        if changed:
+            # Propagate only what we actually invalidated (precursor-free
+            # approximation of RFC 3561's RERR forwarding).
+            self._broadcast_rerr(changed)
+
+    # ------------------------------------------------------------------
+    # Receive dispatch / promiscuous
+    # ------------------------------------------------------------------
+
+    def _on_receive(self, packet, prev_hop: int) -> None:
+        kind = packet.kind
+        if kind == "data":
+            self._handle_data(packet, prev_hop)
+        elif kind == "rreq":
+            self._handle_rreq(packet, prev_hop)
+        elif kind == "rrep":
+            self._handle_rrep(packet, prev_hop)
+        elif kind == "rerr":
+            self._handle_rerr(packet, prev_hop)
+
+    def _on_promiscuous(self, packet, transmitter: int) -> None:
+        # AODV does not learn from overheard traffic (the paper's point).
+        self.overheard_packets += 1
+        if self.metrics is not None:
+            self.metrics.overheard(self.node_id)
+
+    def _on_ifq_drop(self, packet) -> None:
+        if getattr(packet, "kind", None) == "data" and self.metrics is not None:
+            self.metrics.data_dropped(packet.uid, "ifq_overflow")
+
+    # ------------------------------------------------------------------
+    # Send buffer
+    # ------------------------------------------------------------------
+
+    def _buffer(self, entry: _BufferedSend) -> None:
+        self._sweep_buffer()
+        if len(self._send_buffer) >= self.config.send_buffer_capacity:
+            victim = self._send_buffer.pop(0)
+            if self.metrics is not None:
+                self.metrics.data_dropped(victim.uid, "buffer_overflow")
+        self._send_buffer.append(entry)
+
+    def _sweep_buffer(self) -> None:
+        now = self.sim.now
+        expired = [e for e in self._send_buffer if e.expires_at <= now]
+        if expired:
+            self._send_buffer = [e for e in self._send_buffer
+                                 if e.expires_at > now]
+            if self.metrics is not None:
+                for entry in expired:
+                    self.metrics.data_dropped(entry.uid, "buffer_timeout")
+
+    def _drain_buffer(self) -> None:
+        self._sweep_buffer()
+        now = self.sim.now
+        remaining: List[_BufferedSend] = []
+        for entry in self._send_buffer:
+            route = self.table.lookup(entry.dst, now)
+            if route is None:
+                remaining.append(entry)
+            else:
+                self.data_originated += 1
+                self._forward_data(
+                    AodvData(self.node_id, entry.dst, entry.uid,
+                             entry.created_at, entry.payload_bytes),
+                    route,
+                )
+        self._send_buffer = remaining
+
+    def _drop_buffered(self, target: int, reason: str) -> None:
+        dropped = [e for e in self._send_buffer if e.dst == target]
+        self._send_buffer = [e for e in self._send_buffer if e.dst != target]
+        if self.metrics is not None:
+            for entry in dropped:
+                self.metrics.data_dropped(entry.uid, reason)
+
+    @property
+    def send_buffer_length(self) -> int:
+        """Packets currently waiting for a route."""
+        return len(self._send_buffer)
+
+
+__all__ = ["AodvProtocol"]

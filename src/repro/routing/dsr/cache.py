@@ -1,0 +1,247 @@
+"""The DSR path route cache.
+
+Each node caches complete paths that *start at itself*.  A cached path to D
+implicitly provides routes to every intermediate node (prefixes).  The cache
+is the protagonist of the paper's analysis: overhearing keeps it populated;
+unconditional overhearing over-populates it with soon-stale alternatives;
+Rcast keeps it populated "just enough" by exploiting the temporal locality
+of route information.
+
+Following Hu & Johnson's cache study (cited by the paper), the cache is
+split into a **primary** segment for routes this node actively uses or
+discovered itself (RREP results, routes it forwards on) and a **secondary**
+segment for passively acquired routes (overheard packets, RREQ reverse
+paths).  Each segment is LRU-bounded independently, so a flood of overheard
+alternatives can never evict the working route of an active connection —
+without the split, dense unconditional overhearing churns sources' caches
+and triggers spurious rediscovery storms.  A secondary route is promoted to
+primary the first time it is actually used.
+
+An optional ``timeout`` expires entries by age (off by default, as in
+classic DSR — the paper's stale-route discussion relies on this).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.errors import RoutingError
+
+#: sources that go to the primary segment
+PRIMARY_SOURCES = frozenset({"rrep", "forward", "local"})
+
+
+@dataclass
+class CachedPath:
+    """One cached path with bookkeeping."""
+
+    path: Tuple[int, ...]
+    added_at: float
+    last_used: float
+    source: str = "unknown"  # 'rrep' | 'forward' | 'overhear' | 'rreq' | ...
+    uses: int = 0
+
+
+class RouteCache:
+    """Two-segment (primary/secondary) LRU path cache for one node."""
+
+    def __init__(
+        self,
+        owner: int,
+        capacity: int = 64,
+        timeout: Optional[float] = None,
+        primary_capacity: int = 32,
+    ) -> None:
+        if capacity <= 0 or primary_capacity <= 0:
+            raise RoutingError("cache capacities must be positive")
+        self.owner = owner
+        self.capacity = capacity              # secondary segment bound
+        self.primary_capacity = primary_capacity
+        self.timeout = timeout
+        self._primary: Dict[Tuple[int, ...], CachedPath] = {}
+        self._secondary: Dict[Tuple[int, ...], CachedPath] = {}
+        # Statistics
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.invalidations = 0
+        self.insertions = 0
+        self.promotions = 0
+
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._primary) + len(self._secondary)
+
+    def __contains__(self, path) -> bool:
+        path = tuple(path)
+        return path in self._primary or path in self._secondary
+
+    def paths(self) -> List[CachedPath]:
+        """All cached entries (primary first)."""
+        return list(self._primary.values()) + list(self._secondary.values())
+
+    def _segments(self):
+        return (self._primary, self._secondary)
+
+    # ------------------------------------------------------------------
+    # Insertion
+    # ------------------------------------------------------------------
+
+    def add_path(self, path: Iterable[int], now: float, source: str = "unknown") -> bool:
+        """Cache ``path`` (must start at the owner, be loop-free, len >= 2).
+
+        Returns True when a new entry was stored, False when it duplicated
+        existing knowledge (whose recency is refreshed instead).
+        """
+        path = tuple(path)
+        if len(path) < 2:
+            raise RoutingError(f"path too short: {path}")
+        if path[0] != self.owner:
+            raise RoutingError(f"path {path} does not start at owner {self.owner}")
+        if len(set(path)) != len(path):
+            raise RoutingError(f"path has a loop: {path}")
+        self._expire(now)
+        for segment in self._segments():
+            existing = segment.get(path)
+            if existing is not None:
+                existing.last_used = now
+                return False
+            # A strict prefix of an existing path adds no information.
+            for cached in segment.values():
+                if len(cached.path) >= len(path) and cached.path[: len(path)] == path:
+                    cached.last_used = now
+                    return False
+        segment = self._primary if source in PRIMARY_SOURCES else self._secondary
+        bound = (self.primary_capacity if segment is self._primary
+                 else self.capacity)
+        if len(segment) >= bound:
+            self._evict_lru(segment)
+        segment[path] = CachedPath(path, now, now, source)
+        self.insertions += 1
+        return True
+
+    def _evict_lru(self, segment: Dict[Tuple[int, ...], CachedPath]) -> None:
+        victim = min(segment.values(), key=lambda c: (c.last_used, c.added_at))
+        del segment[victim.path]
+        self.evictions += 1
+
+    def _expire(self, now: float) -> None:
+        if self.timeout is None:
+            return
+        for segment in self._segments():
+            dead = [p for p, c in segment.items()
+                    if now - c.added_at > self.timeout]
+            for path in dead:
+                del segment[path]
+                self.invalidations += 1
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+
+    def route_to(self, dst: int, now: float) -> Optional[Tuple[int, ...]]:
+        """Shortest cached route ``owner -> dst`` (prefixes count), or None.
+
+        A winning secondary entry is promoted to the primary segment: the
+        route is now in active use and must not be churned out by passive
+        overhearing.
+        """
+        self._expire(now)
+        best: Optional[CachedPath] = None
+        best_len = None
+        best_segment = None
+        for segment in self._segments():
+            for cached in segment.values():
+                try:
+                    idx = cached.path.index(dst)
+                except ValueError:
+                    continue
+                if idx == 0:
+                    continue  # dst == owner, meaningless
+                if best_len is None or idx + 1 < best_len:
+                    best = cached
+                    best_len = idx + 1
+                    best_segment = segment
+        if best is None:
+            self.misses += 1
+            return None
+        best.last_used = now
+        best.uses += 1
+        self.hits += 1
+        if best_segment is self._secondary:
+            del self._secondary[best.path]
+            if len(self._primary) >= self.primary_capacity:
+                self._evict_lru(self._primary)
+            self._primary[best.path] = best
+            self.promotions += 1
+        return best.path[:best_len]
+
+    def has_route_to(self, dst: int, now: float) -> bool:
+        """True when a route to ``dst`` is cached (does not count hit/miss)."""
+        self._expire(now)
+        return any(
+            dst in c.path[1:] for seg in self._segments() for c in seg.values()
+        )
+
+    def known_destinations(self, now: float) -> set:
+        """All destinations reachable from cached paths."""
+        self._expire(now)
+        out = set()
+        for segment in self._segments():
+            for cached in segment.values():
+                out.update(cached.path[1:])
+        return out
+
+    # ------------------------------------------------------------------
+    # Invalidation (route maintenance)
+    # ------------------------------------------------------------------
+
+    def remove_link(self, a: int, b: int) -> int:
+        """Invalidate every path using link ``a-b`` (either direction).
+
+        Paths are truncated just before the broken link (the surviving
+        prefix is still valid information); prefixes shorter than one hop
+        are dropped.  Returns the number of affected entries.
+        """
+        affected = 0
+        for segment in self._segments():
+            replacements: Dict[Tuple[int, ...], Optional[CachedPath]] = {}
+            for path, cached in segment.items():
+                cut = self._link_position(path, a, b)
+                if cut is None:
+                    continue
+                affected += 1
+                prefix = path[: cut + 1]
+                if len(prefix) >= 2:
+                    replacements[path] = CachedPath(
+                        prefix, cached.added_at, cached.last_used,
+                        cached.source, cached.uses,
+                    )
+                else:
+                    replacements[path] = None
+            for path, replacement in replacements.items():
+                del segment[path]
+                self.invalidations += 1
+                if replacement is not None and replacement.path not in segment:
+                    segment[replacement.path] = replacement
+        return affected
+
+    @staticmethod
+    def _link_position(path: Tuple[int, ...], a: int, b: int) -> Optional[int]:
+        """Index i such that (path[i], path[i+1]) is the link a-b, else None."""
+        for i in range(len(path) - 1):
+            hop = (path[i], path[i + 1])
+            if hop == (a, b) or hop == (b, a):
+                return i
+        return None
+
+    def clear(self) -> None:
+        """Drop every cached path."""
+        self.invalidations += len(self)
+        self._primary.clear()
+        self._secondary.clear()
+
+
+__all__ = ["RouteCache", "CachedPath", "PRIMARY_SOURCES"]

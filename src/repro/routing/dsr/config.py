@@ -1,0 +1,91 @@
+"""DSR protocol tunables."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.constants import (
+    DSR_CACHE_CAPACITY,
+    DSR_DISCOVERY_MAX_BACKOFF_S,
+    DSR_DISCOVERY_MAX_RETRIES,
+    DSR_DISCOVERY_TIMEOUT_S,
+    DSR_NETWORK_TTL,
+    DSR_NONPROP_TIMEOUT_S,
+    DSR_NONPROP_TTL,
+    DSR_SEND_BUFFER_CAPACITY,
+    DSR_SEND_BUFFER_TIMEOUT_S,
+)
+from repro.errors import ConfigurationError
+
+
+@dataclass
+class DsrConfig:
+    """Knobs for :class:`~repro.routing.dsr.protocol.DsrProtocol`.
+
+    Defaults match the classic ns-2 DSR agent the paper built on: path
+    route cache, expanding-ring search, replies from cache, salvaging, and
+    promiscuous route learning (the behaviour Rcast modulates).
+    """
+
+    #: maximum passively learned (secondary-segment) cached paths per node
+    cache_capacity: int = DSR_CACHE_CAPACITY
+    #: maximum actively used (primary-segment) cached paths per node
+    cache_primary_capacity: int = 32
+    #: optional cache-entry lifetime in seconds (None = no timeout; the
+    #: paper discusses the stale-route problem this creates)
+    cache_timeout: Optional[float] = None
+    #: first discovery attempt uses a TTL-limited (non-propagating) RREQ
+    ring_search: bool = True
+    #: TTL of the non-propagating first ring
+    nonprop_ttl: int = DSR_NONPROP_TTL
+    #: TTL of network-wide RREQs
+    network_ttl: int = DSR_NETWORK_TTL
+    #: wait after the non-propagating ring before the network-wide flood
+    nonprop_timeout: float = DSR_NONPROP_TIMEOUT_S
+    #: base discovery retry timeout for network-wide floods (doubles per
+    #: retry); must exceed the PSM discovery round-trip time
+    discovery_timeout: float = DSR_DISCOVERY_TIMEOUT_S
+    #: cap on the exponential discovery backoff
+    discovery_max_backoff: float = DSR_DISCOVERY_MAX_BACKOFF_S
+    #: discovery attempts before buffered packets are dropped
+    discovery_max_retries: int = DSR_DISCOVERY_MAX_RETRIES
+    #: send-buffer capacity (packets awaiting a route)
+    send_buffer_capacity: int = DSR_SEND_BUFFER_CAPACITY
+    #: seconds a packet may wait for a route before being dropped
+    send_buffer_timeout: float = DSR_SEND_BUFFER_TIMEOUT_S
+    #: intermediate nodes may answer RREQs from their route cache
+    cache_replies: bool = True
+    #: maximum RREPs the target generates per discovery (DSR sends several
+    #: to offer alternative routes; the paper leans on this behaviour)
+    max_replies_per_request: int = 3
+    #: intermediate nodes try to salvage data packets on link failure
+    salvage: bool = True
+    #: maximum times one packet may be salvaged
+    max_salvage_count: int = 2
+    #: learn routes from packets received/forwarded on the primary path
+    learn_from_forwarding: bool = True
+    #: learn routes from promiscuously overheard packets (the tap)
+    learn_from_overhearing: bool = True
+
+    def __post_init__(self) -> None:
+        if self.cache_capacity <= 0 or self.cache_primary_capacity <= 0:
+            raise ConfigurationError("cache capacities must be positive")
+        if self.cache_timeout is not None and self.cache_timeout <= 0:
+            raise ConfigurationError("cache_timeout must be positive or None")
+        if self.nonprop_ttl < 0 or self.network_ttl <= 0:
+            raise ConfigurationError("invalid RREQ TTLs")
+        if (self.discovery_timeout <= 0 or self.discovery_max_backoff <= 0
+                or self.nonprop_timeout <= 0):
+            raise ConfigurationError("discovery timeouts must be positive")
+        if self.discovery_max_retries < 1:
+            raise ConfigurationError("discovery_max_retries must be >= 1")
+        if self.send_buffer_capacity <= 0 or self.send_buffer_timeout <= 0:
+            raise ConfigurationError("invalid send-buffer parameters")
+        if self.max_replies_per_request < 1:
+            raise ConfigurationError("max_replies_per_request must be >= 1")
+        if self.max_salvage_count < 0:
+            raise ConfigurationError("max_salvage_count must be >= 0")
+
+
+__all__ = ["DsrConfig"]

@@ -1,0 +1,512 @@
+"""The DSR protocol engine for one node.
+
+Implements the classic DSR feature set the paper builds on:
+
+* **Route discovery** — RREQ flooding with duplicate suppression and
+  expanding-ring search (a TTL-1 non-propagating ring first), RREPs from
+  the target (several per discovery, offering alternative routes) and from
+  intermediate nodes' caches.
+* **Source-routed forwarding** — every data packet carries its complete
+  route; intermediate nodes learn from the packets they forward.
+* **Route maintenance** — MAC-layer retry exhaustion marks the link broken;
+  the detecting node salvages the packet from its own cache when it can and
+  sends a RERR back to the source, which every recipient (and, under Rcast,
+  every *unconditional* overhearer) uses to purge the broken link.
+* **Promiscuous route learning** — the tap: an overheard data packet or
+  RREP lets the listener splice itself to the transmitter (which it
+  provably can hear) and cache routes toward both endpoints.  This is the
+  mechanism whose energy price under PSM the paper quantifies and Rcast
+  randomizes.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Set, Tuple
+
+from repro.mac.frames import BROADCAST
+from repro.routing.dsr.cache import RouteCache
+from repro.routing.dsr.config import DsrConfig
+from repro.routing.packets import (
+    DataPacket,
+    RouteError,
+    RouteReply,
+    RouteRequest,
+    next_uid,
+)
+from repro.sim.trace import NULL_TRACE
+
+
+@dataclass
+class BufferedSend:
+    """An application packet waiting in the send buffer for a route."""
+
+    uid: int
+    dst: int
+    payload_bytes: int
+    app_seq: int
+    created_at: float
+    expires_at: float
+
+
+@dataclass
+class Discovery:
+    """State of an in-progress route discovery for one target."""
+
+    target: int
+    attempts: int = 0
+    timer: object = None
+
+
+class DsrProtocol:
+    """DSR routing agent bound to one node's MAC."""
+
+    def __init__(
+        self,
+        sim,
+        node_id: int,
+        mac,
+        config: Optional[DsrConfig] = None,
+        metrics=None,
+        rng=None,
+        trace=NULL_TRACE,
+    ) -> None:
+        import random as _random
+
+        self.sim = sim
+        self.node_id = node_id
+        self.mac = mac
+        self._rng = rng if rng is not None else _random.Random(node_id)
+        self.config = config if config is not None else DsrConfig()
+        self.metrics = metrics
+        self.trace = trace
+        self.cache = RouteCache(
+            node_id, self.config.cache_capacity, self.config.cache_timeout,
+            primary_capacity=self.config.cache_primary_capacity,
+        )
+        self._send_buffer: List[BufferedSend] = []
+        self._discoveries: Dict[int, Discovery] = {}
+        self._seen_rreqs: Set[Tuple[int, int]] = set()
+        self._replies_sent: Dict[Tuple[int, int], int] = {}
+        #: discoveries already answered (by us or, to our knowledge, by
+        #: someone whose RREP we carried or overheard) — cache-reply
+        #: suppression, without which dense networks drown in RREPs.
+        self._answered: Set[Tuple[int, int]] = set()
+        self._request_ids = itertools.count()
+        self.delivery_callback: Optional[Callable] = None
+        mac.set_upper(
+            on_receive=self._on_receive,
+            on_promiscuous=self._on_promiscuous,
+            on_link_failure=self._on_link_failure,
+            on_dropped=self._on_ifq_drop,
+        )
+        # Statistics
+        self.data_originated = 0
+        self.data_forwarded = 0
+        self.data_salvaged = 0
+        self.rreq_sent = 0
+        self.rrep_sent = 0
+        self.rerr_sent = 0
+        self.overheard_packets = 0
+
+    # ------------------------------------------------------------------
+    # Application interface
+    # ------------------------------------------------------------------
+
+    def send_data(self, dst: int, payload_bytes: int, app_seq: int = 0) -> int:
+        """Send application data to ``dst``; returns the packet uid."""
+        now = self.sim.now
+        uid = next_uid()
+        if self.metrics is not None:
+            self.metrics.data_originated(uid, self.node_id, dst, now, payload_bytes)
+        if dst == self.node_id:
+            if self.metrics is not None:
+                self.metrics.data_delivered(uid, now)
+            return uid
+        route = self.cache.route_to(dst, now)
+        if route is not None:
+            self._originate(uid, route, payload_bytes, app_seq, now)
+        else:
+            self._buffer_send(BufferedSend(
+                uid, dst, payload_bytes, app_seq, now,
+                now + self.config.send_buffer_timeout,
+            ))
+            self._start_discovery(dst)
+        return uid
+
+    # ------------------------------------------------------------------
+    # Data path
+    # ------------------------------------------------------------------
+
+    def _originate(self, uid: int, route: Tuple[int, ...], payload_bytes: int,
+                   app_seq: int, created_at: float) -> None:
+        packet = DataPacket(
+            src=self.node_id, dst=route[-1], uid=uid, created_at=created_at,
+            trip_route=route, trip_index=0,
+            payload_bytes=payload_bytes, app_seq=app_seq,
+        )
+        self.data_originated += 1
+        if self.metrics is not None:
+            self.metrics.route_used(route)
+        self._transmit(packet)
+
+    def _transmit(self, packet) -> None:
+        """Hand a unicast packet to the MAC toward its next hop."""
+        if self.metrics is not None:
+            self.metrics.transmission(packet.kind)
+        if self.trace.enabled:
+            self.trace.emit(self.sim.now, "dsr.tx", self.node_id,
+                            f"{packet.kind} uid={packet.uid} -> {packet.next_hop}")
+        self.mac.send(packet, packet.next_hop)
+
+    def _broadcast(self, rreq: RouteRequest) -> None:
+        if self.metrics is not None:
+            self.metrics.transmission(rreq.kind)
+        self.mac.send(rreq, BROADCAST)
+
+    # ------------------------------------------------------------------
+    # Receive dispatch
+    # ------------------------------------------------------------------
+
+    def _on_receive(self, packet, prev_hop: int) -> None:
+        kind = packet.kind
+        if kind == "rreq":
+            self._handle_rreq(packet)
+        elif kind == "data":
+            self._handle_data(packet)
+        elif kind == "rrep":
+            self._handle_rrep(packet)
+        elif kind == "rerr":
+            self._handle_rerr(packet)
+
+    def _my_trip_index(self, packet) -> Optional[int]:
+        """This node's position on the packet's trip, or None if misrouted."""
+        idx = packet.trip_index + 1
+        if idx < len(packet.trip_route) and packet.trip_route[idx] == self.node_id:
+            return idx
+        return None
+
+    def _handle_data(self, packet: DataPacket) -> None:
+        idx = self._my_trip_index(packet)
+        if idx is None:
+            return
+        if idx == len(packet.trip_route) - 1:
+            # Final destination.
+            if self.metrics is not None:
+                self.metrics.data_delivered(packet.uid, self.sim.now)
+            if self.delivery_callback is not None:
+                self.delivery_callback(packet)
+            return
+        if self.config.learn_from_forwarding:
+            self._learn_along(packet.trip_route, idx)
+        self.data_forwarded += 1
+        self._transmit(packet.advance())
+
+    # ------------------------------------------------------------------
+    # Route discovery
+    # ------------------------------------------------------------------
+
+    def _start_discovery(self, target: int) -> None:
+        if target in self._discoveries:
+            return
+        state = Discovery(target)
+        self._discoveries[target] = state
+        self._send_rreq(state)
+
+    def _send_rreq(self, state: Discovery) -> None:
+        state.attempts += 1
+        cfg = self.config
+        use_ring = cfg.ring_search and state.attempts == 1 and cfg.nonprop_ttl > 0
+        ttl = cfg.nonprop_ttl if use_ring else cfg.network_ttl
+        rreq = RouteRequest(
+            src=self.node_id, dst=state.target, uid=next_uid(),
+            created_at=self.sim.now, request_id=next(self._request_ids),
+            ttl=ttl, route_record=(self.node_id,),
+        )
+        self.rreq_sent += 1
+        self._broadcast(rreq)
+        if use_ring:
+            timeout = cfg.nonprop_timeout
+        else:
+            floods = state.attempts - (1 if cfg.ring_search else 0)
+            timeout = min(
+                cfg.discovery_timeout * (2 ** max(floods - 1, 0)),
+                cfg.discovery_max_backoff,
+            )
+        state.timer = self.sim.schedule(timeout, self._discovery_timeout, state)
+
+    def _discovery_timeout(self, state: Discovery) -> None:
+        if state.target not in self._discoveries:
+            return  # already completed
+        if self.cache.has_route_to(state.target, self.sim.now):
+            self._complete_discovery(state.target)
+            return
+        if state.attempts >= self.config.discovery_max_retries:
+            del self._discoveries[state.target]
+            self._drop_buffered(state.target, "no_route")
+            return
+        self._send_rreq(state)
+
+    def _complete_discovery(self, target: int) -> None:
+        state = self._discoveries.pop(target, None)
+        if state is not None and state.timer is not None:
+            state.timer.cancel()
+        self._drain_send_buffer()
+
+    def _handle_rreq(self, rreq: RouteRequest) -> None:
+        if rreq.src == self.node_id or self.node_id in rreq.route_record:
+            return
+        now = self.sim.now
+        # Everyone hearing a RREQ learns the reverse path to its originator.
+        reverse = (self.node_id,) + tuple(reversed(rreq.route_record))
+        self._safe_add(reverse, "rreq")
+
+        key = (rreq.src, rreq.request_id)
+        if self.node_id == rreq.target:
+            # The target answers every arriving copy (alternative routes),
+            # up to the configured cap.
+            sent = self._replies_sent.get(key, 0)
+            if sent < self.config.max_replies_per_request:
+                self._replies_sent[key] = sent + 1
+                path = rreq.route_record + (self.node_id,)
+                self._send_rrep(path, reply_from=self.node_id, request_key=key)
+            return
+        if key in self._seen_rreqs:
+            return
+        self._seen_rreqs.add(key)
+        if self.config.cache_replies and key not in self._answered:
+            cached = self.cache.route_to(rreq.target, now)
+            if cached is not None:
+                combined = rreq.route_record + (self.node_id,) + cached[1:]
+                if len(set(combined)) == len(combined):
+                    # Jitter the reply proportionally to the offered route
+                    # length, then re-check suppression: shorter offers win
+                    # and one overheard RREP silences the rest of the crowd.
+                    delay = self._rng.uniform(0.0, 0.01) * len(combined)
+                    self.sim.schedule(delay, self._cache_reply, key, combined)
+                    return
+        if rreq.ttl > 1:
+            self._broadcast(rreq.extended(self.node_id))
+
+    def _cache_reply(self, key: Tuple[int, int], combined: Tuple[int, ...]) -> None:
+        """Deferred cache reply; suppressed if someone answered meanwhile."""
+        if key in self._answered:
+            return
+        self._answered.add(key)
+        self._send_rrep(combined, reply_from=self.node_id, request_key=key)
+
+    def _send_rrep(self, path: Tuple[int, ...], reply_from: int,
+                   request_key: Tuple[int, int] = (-1, -1)) -> None:
+        """Send a RREP for discovered ``path`` back to its originator."""
+        origin = path[0]
+        idx = path.index(reply_from)
+        back = tuple(reversed(path[: idx + 1]))
+        if len(back) < 2:
+            return  # replier is the originator itself; nothing to send
+        rrep = RouteReply(
+            src=reply_from, dst=origin, uid=next_uid(), created_at=self.sim.now,
+            trip_route=back, trip_index=0, path=path, request_key=request_key,
+        )
+        self.rrep_sent += 1
+        self._transmit(rrep)
+
+    def _note_answered(self, rrep: RouteReply) -> None:
+        if rrep.request_key != (-1, -1):
+            self._answered.add(rrep.request_key)
+
+    def _handle_rrep(self, rrep: RouteReply) -> None:
+        idx = self._my_trip_index(rrep)
+        if idx is None:
+            return
+        self._note_answered(rrep)
+        self._learn_from_path(rrep.path)
+        if idx == len(rrep.trip_route) - 1:
+            # Originator: the discovery is complete.
+            self._complete_discovery(rrep.path[-1])
+            self._drain_send_buffer()
+            return
+        self._transmit(rrep.advance())
+
+    # ------------------------------------------------------------------
+    # Route maintenance
+    # ------------------------------------------------------------------
+
+    def _on_ifq_drop(self, packet) -> None:
+        """The MAC's queue overflowed: a congestion drop, not a link break."""
+        if packet.kind == "data" and self.metrics is not None:
+            self.metrics.data_dropped(packet.uid, "ifq_overflow")
+
+    def _on_link_failure(self, packet, next_hop: int) -> None:
+        self.cache.remove_link(self.node_id, next_hop)
+        if packet.kind == "data":
+            self._maintain_data(packet, next_hop)
+        # Failed RREPs/RERRs are silently dropped, as in classic DSR.
+
+    def _maintain_data(self, packet: DataPacket, next_hop: int) -> None:
+        broken = (self.node_id, next_hop)
+        if self.node_id == packet.src:
+            # Source-local failure: re-buffer and rediscover.
+            if self.metrics is not None:
+                self.metrics.link_break()
+            self._buffer_send(BufferedSend(
+                packet.uid, packet.dst, packet.payload_bytes, packet.app_seq,
+                packet.created_at,
+                self.sim.now + self.config.send_buffer_timeout,
+            ))
+            self._start_discovery(packet.dst)
+            return
+        if self.metrics is not None:
+            self.metrics.link_break()
+        self._send_rerr(packet, broken)
+        if self.config.salvage and packet.salvage_count < self.config.max_salvage_count:
+            alt = self.cache.route_to(packet.dst, self.sim.now)
+            if alt is not None:
+                self.data_salvaged += 1
+                if self.metrics is not None:
+                    self.metrics.route_used(alt)
+                self._transmit(packet.salvaged(alt))
+                return
+        if self.metrics is not None:
+            self.metrics.data_dropped(packet.uid, "link_break")
+
+    def _send_rerr(self, packet: DataPacket, broken: Tuple[int, int]) -> None:
+        my_idx = packet.trip_route.index(self.node_id)
+        back = tuple(reversed(packet.trip_route[: my_idx + 1]))
+        if len(back) < 2:
+            return
+        rerr = RouteError(
+            src=self.node_id, dst=packet.src, uid=next_uid(),
+            created_at=self.sim.now, trip_route=back, trip_index=0,
+            broken=broken,
+        )
+        self.rerr_sent += 1
+        self._transmit(rerr)
+
+    def _handle_rerr(self, rerr: RouteError) -> None:
+        idx = self._my_trip_index(rerr)
+        if idx is None:
+            return
+        self.cache.remove_link(*rerr.broken)
+        if idx == len(rerr.trip_route) - 1:
+            return  # reached the data source
+        self._transmit(rerr.advance())
+
+    # ------------------------------------------------------------------
+    # Promiscuous operation (overhearing)
+    # ------------------------------------------------------------------
+
+    def _on_promiscuous(self, packet, transmitter: int) -> None:
+        self.overheard_packets += 1
+        if self.metrics is not None:
+            self.metrics.overheard(self.node_id)
+        if packet.kind == "rerr":
+            # Unconditional invalidation: purge the broken link immediately.
+            self.cache.remove_link(*packet.broken)
+            return
+        if not self.config.learn_from_overhearing:
+            return
+        if packet.kind in ("data", "rrep"):
+            self._learn_by_splicing(packet.trip_route, packet.trip_index)
+            if packet.kind == "rrep":
+                self._note_answered(packet)
+                path = packet.path
+                if transmitter in path:
+                    self._learn_by_splicing(path, path.index(transmitter))
+
+    def _learn_by_splicing(self, route: Tuple[int, ...], t_idx: int) -> None:
+        """Cache routes built by splicing ourselves onto an overheard route.
+
+        We heard ``route[t_idx]`` transmit, so a one-hop link to it exists;
+        its suffix leads to the route's destination and its reversed prefix
+        back to the source.
+        """
+        if self.node_id in route:
+            return
+        suffix = (self.node_id,) + route[t_idx:]
+        if len(suffix) >= 2:
+            self._safe_add(suffix, "overhear")
+        prefix = (self.node_id,) + tuple(reversed(route[: t_idx + 1]))
+        if len(prefix) >= 2:
+            self._safe_add(prefix, "overhear")
+
+    # ------------------------------------------------------------------
+    # Cache-learning helpers
+    # ------------------------------------------------------------------
+
+    def _safe_add(self, path: Tuple[int, ...], source: str) -> None:
+        if len(path) < 2 or len(set(path)) != len(path):
+            return
+        self.cache.add_path(path, self.sim.now, source)
+
+    def _learn_along(self, route: Tuple[int, ...], my_idx: int,
+                     source: str = "forward") -> None:
+        """Learn the suffix and reversed prefix of a route we sit on."""
+        suffix = route[my_idx:]
+        if len(suffix) >= 2:
+            self._safe_add(suffix, source)
+        prefix = tuple(reversed(route[: my_idx + 1]))
+        if len(prefix) >= 2:
+            self._safe_add(prefix, source)
+
+    def _learn_from_path(self, path: Tuple[int, ...]) -> None:
+        """Learn both directions of a discovered path we appear on.
+
+        RREP-borne routes are core protocol output (not passive learning),
+        so they are always cached regardless of the learning switches.
+        """
+        if self.node_id not in path:
+            return
+        self._learn_along(path, path.index(self.node_id), source="rrep")
+
+    # ------------------------------------------------------------------
+    # Send buffer
+    # ------------------------------------------------------------------
+
+    def _buffer_send(self, entry: BufferedSend) -> None:
+        self._sweep_buffer()
+        if len(self._send_buffer) >= self.config.send_buffer_capacity:
+            victim = self._send_buffer.pop(0)
+            if self.metrics is not None:
+                self.metrics.data_dropped(victim.uid, "buffer_overflow")
+        self._send_buffer.append(entry)
+
+    def _sweep_buffer(self) -> None:
+        now = self.sim.now
+        expired = [e for e in self._send_buffer if e.expires_at <= now]
+        if not expired:
+            return
+        self._send_buffer = [e for e in self._send_buffer if e.expires_at > now]
+        if self.metrics is not None:
+            for entry in expired:
+                self.metrics.data_dropped(entry.uid, "buffer_timeout")
+
+    def _drain_send_buffer(self) -> None:
+        self._sweep_buffer()
+        now = self.sim.now
+        remaining: List[BufferedSend] = []
+        for entry in self._send_buffer:
+            route = self.cache.route_to(entry.dst, now)
+            if route is None:
+                remaining.append(entry)
+            else:
+                self._originate(entry.uid, route, entry.payload_bytes,
+                                entry.app_seq, entry.created_at)
+        self._send_buffer = remaining
+
+    def _drop_buffered(self, target: int, reason: str) -> None:
+        dropped = [e for e in self._send_buffer if e.dst == target]
+        self._send_buffer = [e for e in self._send_buffer if e.dst != target]
+        if self.metrics is not None:
+            for entry in dropped:
+                self.metrics.data_dropped(entry.uid, reason)
+
+    # ------------------------------------------------------------------
+
+    @property
+    def send_buffer_length(self) -> int:
+        """Packets currently waiting for a route."""
+        return len(self._send_buffer)
+
+
+__all__ = ["DsrProtocol", "BufferedSend", "Discovery"]

@@ -1,0 +1,15 @@
+"""Discrete-event simulation kernel.
+
+The kernel is deliberately tiny: a binary-heap scheduler
+(:class:`~repro.sim.engine.Simulator`), typed event handles
+(:class:`~repro.sim.events.Event`), reproducible named random streams
+(:class:`~repro.sim.rng.RngRegistry`) and an optional trace sink
+(:class:`~repro.sim.trace.TraceLog`).
+"""
+
+from repro.sim.engine import Simulator
+from repro.sim.events import Event
+from repro.sim.rng import RngRegistry
+from repro.sim.trace import TraceLog
+
+__all__ = ["Simulator", "Event", "RngRegistry", "TraceLog"]

@@ -1,0 +1,138 @@
+"""The discrete-event simulator.
+
+:class:`Simulator` owns the virtual clock and the event heap.  Protocol
+objects schedule callbacks with :meth:`Simulator.schedule` /
+:meth:`Simulator.schedule_at` and may cancel the returned handle.  ``run``
+drains the heap until the horizon (or until the queue empties).
+
+Design notes
+------------
+* The heap stores :class:`~repro.sim.events.Event` objects directly; lazy
+  cancellation avoids O(n) heap surgery.
+* Time never moves backwards.  Scheduling strictly in the past raises
+  :class:`~repro.errors.SchedulingError`; scheduling *at* the current time is
+  allowed (same-timestamp FIFO semantics are well defined).
+* ``run`` is restartable: calling it with a later horizon resumes where the
+  previous call stopped, which the experiment runner uses for periodic
+  metric snapshots.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Callable, Optional
+
+from repro.errors import SchedulingError
+from repro.sim.events import Event, PRIORITY_NORMAL
+
+
+class Simulator:
+    """Event-driven virtual-time scheduler."""
+
+    def __init__(self) -> None:
+        self._now = 0.0
+        self._heap: list[Event] = []
+        self._running = False
+        self._processed = 0
+
+    # ------------------------------------------------------------------
+    # Clock
+    # ------------------------------------------------------------------
+
+    @property
+    def now(self) -> float:
+        """Current virtual time in seconds."""
+        return self._now
+
+    @property
+    def processed_events(self) -> int:
+        """Number of events fired so far (diagnostics)."""
+        return self._processed
+
+    @property
+    def pending_events(self) -> int:
+        """Number of queue entries not yet popped (includes cancelled)."""
+        return len(self._heap)
+
+    # ------------------------------------------------------------------
+    # Scheduling
+    # ------------------------------------------------------------------
+
+    def schedule(
+        self,
+        delay: float,
+        callback: Callable[..., None],
+        *args,
+        priority: int = PRIORITY_NORMAL,
+    ) -> Event:
+        """Schedule ``callback(*args)`` to fire ``delay`` seconds from now."""
+        if delay < 0:
+            raise SchedulingError(f"negative delay {delay!r}")
+        return self.schedule_at(self._now + delay, callback, *args, priority=priority)
+
+    def schedule_at(
+        self,
+        time: float,
+        callback: Callable[..., None],
+        *args,
+        priority: int = PRIORITY_NORMAL,
+    ) -> Event:
+        """Schedule ``callback(*args)`` to fire at absolute time ``time``."""
+        if time < self._now:
+            raise SchedulingError(
+                f"cannot schedule at t={time!r}, clock already at t={self._now!r}"
+            )
+        event = Event(time, callback, args, priority)
+        heapq.heappush(self._heap, event)
+        return event
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+
+    def run(self, until: Optional[float] = None) -> None:
+        """Fire events in order until ``until`` (inclusive) or queue empty.
+
+        After returning, the clock sits at ``until`` if given, otherwise at
+        the time of the last fired event.
+        """
+        if self._running:
+            raise SchedulingError("Simulator.run() is not reentrant")
+        self._running = True
+        try:
+            while self._heap:
+                event = self._heap[0]
+                if until is not None and event.time > until:
+                    break
+                heapq.heappop(self._heap)
+                if event.cancelled:
+                    continue
+                self._now = event.time
+                self._processed += 1
+                event.fire()
+            if until is not None and until > self._now:
+                self._now = until
+        finally:
+            self._running = False
+
+    def step(self) -> bool:
+        """Fire exactly one pending (non-cancelled) event.
+
+        Returns ``True`` if an event fired, ``False`` if the queue is empty.
+        """
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if event.cancelled:
+                continue
+            self._now = event.time
+            self._processed += 1
+            event.fire()
+            return True
+        return False
+
+    def clear(self) -> None:
+        """Drop all pending events (the clock is left untouched)."""
+        self._heap.clear()
+
+
+__all__ = ["Simulator"]

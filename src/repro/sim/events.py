@@ -1,0 +1,92 @@
+"""Event handles for the discrete-event kernel.
+
+An :class:`Event` is a lightweight, cancellable record of a scheduled
+callback.  Events compare by ``(time, priority, seq)`` so that
+
+* earlier events fire first,
+* among simultaneous events, lower ``priority`` fires first (the kernel uses
+  this to order e.g. beacon-boundary bookkeeping before user callbacks), and
+* among equal time *and* priority, insertion order is preserved (FIFO),
+  which makes runs deterministic.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Callable
+
+#: Priority for kernel housekeeping that must run before normal events at the
+#: same timestamp (e.g. beacon-interval boundaries).
+PRIORITY_KERNEL = 0
+
+#: Default priority for protocol events.
+PRIORITY_NORMAL = 10
+
+#: Priority for events that must observe the state left by normal events at
+#: the same timestamp (e.g. metric sampling).
+PRIORITY_LATE = 20
+
+_seq_counter = itertools.count()
+
+
+class Event:
+    """A scheduled callback; compare-sortable and cancellable.
+
+    Cancellation is lazy: the heap entry stays in the queue and is skipped
+    when popped.  This keeps cancellation O(1), which matters because MAC
+    retry timers and DSR discovery timers are cancelled far more often than
+    they fire.
+    """
+
+    __slots__ = ("time", "priority", "seq", "callback", "args", "cancelled")
+
+    def __init__(
+        self,
+        time: float,
+        callback: Callable[..., None],
+        args: tuple = (),
+        priority: int = PRIORITY_NORMAL,
+    ) -> None:
+        self.time = time
+        self.priority = priority
+        self.seq = next(_seq_counter)
+        self.callback = callback
+        self.args = args
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Mark the event so the kernel skips it when popped."""
+        self.cancelled = True
+
+    def fire(self) -> None:
+        """Invoke the callback (kernel use only)."""
+        self.callback(*self.args)
+
+    # Heap ordering -----------------------------------------------------
+
+    def sort_key(self) -> tuple:
+        """Heap ordering key: (time, priority, insertion sequence)."""
+        return (self.time, self.priority, self.seq)
+
+    def __lt__(self, other: "Event") -> bool:
+        return self.sort_key() < other.sort_key()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "cancelled" if self.cancelled else "pending"
+        name = getattr(self.callback, "__qualname__", repr(self.callback))
+        return f"<Event t={self.time:.6f} prio={self.priority} {name} {state}>"
+
+
+def reset_sequence_counter() -> None:
+    """Reset the global FIFO tie-break counter (test isolation helper)."""
+    global _seq_counter
+    _seq_counter = itertools.count()
+
+
+__all__ = [
+    "Event",
+    "PRIORITY_KERNEL",
+    "PRIORITY_NORMAL",
+    "PRIORITY_LATE",
+    "reset_sequence_counter",
+]

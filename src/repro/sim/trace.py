@@ -1,0 +1,95 @@
+"""Structured trace sink for debugging and tests.
+
+The simulator core never prints.  Components emit ``(time, category, node,
+detail)`` records into a :class:`TraceLog` when one is attached; tests attach
+one to assert on protocol behaviour, and the CLI can dump it for inspection.
+By default tracing is disabled (a :class:`NullTrace` is used), which costs a
+single attribute lookup plus a no-op call per emission point.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, List, Optional
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One trace line."""
+
+    time: float
+    category: str
+    node: int
+    detail: str
+
+    def __str__(self) -> str:
+        return f"{self.time:12.6f} [{self.category:>10}] n{self.node:<4} {self.detail}"
+
+
+class TraceLog:
+    """In-memory trace collector with simple filtering helpers."""
+
+    def __init__(self, categories: Optional[Iterable[str]] = None) -> None:
+        self._records: List[TraceRecord] = []
+        self._categories = set(categories) if categories is not None else None
+
+    @property
+    def enabled(self) -> bool:
+        """Trace sinks report enabled=True; NullTrace reports False."""
+        return True
+
+    def emit(self, time: float, category: str, node: int, detail: str) -> None:
+        """Record a trace line (filtered by category when a filter is set)."""
+        if self._categories is not None and category not in self._categories:
+            return
+        self._records.append(TraceRecord(time, category, node, detail))
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self) -> Iterator[TraceRecord]:
+        return iter(self._records)
+
+    def filter(self, category: Optional[str] = None, node: Optional[int] = None) -> List[TraceRecord]:  # noqa: D102
+        """Return records matching the given category and/or node."""
+        out = []
+        for rec in self._records:
+            if category is not None and rec.category != category:
+                continue
+            if node is not None and rec.node != node:
+                continue
+            out.append(rec)
+        return out
+
+    def dump(self) -> str:
+        """Render all records, one per line."""
+        return "\n".join(str(rec) for rec in self._records)
+
+
+class NullTrace:
+    """No-op trace sink used when tracing is disabled."""
+
+    enabled = False
+
+    def emit(self, time: float, category: str, node: int, detail: str) -> None:
+        """Discard the record."""
+
+    def __len__(self) -> int:
+        return 0
+
+    def __iter__(self):
+        return iter(())
+
+    def filter(self, category=None, node=None):
+        """Always empty."""
+        return []
+
+    def dump(self) -> str:
+        """Always empty."""
+        return ""
+
+
+#: Shared singleton used as the default trace sink.
+NULL_TRACE = NullTrace()
+
+__all__ = ["TraceRecord", "TraceLog", "NullTrace", "NULL_TRACE"]

@@ -1,0 +1,7 @@
+"""Traffic generation: CBR (the paper's workload) plus a Poisson extension."""
+
+from repro.traffic.cbr import CbrSource
+from repro.traffic.pairs import choose_connections
+from repro.traffic.poisson import PoissonSource
+
+__all__ = ["CbrSource", "PoissonSource", "choose_connections"]

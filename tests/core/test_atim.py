@@ -1,0 +1,86 @@
+"""Tests for the ATIM subtype / Frame Control encoding (paper Figure 4)."""
+
+import pytest
+
+from repro.core.atim import (
+    SUBTYPE_ATIM_RANDOMIZED,
+    SUBTYPE_ATIM_STANDARD,
+    SUBTYPE_ATIM_UNCONDITIONAL,
+    decode_frame_control,
+    encode_frame_control,
+    level_from_subtype,
+    subtype_for_level,
+)
+from repro.core.policy import OverhearingLevel
+from repro.errors import MacError
+
+
+def test_paper_subtype_values():
+    """Figure 4: 1001 = standard ATIM; 1110/1111 = reserved, reused."""
+    assert SUBTYPE_ATIM_STANDARD == 0b1001
+    assert SUBTYPE_ATIM_RANDOMIZED == 0b1110
+    assert SUBTYPE_ATIM_UNCONDITIONAL == 0b1111
+
+
+def test_level_subtype_round_trip():
+    for level in OverhearingLevel:
+        assert level_from_subtype(subtype_for_level(level)) is level
+
+
+def test_none_maps_to_standard_subtype():
+    """No-overhearing ATIMs conform to the unmodified IEEE 802.11."""
+    assert subtype_for_level(OverhearingLevel.NONE) == SUBTYPE_ATIM_STANDARD
+
+
+def test_unknown_subtype_rejected():
+    with pytest.raises(MacError):
+        level_from_subtype(0b0000)
+
+
+def test_frame_control_round_trip():
+    for subtype in (SUBTYPE_ATIM_STANDARD, SUBTYPE_ATIM_RANDOMIZED,
+                    SUBTYPE_ATIM_UNCONDITIONAL):
+        for pwr in (True, False):
+            fc = encode_frame_control(subtype, power_management=pwr)
+            decoded = decode_frame_control(fc)
+            assert decoded.subtype == subtype
+            assert decoded.power_management is pwr
+            assert decoded.frame_type == 0b00  # management
+            assert decoded.protocol_version == 0
+
+
+def test_frame_control_fits_16_bits():
+    fc = encode_frame_control(SUBTYPE_ATIM_UNCONDITIONAL, True)
+    assert 0 <= fc < (1 << 16)
+
+
+def test_frame_control_bit_positions():
+    """Subtype occupies bits 4-7, PwrMgt bit 12 (IEEE 802.11 layout)."""
+    fc = encode_frame_control(0b1111, power_management=False)
+    assert (fc >> 4) & 0b1111 == 0b1111
+    assert fc & (1 << 12) == 0
+    fc = encode_frame_control(0b0000, power_management=True)
+    assert fc & (1 << 12)
+
+
+def test_decoded_overhearing_level_property():
+    fc = encode_frame_control(SUBTYPE_ATIM_RANDOMIZED)
+    assert decode_frame_control(fc).overhearing_level is OverhearingLevel.RANDOMIZED
+
+
+@pytest.mark.parametrize("kwargs", [
+    dict(subtype=16),
+    dict(subtype=-1),
+    dict(subtype=0, protocol_version=4),
+    dict(subtype=0, frame_type=5),
+])
+def test_encode_validation(kwargs):
+    with pytest.raises(MacError):
+        encode_frame_control(**kwargs)
+
+
+def test_decode_validation():
+    with pytest.raises(MacError):
+        decode_frame_control(1 << 16)
+    with pytest.raises(MacError):
+        decode_frame_control(-1)

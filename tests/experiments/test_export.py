@@ -1,0 +1,71 @@
+"""Tests for experiment result export."""
+
+import csv
+import dataclasses
+import json
+
+import pytest
+
+from repro.experiments.export import (
+    SCALAR_FIELDS,
+    aggregate_to_dict,
+    load_sweep_json,
+    sweep_to_dict,
+    write_sweep_csv,
+    write_sweep_json,
+)
+from repro.experiments.scenarios import SMOKE_SCALE
+from repro.experiments.sweep import sweep
+
+
+@pytest.fixture(scope="module")
+def tiny_sweep():
+    scale = dataclasses.replace(
+        SMOKE_SCALE, num_nodes=12, sim_time=8.0, num_connections=2,
+        repetitions=1, rates=(0.5,), name="tiny",
+    )
+    return sweep(scale, schemes=("rcast", "ieee80211"), rates=(0.5,),
+                 scenarios=(False,), seed=3)
+
+
+def test_aggregate_to_dict_fields(tiny_sweep):
+    agg = tiny_sweep.get("rcast", 0.5, False)
+    d = aggregate_to_dict(agg)
+    for field in SCALAR_FIELDS:
+        assert field in d
+    assert len(d["node_energy"]) == 12
+    assert d["scheme"] == "rcast"
+
+
+def test_sweep_to_dict_structure(tiny_sweep):
+    d = sweep_to_dict(tiny_sweep)
+    assert d["scale"] == "tiny"
+    assert d["scenarios"] == ["static"]
+    assert len(d["cells"]) == 2
+    assert {c["scheme"] for c in d["cells"]} == {"rcast", "ieee80211"}
+
+
+def test_json_round_trip(tiny_sweep, tmp_path):
+    path = write_sweep_json(tiny_sweep, tmp_path / "sweep.json")
+    loaded = load_sweep_json(path)
+    assert loaded == sweep_to_dict(tiny_sweep)
+    # The file is valid JSON parseable by anything.
+    raw = json.loads(path.read_text())
+    assert raw["rates"] == [0.5]
+
+
+def test_csv_export(tiny_sweep, tmp_path):
+    path = write_sweep_csv(tiny_sweep, tmp_path / "sweep.csv")
+    with path.open() as handle:
+        rows = list(csv.reader(handle))
+    assert rows[0][:3] == ["scheme", "rate", "scenario"]
+    assert len(rows) == 3  # header + 2 cells
+    energy_col = rows[0].index("total_energy")
+    assert float(rows[1][energy_col]) > 0
+
+
+def test_infinite_values_serialized_as_null(tiny_sweep):
+    agg = tiny_sweep.get("rcast", 0.5, False)
+    patched = dataclasses.replace(agg, energy_per_bit=float("inf"))
+    d = aggregate_to_dict(patched)
+    assert d["energy_per_bit"] is None

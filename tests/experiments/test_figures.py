@@ -1,0 +1,175 @@
+"""Tests for the per-figure experiment modules (micro scale)."""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    ablation,
+    fig5,
+    fig6,
+    fig7,
+    fig8,
+    fig9,
+    lifetime,
+    table1,
+)
+from repro.experiments.scenarios import SMOKE_SCALE
+
+
+@pytest.fixture(scope="module")
+def micro():
+    """A very small scale so every figure module runs in seconds."""
+    return dataclasses.replace(
+        SMOKE_SCALE, num_nodes=16, sim_time=12.0, num_connections=3,
+        repetitions=1, rates=(0.5, 1.0), low_rate=0.5, high_rate=1.0,
+        name="micro",
+    )
+
+
+def test_fig5_structure(micro):
+    result = fig5.run(micro, seed=2)
+    assert set(result.panels) == {
+        (0.5, True), (1.0, True), (0.5, False), (1.0, False),
+    }
+    for curves in result.panels.values():
+        assert set(curves) == {"ieee80211", "odpm", "rcast"}
+        for curve in curves.values():
+            assert curve.shape == (16,)
+            assert np.all(np.diff(curve) >= -1e-9)  # sorted ascending
+    text = fig5.format_result(result)
+    assert "Fig.5" in text and "static" in text and "mobile" in text
+
+
+def test_fig6_structure(micro):
+    result = fig6.run(micro, seed=2)
+    for mobile in (True, False):
+        assert set(result.variance[mobile]) == {"ieee80211", "odpm", "rcast"}
+        for series in result.variance[mobile].values():
+            assert len(series) == 2
+            assert all(v >= 0 for v in series)
+    improvements = result.improvement_over_odpm(False)
+    assert len(improvements) == 2
+    assert "variance" in fig6.format_result(result)
+
+
+def test_fig7_structure(micro):
+    result = fig7.run(micro, seed=2)
+    for mobile in (True, False):
+        for metric in ("total_energy", "pdr", "energy_per_bit"):
+            for scheme in ("ieee80211", "odpm", "rcast"):
+                series = result.data[mobile][metric][scheme]
+                assert len(series) == 2
+    gaps = result.energy_gap_vs_odpm(False)
+    assert len(gaps) == 2
+    assert "Rcast energy advantage" in fig7.format_result(result)
+
+
+def test_fig8_structure(micro):
+    result = fig8.run(micro, seed=2)
+    for mobile in (True, False):
+        for metric in ("avg_delay", "overhead"):
+            assert set(result.data[mobile][metric]) == {
+                "ieee80211", "odpm", "rcast",
+            }
+    assert "delay" in fig8.format_result(result)
+
+
+def test_fig9_structure(micro):
+    result = fig9.run(micro, seed=2)
+    assert len(result.panels) == 6  # 3 schemes x 2 rates
+    panel = result.panels[("rcast", 1.0)]
+    assert panel.roles.shape == (16,)
+    assert panel.energy.shape == (16,)
+    assert len(panel.scatter_points()) == 16
+    assert panel.max_role >= panel.mean_role
+    assert "role" in fig9.format_result(result)
+
+
+def test_table1_structure(micro):
+    result = table1.run(micro, seed=2)
+    assert set(result.rows) == set(table1.SCHEMES)
+    assert len(result.checks) == 8
+    text = table1.format_result(result)
+    assert "Table 1" in text
+    assert "PASS" in text or "FAIL" in text
+
+
+def test_ablation_factors_structure(micro):
+    result = ablation.run_factors(micro, seed=2)
+    assert "neighbors-only" in result.variants
+    assert "sender+mobility+battery" in result.variants
+    assert len(result.variants) == len(ablation.FACTOR_SETS)
+    assert "decision-factors" in ablation.format_result(result)
+
+
+def test_ablation_tap_structure(micro):
+    result = ablation.run_tap(micro, seed=2)
+    assert set(result.variants) == {"tap-on", "tap-off"}
+
+
+def test_ablation_rreq_structure(micro):
+    result = ablation.run_rreq(micro, seed=2)
+    assert set(result.variants) == {"rreq-all", "rreq-randomized"}
+
+
+def test_aodv_study_structure(micro):
+    from repro.experiments import aodv_study
+
+    result = aodv_study.run(micro, seed=2)
+    assert set(result.cells) == {
+        ("dsr", "psm"), ("dsr", "rcast"),
+        ("aodv", "psm"), ("aodv", "rcast"),
+    }
+    for key in result.cells:
+        assert 0.0 <= result.rreq_share_of(*key) <= 1.0
+    assert "Footnote 1" in aodv_study.format_result(result)
+
+
+def test_sensitivity_structure(micro):
+    from repro.experiments import sensitivity
+
+    result = sensitivity.run(micro, seed=2)
+    assert set(result.by_beacon) == set(sensitivity.BEACON_INTERVALS)
+    assert set(result.by_fraction) == set(sensitivity.ATIM_FRACTIONS)
+    text = sensitivity.format_result(result)
+    assert "beacon interval" in text and "ATIM" in text
+
+
+def test_staleness_study_structure(micro):
+    from repro.experiments import staleness_study
+
+    result = staleness_study.run(micro, seed=2)
+    assert set(result.reports) == set(staleness_study.SCHEMES)
+    for report in result.reports.values():
+        assert report.total_entries >= report.stale_entries >= 0
+    assert "Stale-route" in staleness_study.format_result(result)
+
+
+def test_sync_study_structure(micro):
+    from repro.experiments import sync_study
+
+    result = sync_study.run(micro, seed=2)
+    assert set(result.cells) == set(sync_study.JITTERS)
+    assert "clock" in sync_study.format_result(result).lower()
+
+
+def test_span_study_structure(micro):
+    from repro.experiments import span_study
+
+    result = span_study.run(micro, seed=2)
+    for factor in span_study.DENSITY_FACTORS:
+        assert factor in result.backbone
+        for scheme in span_study.SCHEMES:
+            assert (scheme, factor) in result.cells
+    assert "SPAN" in span_study.format_result(result)
+
+
+def test_lifetime_structure(micro):
+    result = lifetime.run(micro, seed=2)
+    assert set(result.summaries) == {"ieee80211", "odpm", "rcast"}
+    for summary in result.summaries.values():
+        assert summary.first_death > 0
+        assert 0.0 <= summary.alive_at_end <= 1.0
+    assert "lifetime" in lifetime.format_result(result).lower()

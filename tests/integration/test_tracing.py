@@ -1,0 +1,41 @@
+"""Integration tests for the trace plumbing."""
+
+from repro.network import build_network
+from repro.sim.trace import TraceLog
+
+from tests.conftest import line_config
+
+
+def test_channel_and_dsr_events_traced():
+    trace = TraceLog()
+    config = line_config("ieee80211", n=3, sim_time=10.0)
+    network = build_network(config, trace=trace)
+    network.nodes[0].dsr.send_data(2, 256)
+    network.run()
+    categories = {rec.category for rec in trace}
+    assert "chan.tx" in categories
+    assert "dsr.tx" in categories
+    assert len(trace) > 0
+
+
+def test_trace_category_filter_in_network():
+    trace = TraceLog(categories=["dsr.tx"])
+    config = line_config("ieee80211", n=3, sim_time=10.0)
+    network = build_network(config, trace=trace)
+    network.nodes[0].dsr.send_data(2, 256)
+    network.run()
+    assert all(rec.category == "dsr.tx" for rec in trace)
+    assert len(trace) > 0
+
+
+def test_trace_records_carry_node_and_time():
+    trace = TraceLog()
+    config = line_config("rcast", n=2, sim_time=5.0)
+    network = build_network(config, trace=trace)
+    network.nodes[0].dsr.send_data(1, 128)
+    network.run()
+    for rec in trace:
+        assert 0.0 <= rec.time <= 5.0
+        assert rec.node in (0, 1)
+    dump = trace.dump()
+    assert dump.count("\n") + 1 == len(trace)

@@ -1,0 +1,66 @@
+"""Tests for the always-on (no PSM) MAC."""
+
+from repro.mac.frames import BROADCAST
+
+from tests.mac.conftest import DummyPacket, MacRig, always_on_factory
+
+
+def make_rig():
+    rig = MacRig([(0.0, 50.0), (100.0, 50.0), (200.0, 50.0)],
+                 always_on_factory)
+    rig.start()
+    return rig
+
+
+def test_unicast_delivered_to_destination():
+    rig = make_rig()
+    packet = DummyPacket()
+    rig.macs[0].send(packet, 1)
+    rig.sim.run(until=1.0)
+    assert (1, packet, 0) in rig.received
+    assert (0, packet, 1) in rig.sent
+
+
+def test_non_destination_neighbor_overhears():
+    rig = make_rig()
+    packet = DummyPacket()
+    rig.macs[1].send(packet, 0)  # node 2 hears 1 -> 0
+    rig.sim.run(until=1.0)
+    assert (2, packet, 1) in rig.promiscuous
+
+
+def test_broadcast_delivered_not_overheard():
+    rig = make_rig()
+    packet = DummyPacket(kind="rreq")
+    rig.macs[1].send(packet, BROADCAST)
+    rig.sim.run(until=1.0)
+    receivers = sorted(n for n, p, _ in rig.received if p is packet)
+    assert receivers == [0, 2]
+    assert rig.promiscuous == []
+
+
+def test_link_failure_reported_for_dead_receiver():
+    rig = make_rig()
+    rig.radios[1].sleep()
+    packet = DummyPacket()
+    rig.macs[0].send(packet, 1)
+    rig.sim.run(until=5.0)
+    assert (0, packet, 1) in rig.failures
+    assert rig.macs[0].unicasts_failed == 1
+
+
+def test_radio_always_awake():
+    rig = make_rig()
+    rig.sim.run(until=10.0)
+    for radio in rig.radios.values():
+        assert radio.is_awake
+        assert radio.meter.sleep_time == 0.0
+
+
+def test_counters():
+    rig = make_rig()
+    rig.macs[0].send(DummyPacket(), 1)
+    rig.macs[0].send(DummyPacket(kind="rreq"), BROADCAST)
+    rig.sim.run(until=1.0)
+    assert rig.macs[0].unicasts_sent == 1
+    assert rig.macs[0].broadcasts_sent == 1

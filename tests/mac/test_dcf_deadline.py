@@ -1,0 +1,76 @@
+"""Focused DCF tests: deadlines, retries and their interaction."""
+
+from repro.mac.dcf import TxOutcome
+from repro.mac.frames import Frame
+
+from tests.mac.conftest import DummyPacket, MacRig, always_on_factory
+
+
+def make_rig():
+    rig = MacRig([(0.0, 50.0), (100.0, 50.0), (200.0, 50.0)],
+                 always_on_factory)
+    rig.start()
+    return rig
+
+
+def test_retries_stop_at_deadline():
+    """A dead receiver with a tight deadline defers instead of burning all
+    retries (the PSM re-announcement path)."""
+    rig = make_rig()
+    rig.radios[1].sleep()
+    outcomes = []
+    frame = Frame(0, 1, DummyPacket())
+    rig.macs[0].dcf.submit(frame, lambda f, o, d: outcomes.append(o),
+                           deadline=0.004)
+    rig.sim.run(until=1.0)
+    assert outcomes == [TxOutcome.DEFERRED]
+    # Fewer than the full retry budget was spent.
+    assert rig.macs[0].dcf.retries < rig.macs[0].dcf.retry_limit
+
+
+def test_stale_deadline_defers_immediately():
+    rig = make_rig()
+    outcomes = []
+    # Deadline already in the past relative to first attempt.
+    rig.macs[0].dcf.submit(Frame(0, 1, DummyPacket()),
+                           lambda f, o, d: outcomes.append(o),
+                           deadline=0.0)
+    rig.sim.run(until=0.5)
+    assert outcomes == [TxOutcome.DEFERRED]
+    assert rig.channel.frames_sent == 0
+
+
+def test_queue_continues_after_deferred():
+    """A deferred head submission must not wedge the pipeline."""
+    rig = make_rig()
+    outcomes = []
+    rig.macs[0].dcf.submit(Frame(0, 1, DummyPacket()),
+                           lambda f, o, d: outcomes.append(("a", o)),
+                           deadline=0.0)
+    rig.macs[0].dcf.submit(Frame(0, 1, DummyPacket()),
+                           lambda f, o, d: outcomes.append(("b", o)))
+    rig.sim.run(until=1.0)
+    assert outcomes[0] == ("a", TxOutcome.DEFERRED)
+    assert outcomes[1] == ("b", TxOutcome.DELIVERED)
+
+
+def test_completion_callback_can_submit_more_work():
+    """Regression test: DSR sends a RERR from within a failure callback;
+    the chained submission must actually transmit (the _next() clobbering
+    bug)."""
+    rig = make_rig()
+    rig.radios[1].sleep()
+    outcomes = []
+
+    def on_fail(frame, outcome, delivered):
+        outcomes.append(("first", outcome))
+        rig.radios[1].wake()
+        rig.macs[0].dcf.submit(
+            Frame(0, 1, DummyPacket()),
+            lambda f, o, d: outcomes.append(("chained", o)),
+        )
+
+    rig.macs[0].dcf.submit(Frame(0, 1, DummyPacket()), on_fail)
+    rig.sim.run(until=5.0)
+    assert ("first", TxOutcome.FAILED) in outcomes
+    assert ("chained", TxOutcome.DELIVERED) in outcomes

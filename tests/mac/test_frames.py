@@ -1,0 +1,49 @@
+"""Tests for MAC frame and announcement types."""
+
+from repro.mac.frames import BROADCAST, Announcement, Frame, FrameKind
+
+
+class Payload:
+    kind = "data"
+    size_bytes = 512
+
+
+def test_frame_ids_unique():
+    a = Frame(0, 1, Payload())
+    b = Frame(0, 1, Payload())
+    assert a.frame_id != b.frame_id
+
+
+def test_frame_size_from_packet():
+    assert Frame(0, 1, Payload()).size_bytes == 512
+
+
+def test_broadcast_detection():
+    assert Frame(0, BROADCAST, Payload()).is_broadcast
+    assert not Frame(0, 1, Payload()).is_broadcast
+
+
+def test_describe_mentions_endpoints_and_kind():
+    text = Frame(3, 7, Payload()).describe()
+    assert "3->7" in text
+    assert "data" in text
+
+
+def test_frame_kind_default():
+    assert Frame(0, 1, Payload()).kind is FrameKind.DATA
+
+
+def test_announcement_broadcast():
+    ann = Announcement(sender=0, dst=BROADCAST, frame_id=1, level=None,
+                       subtype=0b1001, packet_kind="rreq")
+    assert ann.is_broadcast
+
+
+def test_announcement_fields():
+    ann = Announcement(sender=2, dst=5, frame_id=9, level="L",
+                       subtype=0b1110, packet_kind="data", sender_mode="PS")
+    assert ann.sender == 2
+    assert ann.dst == 5
+    assert ann.subtype == 0b1110
+    assert ann.sender_mode == "PS"
+    assert not ann.is_broadcast

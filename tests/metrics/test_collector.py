@@ -1,0 +1,157 @@
+"""Tests for the metrics collector and run summary."""
+
+import numpy as np
+import pytest
+
+from repro.metrics.collector import MetricsCollector
+
+
+def finalize(collector, energy=None, awake=None, sim_time=100.0):
+    n = collector.num_nodes
+    return collector.finalize(
+        "test", sim_time,
+        energy if energy is not None else [10.0] * n,
+        awake if awake is not None else [50.0] * n,
+    )
+
+
+def test_pdr_counting():
+    c = MetricsCollector(4)
+    c.data_originated(1, 0, 3, 0.0, 512)
+    c.data_originated(2, 0, 3, 1.0, 512)
+    c.data_delivered(1, 2.0)
+    m = finalize(c)
+    assert m.data_sent == 2
+    assert m.data_delivered == 1
+    assert m.pdr == pytest.approx(0.5)
+
+
+def test_duplicate_delivery_counted_once():
+    c = MetricsCollector(2)
+    c.data_originated(1, 0, 1, 0.0, 100)
+    c.data_delivered(1, 1.0)
+    c.data_delivered(1, 2.0)
+    m = finalize(c)
+    assert m.data_delivered == 1
+    assert m.avg_delay == pytest.approx(1.0)
+
+
+def test_unknown_uid_delivery_ignored():
+    c = MetricsCollector(2)
+    c.data_delivered(99, 1.0)
+    assert finalize(c).data_delivered == 0
+
+
+def test_delay_average():
+    c = MetricsCollector(2)
+    for uid, sent, got in ((1, 0.0, 1.0), (2, 0.0, 3.0)):
+        c.data_originated(uid, 0, 1, sent, 100)
+        c.data_delivered(uid, got)
+    assert finalize(c).avg_delay == pytest.approx(2.0)
+
+
+def test_energy_per_bit():
+    c = MetricsCollector(2)
+    c.data_originated(1, 0, 1, 0.0, 1000)  # 8000 bits
+    c.data_delivered(1, 1.0)
+    m = finalize(c, energy=[4.0, 4.0])
+    assert m.energy_per_bit == pytest.approx(8.0 / 8000.0)
+
+
+def test_energy_per_bit_infinite_when_nothing_delivered():
+    c = MetricsCollector(2)
+    c.data_originated(1, 0, 1, 0.0, 1000)
+    assert finalize(c).energy_per_bit == float("inf")
+
+
+def test_normalized_overhead():
+    c = MetricsCollector(2)
+    c.data_originated(1, 0, 1, 0.0, 100)
+    c.data_delivered(1, 1.0)
+    for _ in range(3):
+        c.transmission("rreq")
+    c.transmission("rrep")
+    c.transmission("data")  # data does not count as control
+    m = finalize(c)
+    assert m.control_transmissions == 4
+    assert m.normalized_overhead == pytest.approx(4.0)
+
+
+def test_drop_reasons_tracked():
+    c = MetricsCollector(2)
+    c.data_originated(1, 0, 1, 0.0, 100)
+    c.data_originated(2, 0, 1, 0.0, 100)
+    c.data_originated(3, 0, 1, 0.0, 100)
+    c.data_dropped(1, "no_route")
+    c.data_dropped(2, "link_break")
+    m = finalize(c)
+    assert m.drop_reasons == {"no_route": 1, "link_break": 1, "in_flight": 1}
+
+
+def test_drop_after_delivery_ignored():
+    c = MetricsCollector(2)
+    c.data_originated(1, 0, 1, 0.0, 100)
+    c.data_delivered(1, 1.0)
+    c.data_dropped(1, "late")
+    m = finalize(c)
+    assert m.data_delivered == 1
+    assert m.drop_reasons == {}
+
+
+def test_energy_variance_and_totals():
+    c = MetricsCollector(3)
+    m = finalize(c, energy=[1.0, 2.0, 3.0])
+    assert m.total_energy == pytest.approx(6.0)
+    assert m.energy_variance == pytest.approx(1.0)
+    assert m.mean_node_energy == pytest.approx(2.0)
+
+
+def test_sorted_node_energy():
+    c = MetricsCollector(3)
+    m = finalize(c, energy=[3.0, 1.0, 2.0])
+    assert list(m.sorted_node_energy()) == [1.0, 2.0, 3.0]
+    # original order preserved in node_energy
+    assert list(m.node_energy) == [3.0, 1.0, 2.0]
+
+
+def test_role_and_overhearing_tracking():
+    c = MetricsCollector(4)
+    c.route_used((0, 1, 2))
+    c.overheard(3)
+    c.link_break()
+    m = finalize(c)
+    assert m.role_numbers[1] == 1
+    assert m.overheard_by_node[3] == 1
+    assert m.link_breaks == 1
+
+
+def test_describe_is_one_line():
+    c = MetricsCollector(2)
+    c.data_originated(1, 0, 1, 0.0, 100)
+    c.data_delivered(1, 0.5)
+    text = finalize(c).describe()
+    assert "\n" not in text
+    assert "PDR" in text
+
+
+def test_to_dict_json_safe():
+    import json
+
+    c = MetricsCollector(3)
+    c.data_originated(1, 0, 1, 0.0, 100)
+    c.data_delivered(1, 0.5)
+    c.transmission("rreq")
+    m = finalize(c, energy=[1.0, 2.0, 3.0])
+    d = m.to_dict()
+    json.dumps(d)  # must be serializable
+    assert d["pdr"] == 1.0
+    assert d["node_energy"] == [1.0, 2.0, 3.0]
+    assert len(d["role_numbers"]) == 3
+
+
+def test_to_dict_infinite_as_none():
+    c = MetricsCollector(2)
+    c.data_originated(1, 0, 1, 0.0, 100)  # never delivered
+    d = finalize(c).to_dict()
+    assert d["energy_per_bit"] is None
+    assert d["normalized_overhead"] is None

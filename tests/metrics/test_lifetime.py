@@ -1,0 +1,72 @@
+"""Tests for network-lifetime projection."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.metrics.lifetime import LifetimeReport, project_lifetime
+
+
+def test_depletion_time_formula():
+    # 10 J over 10 s -> 1 W; 50 J battery -> 50 s.
+    report = project_lifetime([10.0], sim_time=10.0, battery_joules=50.0)
+    assert report.first_death == pytest.approx(50.0)
+
+
+def test_first_death_is_minimum():
+    report = project_lifetime([10.0, 20.0, 5.0], 10.0, 100.0)
+    # Powers: 1, 2, 0.5 W -> depletion 100, 50, 200.
+    assert report.first_death == pytest.approx(50.0)
+
+
+def test_kth_death_ordering():
+    report = project_lifetime([10.0, 20.0, 5.0], 10.0, 100.0)
+    assert report.kth_death(1) == pytest.approx(50.0)
+    assert report.kth_death(2) == pytest.approx(100.0)
+    assert report.kth_death(3) == pytest.approx(200.0)
+    with pytest.raises(ConfigurationError):
+        report.kth_death(0)
+    with pytest.raises(ConfigurationError):
+        report.kth_death(4)
+
+
+def test_alive_fraction():
+    report = project_lifetime([10.0, 20.0, 5.0, 40.0], 10.0, 100.0)
+    # Depletions: 100, 50, 200, 25.
+    assert report.alive_fraction(30.0) == pytest.approx(0.75)
+    assert report.alive_fraction(150.0) == pytest.approx(0.25)
+    assert report.alive_fraction(500.0) == 0.0
+
+
+def test_half_life():
+    report = project_lifetime([10.0, 20.0, 5.0, 40.0], 10.0, 100.0)
+    assert report.half_life == pytest.approx(50.0)  # 2nd of 4 deaths
+
+
+def test_zero_energy_node_lives_effectively_forever():
+    report = project_lifetime([0.0, 10.0], 10.0, 100.0)
+    assert report.depletion_times[0] > 1e10
+
+
+def test_uniform_profile_dies_simultaneously():
+    """The 802.11 case: identical energies -> identical depletion."""
+    report = project_lifetime([11.5] * 10, 10.0, 100.0)
+    assert np.allclose(report.depletion_times, report.depletion_times[0])
+    assert report.first_death == report.kth_death(10)
+
+
+def test_describe_line():
+    report = project_lifetime([10.0], 10.0, 100.0)
+    text = report.describe()
+    assert "first death" in text and "\n" not in text
+
+
+@pytest.mark.parametrize("kwargs", [
+    dict(node_energy=[1.0], sim_time=0.0, battery_joules=1.0),
+    dict(node_energy=[1.0], sim_time=1.0, battery_joules=0.0),
+    dict(node_energy=[], sim_time=1.0, battery_joules=1.0),
+    dict(node_energy=[-1.0], sim_time=1.0, battery_joules=1.0),
+])
+def test_validation(kwargs):
+    with pytest.raises(ConfigurationError):
+        project_lifetime(**kwargs)

@@ -1,0 +1,53 @@
+"""Tests for report formatting helpers."""
+
+import pytest
+
+from repro.metrics.report import format_series, format_table, ratio_improvement
+
+
+def test_format_table_alignment():
+    out = format_table(["a", "bbbb"], [[1, 2], [333, 4]])
+    lines = out.splitlines()
+    assert len(lines) == 4  # header, separator, two rows
+    assert all(len(line) == len(lines[0]) for line in lines[1:])
+
+
+def test_format_table_title():
+    out = format_table(["x"], [[1]], title="My Table")
+    assert out.splitlines()[0] == "My Table"
+
+
+def test_float_formatting():
+    out = format_table(["v"], [[1234.5678], [0.001234], [1.5], [0.0]])
+    assert "1.23e+03" in out
+    assert "0.00123" in out
+    assert "1.5" in out
+
+
+def test_format_series():
+    out = format_series("rate", [0.2, 0.4],
+                        {"rcast": [1.0, 2.0], "odpm": [3.0, 4.0]})
+    assert "rate" in out
+    assert "rcast" in out
+    lines = out.splitlines()
+    assert len(lines) == 4
+
+
+def test_ratio_improvement_paper_convention():
+    # "236% less": base consumes 3.36x what other does.
+    assert ratio_improvement(3.36, 1.0) == pytest.approx(236.0)
+    assert ratio_improvement(1.0, 1.0) == 0.0
+    assert ratio_improvement(1.0, 0.0) == float("inf")
+
+
+def test_format_negative_and_small_floats():
+    out = format_table(["v"], [[-1234.5], [-0.5], [1e-9]])
+    assert "-1.23e+03" in out
+    assert "-0.5" in out
+    assert "1e-09" in out
+
+
+def test_format_series_empty_axis():
+    out = format_series("x", [], {"a": []})
+    # Header and separator only.
+    assert len(out.splitlines()) == 2

@@ -1,0 +1,43 @@
+"""Tests for role-number tracking."""
+
+from repro.metrics.role import RoleTracker
+
+
+def test_intermediates_credited():
+    tracker = RoleTracker(5)
+    tracker.record_route((0, 1, 2, 3))
+    assert tracker.role_number(1) == 1
+    assert tracker.role_number(2) == 1
+    assert tracker.role_number(0) == 0
+    assert tracker.role_number(3) == 0
+
+
+def test_endpoints_never_credited():
+    tracker = RoleTracker(3)
+    tracker.record_route((0, 2))  # direct route: no intermediates
+    assert tracker.counts().sum() == 0
+
+
+def test_accumulates_over_routes():
+    tracker = RoleTracker(4)
+    tracker.record_route((0, 1, 3))
+    tracker.record_route((2, 1, 0))
+    assert tracker.role_number(1) == 2
+    assert tracker.routes_recorded == 2
+
+
+def test_max_role_and_top_k():
+    tracker = RoleTracker(4)
+    for _ in range(3):
+        tracker.record_route((0, 2, 3))
+    tracker.record_route((0, 1, 3))
+    assert tracker.max_role() == 3
+    assert tracker.top_k(2) == [(2, 3), (1, 1)]
+
+
+def test_counts_returns_copy():
+    tracker = RoleTracker(3)
+    tracker.record_route((0, 1, 2))
+    counts = tracker.counts()
+    counts[1] = 99
+    assert tracker.role_number(1) == 1

@@ -1,0 +1,65 @@
+"""Tests for the statistics helpers."""
+
+import pytest
+
+from repro.metrics.stats import (
+    confidence_interval_95,
+    mean,
+    percentile,
+    population_variance,
+    sample_variance,
+    std_dev,
+)
+
+
+def test_mean():
+    assert mean([1.0, 2.0, 3.0]) == pytest.approx(2.0)
+    assert mean([]) == 0.0
+    assert mean([5.0]) == 5.0
+
+
+def test_sample_variance():
+    assert sample_variance([2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]) == pytest.approx(4.571428, rel=1e-5)
+    assert sample_variance([]) == 0.0
+    assert sample_variance([3.0]) == 0.0
+    assert sample_variance([5.0, 5.0, 5.0]) == 0.0
+
+
+def test_population_variance():
+    assert population_variance([2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]) == pytest.approx(4.0)
+    assert population_variance([]) == 0.0
+
+
+def test_std_dev():
+    assert std_dev([1.0, 1.0, 1.0]) == 0.0
+    assert std_dev([0.0, 2.0]) == pytest.approx(2.0 ** 0.5)
+
+
+def test_percentile_basics():
+    data = list(range(11))  # 0..10
+    assert percentile(data, 0) == 0.0
+    assert percentile(data, 50) == 5.0
+    assert percentile(data, 100) == 10.0
+
+
+def test_percentile_interpolates():
+    assert percentile([0.0, 10.0], 25) == pytest.approx(2.5)
+
+
+def test_percentile_edge_cases():
+    assert percentile([], 50) == 0.0
+    assert percentile([7.0], 99) == 7.0
+    with pytest.raises(ValueError):
+        percentile([1.0], 101)
+
+
+def test_percentile_unsorted_input():
+    assert percentile([9.0, 1.0, 5.0], 50) == 5.0
+
+
+def test_confidence_interval():
+    assert confidence_interval_95([]) == 0.0
+    assert confidence_interval_95([3.0]) == 0.0
+    ci = confidence_interval_95([1.0, 2.0, 3.0, 4.0, 5.0])
+    # sd = sqrt(2.5); ci = 1.96*sd/sqrt(5)
+    assert ci == pytest.approx(1.96 * (2.5 ** 0.5) / (5 ** 0.5))

@@ -1,0 +1,114 @@
+"""Tests for the position service (cached positions, neighbor queries)."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.mobility.base import Arena
+from repro.mobility.manager import PositionService
+from repro.mobility.static import StaticPlacement
+from repro.mobility.waypoint import RandomWaypoint
+from repro.sim.engine import Simulator
+
+
+def line_service(sim, spacing=100.0, n=4, tx_range=150.0, cs_range=300.0):
+    arena = Arena(spacing * n + 100.0, 100.0)
+    positions = [(10.0 + i * spacing, 50.0) for i in range(n)]
+    model = StaticPlacement(positions, arena)
+    return PositionService(sim, model, tx_range=tx_range, cs_range=cs_range)
+
+
+def test_neighbors_symmetric(sim):
+    service = line_service(sim)
+    for a in range(4):
+        for b in service.neighbors(a):
+            assert a in service.neighbors(b)
+
+
+def test_neighbors_by_distance(sim):
+    service = line_service(sim, spacing=100.0, tx_range=150.0)
+    # 100 m spacing, 150 m range: only adjacent nodes are neighbors.
+    assert service.neighbors(0) == frozenset({1})
+    assert service.neighbors(1) == frozenset({0, 2})
+    assert service.neighbor_count(1) == 2
+
+
+def test_cs_neighbors_superset_of_neighbors(sim):
+    service = line_service(sim, cs_range=350.0)
+    for node in range(4):
+        assert service.neighbors(node) <= service.cs_neighbors(node)
+
+
+def test_in_range_and_distance(sim):
+    service = line_service(sim)
+    assert service.in_range(0, 1)
+    assert not service.in_range(0, 3)
+    assert service.distance(0, 2) == pytest.approx(200.0)
+
+
+def test_self_not_a_neighbor(sim):
+    service = line_service(sim)
+    for node in range(4):
+        assert node not in service.neighbors(node)
+
+
+def test_positions_refresh_with_time(sim, rng):
+    arena = Arena(500.0, 100.0)
+    model = RandomWaypoint(5, arena, rng, max_speed=10.0)
+    service = PositionService(sim, model, tx_range=100.0, cs_range=200.0,
+                              refresh=1.0)
+    before = service.positions().copy()
+    sim.schedule(30.0, lambda: None)
+    sim.run()
+    after = service.positions()
+    assert (before != after).any()
+
+
+def test_snapshot_cached_within_refresh_period(sim, rng):
+    arena = Arena(500.0, 100.0)
+    model = RandomWaypoint(5, arena, rng, max_speed=10.0)
+    service = PositionService(sim, model, tx_range=100.0, cs_range=200.0,
+                              refresh=10.0)
+    first = service.positions()
+    sim.schedule(0.5, lambda: None)
+    sim.run()
+    second = service.positions()
+    assert first is second  # same cached array object
+
+
+def test_link_changes_accumulate(sim, rng):
+    arena = Arena(300.0, 100.0)
+    model = RandomWaypoint(8, arena, rng, max_speed=20.0)
+    service = PositionService(sim, model, tx_range=80.0, cs_range=160.0,
+                              refresh=1.0)
+    for t in range(1, 60):
+        sim.schedule_at(float(t), service.positions)
+    sim.run()
+    assert service.link_changes.sum() > 0
+    assert all(service.link_change_rate(n) >= 0.0 for n in range(8))
+
+
+def test_static_network_has_no_link_changes(sim):
+    service = line_service(sim)
+    for t in range(1, 20):
+        sim.schedule_at(float(t), service.positions)
+    sim.run()
+    assert service.link_changes.sum() == 0
+
+
+def test_cs_range_must_cover_tx_range(sim):
+    arena = Arena(100.0, 100.0)
+    model = StaticPlacement([(1.0, 1.0), (2.0, 2.0)], arena)
+    with pytest.raises(ConfigurationError):
+        PositionService(sim, model, tx_range=100.0, cs_range=50.0)
+
+
+@pytest.mark.parametrize("kwargs", [
+    dict(tx_range=0.0),
+    dict(tx_range=-5.0),
+    dict(tx_range=10.0, refresh=0.0),
+])
+def test_invalid_parameters(sim, kwargs):
+    arena = Arena(100.0, 100.0)
+    model = StaticPlacement([(1.0, 1.0), (2.0, 2.0)], arena)
+    with pytest.raises(ConfigurationError):
+        PositionService(sim, model, **kwargs)

@@ -1,0 +1,60 @@
+"""Tests for the random direction mobility model."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.mobility.base import Arena
+from repro.mobility.random_direction import RandomDirection, _ray_to_boundary
+
+
+def test_positions_stay_inside(rng):
+    arena = Arena(300.0, 200.0)
+    model = RandomDirection(15, arena, rng, max_speed=8.0)
+    for t in np.linspace(0.0, 400.0, 50):
+        pos = model.positions_at(float(t))
+        assert (pos[:, 0] >= -1e-6).all() and (pos[:, 0] <= 300.0 + 1e-6).all()
+        assert (pos[:, 1] >= -1e-6).all() and (pos[:, 1] <= 200.0 + 1e-6).all()
+
+
+def test_destinations_on_boundary(rng):
+    """Ray casting must land exactly on an arena wall."""
+    arena = Arena(100.0, 60.0)
+    for angle in np.linspace(0.01, 2 * np.pi - 0.01, 37):
+        x, y = _ray_to_boundary(50.0, 30.0, float(angle), arena)
+        on_wall = (
+            abs(x) < 1e-6 or abs(x - 100.0) < 1e-6
+            or abs(y) < 1e-6 or abs(y - 60.0) < 1e-6
+        )
+        assert on_wall, (angle, x, y)
+
+
+def test_speed_bounded(rng):
+    model = RandomDirection(10, Arena(300.0, 200.0), rng, max_speed=5.0)
+    dt = 1.0
+    prev = model.positions_at(0.0)
+    for step in range(1, 60):
+        cur = model.positions_at(step * dt)
+        dist = np.hypot(*(cur - prev).T)
+        assert (dist <= 5.0 * dt + 1e-6).all()
+        prev = cur
+
+
+def test_backwards_query_rejected(rng):
+    model = RandomDirection(3, Arena(100.0, 100.0), rng, max_speed=5.0)
+    model.positions_at(50.0)
+    with pytest.raises(ConfigurationError):
+        model.positions_at(10.0)
+
+
+def test_invalid_speed_rejected(rng):
+    with pytest.raises(ConfigurationError):
+        RandomDirection(3, Arena(100.0, 100.0), rng, max_speed=0.0)
+
+
+def test_deterministic_for_seed():
+    import random
+
+    a = RandomDirection(5, Arena(100.0, 100.0), random.Random(4), max_speed=5.0)
+    b = RandomDirection(5, Arena(100.0, 100.0), random.Random(4), max_speed=5.0)
+    assert np.allclose(a.positions_at(77.0), b.positions_at(77.0))

@@ -1,0 +1,206 @@
+"""Property-based tests (hypothesis) on core invariants."""
+
+import math
+import random
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mobility.base import Arena
+from repro.mobility.waypoint import RandomWaypoint
+from repro.phy.energy import EnergyMeter, RadioState
+from repro.routing.dsr.cache import RouteCache
+from repro.routing.packets import DataPacket, next_uid
+from repro.sim.engine import Simulator
+from repro.metrics.stats import percentile, sample_variance
+
+
+# --- Event queue ordering ---------------------------------------------------
+
+@given(st.lists(st.floats(min_value=0.0, max_value=1e6,
+                          allow_nan=False, allow_infinity=False),
+                min_size=1, max_size=200))
+@settings(max_examples=50, deadline=None)
+def test_events_always_fire_in_nondecreasing_time(delays):
+    sim = Simulator()
+    fired = []
+    for d in delays:
+        sim.schedule(d, lambda t=d: fired.append(sim.now))
+    sim.run()
+    assert fired == sorted(fired)
+    assert len(fired) == len(delays)
+
+
+@given(st.lists(st.tuples(st.floats(min_value=0, max_value=100,
+                                    allow_nan=False),
+                          st.booleans()),
+                min_size=1, max_size=100))
+@settings(max_examples=50, deadline=None)
+def test_cancelled_events_never_fire(entries):
+    sim = Simulator()
+    fired = []
+    handles = []
+    for delay, cancel in entries:
+        handle = sim.schedule(delay, fired.append, cancel)
+        handles.append((handle, cancel))
+    for handle, cancel in handles:
+        if cancel:
+            handle.cancel()
+    sim.run()
+    assert all(flag is False for flag in fired)
+    expected = sum(1 for _, c in entries if not c)
+    assert len(fired) == expected
+
+
+# --- Waypoint mobility ------------------------------------------------------
+
+@given(seed=st.integers(min_value=0, max_value=2**31),
+       times=st.lists(st.floats(min_value=0, max_value=5000,
+                                allow_nan=False),
+                      min_size=1, max_size=20))
+@settings(max_examples=25, deadline=None)
+def test_waypoint_positions_always_inside_arena(seed, times):
+    arena = Arena(1000.0, 400.0)
+    model = RandomWaypoint(10, arena, random.Random(seed), max_speed=15.0,
+                           pause_time=5.0)
+    for t in sorted(times):
+        pos = model.positions_at(t)
+        assert (pos[:, 0] >= -1e-6).all() and (pos[:, 0] <= 1000.0 + 1e-6).all()
+        assert (pos[:, 1] >= -1e-6).all() and (pos[:, 1] <= 400.0 + 1e-6).all()
+
+
+@given(seed=st.integers(min_value=0, max_value=2**31))
+@settings(max_examples=20, deadline=None)
+def test_waypoint_displacement_bounded_by_max_speed(seed):
+    arena = Arena(500.0, 500.0)
+    model = RandomWaypoint(5, arena, random.Random(seed), max_speed=7.0)
+    prev = model.positions_at(0.0)
+    for step in range(1, 30):
+        cur = model.positions_at(step * 2.0)
+        dist = np.hypot(*(cur - prev).T)
+        assert (dist <= 7.0 * 2.0 + 1e-6).all()
+        prev = cur
+
+
+# --- Energy meter ------------------------------------------------------------
+
+@given(st.lists(st.tuples(st.sampled_from(list(RadioState)),
+                          st.floats(min_value=0.001, max_value=100.0,
+                                    allow_nan=False)),
+                min_size=1, max_size=50))
+@settings(max_examples=50, deadline=None)
+def test_energy_time_conservation(transitions):
+    """Sum of per-state residencies always equals elapsed time."""
+    meter = EnergyMeter()
+    t = 0.0
+    for state, dt in transitions:
+        t += dt
+        meter.transition(state, t)
+    t += 1.0
+    meter.finalize(t)
+    total = sum(meter.time_in(s) for s in RadioState)
+    assert total == pytest.approx(t, rel=1e-9)
+    assert meter.awake_time + meter.sleep_time == pytest.approx(t, rel=1e-9)
+
+
+@given(st.lists(st.tuples(st.sampled_from(list(RadioState)),
+                          st.floats(min_value=0.001, max_value=100.0,
+                                    allow_nan=False)),
+                min_size=1, max_size=50))
+@settings(max_examples=50, deadline=None)
+def test_energy_bounded_by_extreme_powers(transitions):
+    meter = EnergyMeter()
+    t = 0.0
+    for state, dt in transitions:
+        t += dt
+        meter.transition(state, t)
+    meter.finalize(t)
+    assert 0.045 * t - 1e-9 <= meter.energy_joules() <= 1.15 * t + 1e-9
+
+
+# --- Route cache -------------------------------------------------------------
+
+def paths_strategy(owner=0):
+    tail = st.lists(st.integers(min_value=1, max_value=30), min_size=1,
+                    max_size=6, unique=True)
+    return tail.map(lambda t: (owner, *t))
+
+
+@given(st.lists(paths_strategy(), min_size=1, max_size=60),
+       st.integers(min_value=1, max_value=30))
+@settings(max_examples=50, deadline=None)
+def test_cache_routes_are_loop_free_and_start_at_owner(paths, dst):
+    cache = RouteCache(0, capacity=16, primary_capacity=8)
+    for i, path in enumerate(paths):
+        cache.add_path(path, now=float(i), source="overhear")
+    route = cache.route_to(dst, now=1000.0)
+    if route is not None:
+        assert route[0] == 0
+        assert route[-1] == dst
+        assert len(set(route)) == len(route)
+
+
+@given(st.lists(paths_strategy(), min_size=1, max_size=40),
+       st.integers(min_value=1, max_value=30),
+       st.integers(min_value=0, max_value=30))
+@settings(max_examples=50, deadline=None)
+def test_cache_no_route_through_removed_link(paths, a, b):
+    if a == b:
+        return
+    cache = RouteCache(0, capacity=64, primary_capacity=32)
+    for i, path in enumerate(paths):
+        cache.add_path(path, now=float(i), source="rrep")
+    cache.remove_link(a, b)
+    for cached in cache.paths():
+        for i in range(len(cached.path) - 1):
+            hop = (cached.path[i], cached.path[i + 1])
+            assert hop != (a, b) and hop != (b, a)
+
+
+@given(st.lists(paths_strategy(), min_size=1, max_size=200))
+@settings(max_examples=30, deadline=None)
+def test_cache_capacity_never_exceeded(paths):
+    cache = RouteCache(0, capacity=10, primary_capacity=5)
+    for i, path in enumerate(paths):
+        cache.add_path(path, now=float(i), source="overhear")
+        assert len(cache) <= 15
+
+
+# --- Source-route indexing ----------------------------------------------------
+
+@given(st.lists(st.integers(min_value=0, max_value=100), min_size=2,
+                max_size=10, unique=True))
+@settings(max_examples=50, deadline=None)
+def test_data_packet_advance_walks_entire_route(route):
+    packet = DataPacket(src=route[0], dst=route[-1], uid=next_uid(),
+                        created_at=0.0, trip_route=tuple(route), trip_index=0,
+                        payload_bytes=10)
+    visited = [packet.current_hop]
+    while not packet.at_last_hop:
+        packet = packet.advance()
+        visited.append(packet.current_hop)
+    visited.append(packet.next_hop)
+    assert visited == list(route)
+
+
+# --- Statistics ---------------------------------------------------------------
+
+@given(st.lists(st.floats(min_value=-1e6, max_value=1e6, allow_nan=False),
+                min_size=2, max_size=100))
+@settings(max_examples=50, deadline=None)
+def test_variance_nonnegative_and_zero_for_constant(values):
+    assert sample_variance(values) >= 0.0
+    assert sample_variance([values[0]] * len(values)) == pytest.approx(
+        0.0, abs=1e-6)
+
+
+@given(st.lists(st.floats(min_value=-1e6, max_value=1e6, allow_nan=False),
+                min_size=1, max_size=100),
+       st.floats(min_value=0.0, max_value=100.0))
+@settings(max_examples=50, deadline=None)
+def test_percentile_within_bounds_and_monotone(values, q):
+    p = percentile(values, q)
+    assert min(values) - 1e-9 <= p <= max(values) + 1e-9
+    assert percentile(values, 0) <= percentile(values, 100)

@@ -1,0 +1,63 @@
+"""Property-based tests for PSM timing arithmetic."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.constants import POWER_AWAKE_W, POWER_SLEEP_W
+
+from tests.mac.conftest import make_psm_rig
+
+ISOLATED = [(0.0, 50.0), (400.0, 50.0)]  # out of range of each other
+
+
+@given(
+    beacon=st.floats(min_value=0.05, max_value=1.0, allow_nan=False),
+    fraction=st.floats(min_value=0.05, max_value=0.9, allow_nan=False),
+)
+@settings(max_examples=15, deadline=None)
+def test_idle_awake_fraction_equals_atim_fraction(beacon, fraction):
+    """With no traffic, every PSM node's awake time is exactly the ATIM
+    fraction of the run, whatever the interval sizing."""
+    atim = beacon * fraction
+    rig = make_psm_rig(ISOLATED, beacon_interval=beacon, atim_window=atim)
+    intervals = 20
+    horizon = beacon * intervals
+    rig.run(until=horizon)
+    for radio in rig.radios.values():
+        radio.meter.finalize(horizon)
+        assert radio.meter.awake_time == pytest.approx(
+            atim * intervals, rel=1e-6)
+        expected = (POWER_AWAKE_W * atim * intervals
+                    + POWER_SLEEP_W * (beacon - atim) * intervals)
+        assert radio.meter.energy_joules() == pytest.approx(expected,
+                                                            rel=1e-6)
+
+
+@given(offset_ms=st.integers(min_value=0, max_value=200))
+@settings(max_examples=15, deadline=None)
+def test_clock_offset_preserves_energy_identity(offset_ms):
+    """Whatever the clock offset, awake + sleep time == elapsed time."""
+    rig = make_psm_rig(ISOLATED, clock_offset=offset_ms / 1000.0)
+    horizon = 5.0
+    rig.run(until=horizon)
+    for radio in rig.radios.values():
+        radio.meter.finalize(horizon)
+        total = radio.meter.awake_time + radio.meter.sleep_time
+        assert total == pytest.approx(horizon, rel=1e-9)
+
+
+@given(n_packets=st.integers(min_value=1, max_value=12))
+@settings(max_examples=10, deadline=None)
+def test_all_queued_packets_eventually_delivered(n_packets):
+    """FIFO queue + per-destination ATIMs drain any backlog in order."""
+    rig = make_psm_rig([(0.0, 50.0), (100.0, 50.0)])
+    rig.start()
+    from tests.mac.conftest import DummyPacket
+
+    packets = [DummyPacket(label=str(i)) for i in range(n_packets)]
+    for packet in packets:
+        rig.macs[0].send(packet, 1)
+    rig.sim.run(until=3.0 + 0.3 * n_packets)
+    received = [p for n, p, s in rig.received if n == 1]
+    assert received == packets  # all delivered, in order

@@ -1,0 +1,122 @@
+"""Property-based tests over the assembled stack."""
+
+import random
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mobility.base import Arena
+from repro.mobility.manager import PositionService
+from repro.mobility.static import StaticPlacement
+from repro.phy.channel import Channel
+from repro.phy.radio import Radio
+from repro.sim.engine import Simulator
+
+
+class _Pkt:
+    kind = "data"
+
+    def __init__(self, size_bytes):
+        self.size_bytes = size_bytes
+
+
+class _Frame:
+    def __init__(self, src, dst, size_bytes):
+        self.src = src
+        self.dst = dst
+        self.packet = _Pkt(size_bytes)
+        self.size_bytes = size_bytes
+        self.is_broadcast = dst == -1
+
+    def describe(self):
+        return "prop-frame"
+
+
+positions_strategy = st.lists(
+    st.tuples(st.floats(min_value=0.0, max_value=1000.0, allow_nan=False),
+              st.floats(min_value=0.0, max_value=300.0, allow_nan=False)),
+    min_size=3, max_size=12,
+)
+
+
+@given(positions=positions_strategy,
+       sender=st.integers(min_value=0, max_value=11),
+       size=st.integers(min_value=10, max_value=2000))
+@settings(max_examples=40, deadline=None)
+def test_broadcast_delivery_exactly_in_range_awake_set(positions, sender, size):
+    """Whatever the topology: delivered == awake nodes within tx range."""
+    sender %= len(positions)
+    sim = Simulator()
+    arena = Arena(1100.0, 400.0)
+    model = StaticPlacement(positions, arena)
+    service = PositionService(sim, model, tx_range=250.0, cs_range=550.0)
+    radios = {i: Radio(sim, i) for i in range(len(positions))}
+    channel = Channel(sim, service, radios, bitrate=2e6)
+    inbox = []
+    for i in range(len(positions)):
+        channel.attach(i, lambda f, s, n=i: inbox.append(n))
+    sim.schedule(0.0, channel.transmit, sender, _Frame(sender, -1, size))
+    sim.run()
+    expected = {n for n in service.neighbors(sender)}
+    assert set(inbox) == expected
+
+
+@given(positions=positions_strategy,
+       sleepers=st.sets(st.integers(min_value=0, max_value=11)))
+@settings(max_examples=40, deadline=None)
+def test_sleeping_nodes_never_receive(positions, sleepers):
+    sim = Simulator()
+    arena = Arena(1100.0, 400.0)
+    model = StaticPlacement(positions, arena)
+    service = PositionService(sim, model, tx_range=250.0, cs_range=550.0)
+    radios = {i: Radio(sim, i) for i in range(len(positions))}
+    channel = Channel(sim, service, radios, bitrate=2e6)
+    inbox = []
+    for i in range(len(positions)):
+        channel.attach(i, lambda f, s, n=i: inbox.append(n))
+    sleepers = {n for n in sleepers if 0 < n < len(positions)}
+    for node in sleepers:
+        radios[node].sleep()
+    sim.schedule(0.0, channel.transmit, 0, _Frame(0, -1, 500))
+    sim.run()
+    assert not any(n in sleepers for n in inbox)
+
+
+@given(seed=st.integers(min_value=0, max_value=10_000))
+@settings(max_examples=10, deadline=None)
+def test_full_run_energy_conservation(seed):
+    """For any seed: per-node awake+sleep time == sim time, and the energy
+    identity E = 1.15*awake + 0.045*sleep holds exactly."""
+    from repro.network import SimulationConfig, run_simulation
+
+    config = SimulationConfig(
+        scheme="rcast", num_nodes=12, arena_w=500.0, arena_h=300.0,
+        mobility="static", num_connections=2, packet_rate=0.5,
+        sim_time=8.0, seed=seed,
+    )
+    metrics = run_simulation(config)
+    sleep_time = 8.0 - metrics.node_awake_time
+    assert (metrics.node_awake_time >= -1e-9).all()
+    assert (sleep_time >= -1e-9).all()
+    expected = 1.15 * metrics.node_awake_time + 0.045 * sleep_time
+    assert np.allclose(metrics.node_energy, expected, rtol=1e-9)
+    # Energy bounded by the always-on ceiling and the all-sleep floor.
+    assert (metrics.node_energy <= 1.15 * 8.0 + 1e-6).all()
+    assert (metrics.node_energy >= 0.045 * 8.0 - 1e-6).all()
+
+
+@given(seed=st.integers(min_value=0, max_value=10_000))
+@settings(max_examples=10, deadline=None)
+def test_full_run_pdr_in_unit_interval(seed):
+    from repro.network import SimulationConfig, run_simulation
+
+    config = SimulationConfig(
+        scheme="odpm", num_nodes=12, arena_w=500.0, arena_h=300.0,
+        mobility="static", num_connections=2, packet_rate=0.5,
+        sim_time=8.0, seed=seed,
+    )
+    metrics = run_simulation(config)
+    assert 0.0 <= metrics.pdr <= 1.0
+    assert metrics.data_delivered <= metrics.data_sent

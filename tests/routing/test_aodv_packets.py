@@ -1,0 +1,79 @@
+"""Tests for AODV packet types."""
+
+import pytest
+
+from repro.errors import RoutingError
+from repro.routing.aodv.packets import AodvData, AodvRerr, AodvRrep, AodvRreq
+from repro.routing.packets import next_uid
+
+
+def test_data_size_and_forwarding():
+    packet = AodvData(src=0, dst=5, uid=next_uid(), created_at=0.0,
+                      payload_bytes=512)
+    assert packet.size_bytes == 20 + 512  # IP header only, no source route
+    forwarded = packet.forwarded()
+    assert forwarded.hops_travelled == 1
+    assert packet.hops_travelled == 0  # immutable original
+
+
+def test_data_smaller_than_dsr_equivalent():
+    """AODV's headline structural advantage: no per-hop route in data."""
+    from repro.routing.packets import DataPacket
+
+    aodv = AodvData(src=0, dst=5, uid=next_uid(), created_at=0.0,
+                    payload_bytes=512)
+    dsr = DataPacket(src=0, dst=5, uid=next_uid(), created_at=0.0,
+                     trip_route=(0, 1, 2, 3, 5), trip_index=0,
+                     payload_bytes=512)
+    assert aodv.size_bytes < dsr.size_bytes
+
+
+def test_rreq_rebroadcast():
+    rreq = AodvRreq(src=0, dst=9, uid=next_uid(), created_at=0.0,
+                    rreq_id=3, origin_seq=7, dst_seq=-1, hop_count=0, ttl=5)
+    out = rreq.rebroadcast()
+    assert out.hop_count == 1
+    assert out.ttl == 4
+    assert out.rreq_id == 3
+
+
+def test_rreq_rebroadcast_exhausted_ttl():
+    rreq = AodvRreq(src=0, dst=9, uid=next_uid(), created_at=0.0,
+                    rreq_id=3, origin_seq=7, dst_seq=-1, hop_count=0, ttl=0)
+    with pytest.raises(RoutingError):
+        rreq.rebroadcast()
+
+
+def test_rreq_validation():
+    with pytest.raises(RoutingError):
+        AodvRreq(src=0, dst=9, uid=next_uid(), created_at=0.0, rreq_id=1,
+                 origin_seq=1, dst_seq=-1, hop_count=-1, ttl=5)
+
+
+def test_rrep_forwarding():
+    rrep = AodvRrep(src=9, dst=0, uid=next_uid(), created_at=0.0,
+                    route_dst=9, dst_seq=12, hop_count=0)
+    out = rrep.forwarded()
+    assert out.hop_count == 1
+    assert out.route_dst == 9
+
+
+def test_rerr_size_scales_with_list():
+    one = AodvRerr(src=1, uid=next_uid(), created_at=0.0,
+                   unreachable=((5, 10),))
+    two = AodvRerr(src=1, uid=next_uid(), created_at=0.0,
+                   unreachable=((5, 10), (6, 2)))
+    assert two.size_bytes == one.size_bytes + 8
+    assert one.dst == -1  # broadcast
+
+
+def test_rerr_requires_destinations():
+    with pytest.raises(RoutingError):
+        AodvRerr(src=1, uid=next_uid(), created_at=0.0, unreachable=())
+
+
+def test_kinds():
+    assert AodvData(0, 1, next_uid(), 0.0, 10).kind == "data"
+    assert AodvRreq(0, 1, next_uid(), 0.0, 1, 1, -1, 0, 1).kind == "rreq"
+    assert AodvRrep(1, 0, next_uid(), 0.0, 1, 1, 0).kind == "rrep"
+    assert AodvRerr(0, next_uid(), 0.0, ((1, 1),)).kind == "rerr"

@@ -1,0 +1,175 @@
+"""Tests for the two-segment DSR route cache."""
+
+import pytest
+
+from repro.errors import RoutingError
+from repro.routing.dsr.cache import RouteCache
+
+
+def test_add_and_route_to():
+    cache = RouteCache(0)
+    cache.add_path((0, 1, 2, 3), now=0.0, source="rrep")
+    assert cache.route_to(3, 1.0) == (0, 1, 2, 3)
+
+
+def test_prefix_provides_intermediate_routes():
+    cache = RouteCache(0)
+    cache.add_path((0, 1, 2, 3), now=0.0, source="rrep")
+    assert cache.route_to(2, 1.0) == (0, 1, 2)
+    assert cache.route_to(1, 1.0) == (0, 1)
+
+
+def test_route_to_prefers_shortest():
+    cache = RouteCache(0)
+    cache.add_path((0, 1, 2, 3, 9), now=0.0, source="rrep")
+    cache.add_path((0, 4, 9), now=0.0, source="rrep")
+    assert cache.route_to(9, 1.0) == (0, 4, 9)
+
+
+def test_miss_returns_none_and_counts():
+    cache = RouteCache(0)
+    assert cache.route_to(5, 0.0) is None
+    assert cache.misses == 1
+    assert cache.hits == 0
+
+
+def test_path_must_start_at_owner():
+    cache = RouteCache(0)
+    with pytest.raises(RoutingError):
+        cache.add_path((1, 2), now=0.0)
+
+
+def test_loops_rejected():
+    cache = RouteCache(0)
+    with pytest.raises(RoutingError):
+        cache.add_path((0, 1, 0), now=0.0)
+
+
+def test_short_path_rejected():
+    cache = RouteCache(0)
+    with pytest.raises(RoutingError):
+        cache.add_path((0,), now=0.0)
+
+
+def test_duplicate_refreshes_not_inserted():
+    cache = RouteCache(0)
+    assert cache.add_path((0, 1, 2), now=0.0, source="rrep") is True
+    assert cache.add_path((0, 1, 2), now=5.0, source="rrep") is False
+    assert len(cache) == 1
+
+
+def test_prefix_of_existing_adds_nothing():
+    cache = RouteCache(0)
+    cache.add_path((0, 1, 2, 3), now=0.0, source="rrep")
+    assert cache.add_path((0, 1, 2), now=1.0, source="rrep") is False
+    assert len(cache) == 1
+
+
+def test_primary_and_secondary_segments():
+    cache = RouteCache(0, capacity=4, primary_capacity=4)
+    cache.add_path((0, 1, 2), now=0.0, source="rrep")      # primary
+    cache.add_path((0, 3, 4), now=0.0, source="overhear")  # secondary
+    sources = sorted(c.source for c in cache.paths())
+    assert sources == ["overhear", "rrep"]
+    assert len(cache) == 2
+
+
+def test_overheard_flood_cannot_evict_primary_route():
+    """The Hu & Johnson property: passive junk never evicts active routes."""
+    cache = RouteCache(0, capacity=4, primary_capacity=4)
+    cache.add_path((0, 1, 9), now=0.0, source="rrep")
+    for i in range(50):
+        cache.add_path((0, 2, 100 + i), now=1.0 + i, source="overhear")
+    assert cache.route_to(9, 100.0) == (0, 1, 9)
+
+
+def test_secondary_eviction_is_lru():
+    cache = RouteCache(0, capacity=2, primary_capacity=2)
+    cache.add_path((0, 1, 10), now=0.0, source="overhear")
+    cache.add_path((0, 2, 20), now=1.0, source="overhear")
+    cache.route_to(10, 2.0)  # freshen the first (also promotes it)
+    cache.add_path((0, 3, 30), now=3.0, source="overhear")
+    cache.add_path((0, 4, 40), now=4.0, source="overhear")
+    assert cache.route_to(10, 9.0) is not None  # promoted, safe
+    assert cache.route_to(40, 9.0) is not None
+
+
+def test_promotion_on_use():
+    cache = RouteCache(0, capacity=8, primary_capacity=8)
+    cache.add_path((0, 1, 9), now=0.0, source="overhear")
+    assert cache.promotions == 0
+    cache.route_to(9, 1.0)
+    assert cache.promotions == 1
+    # Now a secondary flood cannot touch it.
+    for i in range(20):
+        cache.add_path((0, 2, 50 + i), now=2.0 + i, source="overhear")
+    assert cache.route_to(9, 100.0) == (0, 1, 9)
+
+
+def test_remove_link_truncates_path():
+    cache = RouteCache(0)
+    cache.add_path((0, 1, 2, 3), now=0.0, source="rrep")
+    affected = cache.remove_link(2, 3)
+    assert affected == 1
+    assert cache.route_to(3, 1.0) is None
+    assert cache.route_to(2, 1.0) == (0, 1, 2)  # surviving prefix
+
+
+def test_remove_link_either_direction():
+    cache = RouteCache(0)
+    cache.add_path((0, 1, 2), now=0.0, source="rrep")
+    assert cache.remove_link(2, 1) == 1
+    assert cache.route_to(2, 1.0) is None
+
+
+def test_remove_first_link_drops_path():
+    cache = RouteCache(0)
+    cache.add_path((0, 1, 2), now=0.0, source="rrep")
+    cache.remove_link(0, 1)
+    assert len(cache) == 0
+
+
+def test_remove_link_untouched_paths_survive():
+    cache = RouteCache(0)
+    cache.add_path((0, 1, 2), now=0.0, source="rrep")
+    cache.add_path((0, 4, 5), now=0.0, source="rrep")
+    cache.remove_link(1, 2)
+    assert cache.route_to(5, 1.0) == (0, 4, 5)
+
+
+def test_timeout_expires_entries():
+    cache = RouteCache(0, timeout=10.0)
+    cache.add_path((0, 1, 2), now=0.0, source="rrep")
+    assert cache.route_to(2, 5.0) is not None
+    assert cache.route_to(2, 11.0) is None
+    assert cache.invalidations >= 1
+
+
+def test_known_destinations():
+    cache = RouteCache(0)
+    cache.add_path((0, 1, 2), now=0.0, source="rrep")
+    cache.add_path((0, 3), now=0.0, source="overhear")
+    assert cache.known_destinations(1.0) == {1, 2, 3}
+
+
+def test_has_route_to_does_not_touch_counters():
+    cache = RouteCache(0)
+    cache.add_path((0, 1), now=0.0, source="rrep")
+    hits, misses = cache.hits, cache.misses
+    assert cache.has_route_to(1, 1.0)
+    assert not cache.has_route_to(9, 1.0)
+    assert (cache.hits, cache.misses) == (hits, misses)
+
+
+def test_clear():
+    cache = RouteCache(0)
+    cache.add_path((0, 1), now=0.0, source="rrep")
+    cache.clear()
+    assert len(cache) == 0
+
+
+def test_invalid_capacity():
+    with pytest.raises(RoutingError):
+        RouteCache(0, capacity=0)
+    with pytest.raises(RoutingError):
+        RouteCache(0, primary_capacity=0)

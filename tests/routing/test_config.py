@@ -1,0 +1,47 @@
+"""Tests for DsrConfig validation."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.routing.dsr.config import DsrConfig
+
+
+def test_defaults_valid():
+    config = DsrConfig()
+    assert config.cache_capacity > 0
+    assert config.ring_search
+    assert config.salvage
+    assert config.cache_replies
+    assert config.learn_from_overhearing
+
+
+@pytest.mark.parametrize("kwargs", [
+    dict(cache_capacity=0),
+    dict(cache_primary_capacity=0),
+    dict(cache_timeout=0.0),
+    dict(cache_timeout=-5.0),
+    dict(nonprop_ttl=-1),
+    dict(network_ttl=0),
+    dict(discovery_timeout=0.0),
+    dict(nonprop_timeout=0.0),
+    dict(discovery_max_backoff=0.0),
+    dict(discovery_max_retries=0),
+    dict(send_buffer_capacity=0),
+    dict(send_buffer_timeout=0.0),
+    dict(max_replies_per_request=0),
+    dict(max_salvage_count=-1),
+])
+def test_invalid_values_rejected(kwargs):
+    with pytest.raises(ConfigurationError):
+        DsrConfig(**kwargs)
+
+
+def test_cache_timeout_none_allowed():
+    assert DsrConfig(cache_timeout=None).cache_timeout is None
+
+
+def test_custom_values_stick():
+    config = DsrConfig(cache_capacity=16, salvage=False, network_ttl=8)
+    assert config.cache_capacity == 16
+    assert not config.salvage
+    assert config.network_ttl == 8

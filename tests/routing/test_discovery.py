@@ -1,0 +1,116 @@
+"""Focused tests for DSR route discovery mechanics."""
+
+import pytest
+
+from repro.routing.dsr.config import DsrConfig
+from repro.routing.packets import RouteReply, RouteRequest, next_uid
+
+from tests.routing.conftest import DsrRig, line_rig
+
+
+def test_target_replies_to_multiple_rreq_copies():
+    """DSR offers alternative routes: the target answers several copies."""
+    # Diamond topology: two disjoint paths 0->3, so the flood reaches the
+    # target twice with different records.
+    positions = [(0.0, 100.0), (120.0, 170.0), (120.0, 30.0), (240.0, 100.0)]
+    rig = DsrRig(positions, tx_range=160.0, cs_range=350.0)
+    rig.dsr[0].send_data(3, 128)
+    rig.run(until=5.0)
+    assert rig.dsr[3].rrep_sent == 2
+
+
+def test_target_reply_cap_respected():
+    config = DsrConfig(max_replies_per_request=1)
+    positions = [(0.0, 100.0), (120.0, 170.0), (120.0, 30.0), (240.0, 100.0)]
+    rig = DsrRig(positions, dsr_config=config, tx_range=160.0, cs_range=350.0)
+    rig.dsr[0].send_data(3, 128)
+    rig.run(until=5.0)
+    assert rig.dsr[3].rrep_sent == 1
+
+
+def test_ring_search_disabled_floods_immediately():
+    config = DsrConfig(ring_search=False)
+    rig = line_rig(3, dsr_config=config)
+    rig.dsr[0].send_data(2, 128)
+    rig.run(until=3.0)
+    # Single discovery attempt (network-wide) suffices.
+    assert rig.dsr[0].rreq_sent == 1
+    assert len(rig.delivered) == 1
+
+
+def test_rreq_ttl_limits_propagation():
+    config = DsrConfig(ring_search=True, nonprop_ttl=1,
+                       discovery_max_retries=1, nonprop_timeout=0.3)
+    rig = line_rig(4, dsr_config=config)
+    rig.dsr[0].send_data(3, 128)
+    rig.run(until=2.0)
+    # Ring-0: origin broadcast only; no neighbor rebroadcast (TTL 1).
+    assert rig.metrics.transmissions["rreq"] == 1
+
+
+def test_cache_reply_suppressed_after_overhearing_answer():
+    """Once an RREP for a request is overheard, other cache holders shut up."""
+    rig = line_rig(4)
+    # Warm every cache with a route to 3.
+    rig.dsr[0].send_data(3, 128)
+    rig.run(until=5.0)
+    rreps_before = rig.metrics.transmissions["rrep"]
+    # Clear the source cache and rediscover: nodes 1 and 2 both hold routes,
+    # but jitter + suppression means not everyone floods replies.
+    rig.dsr[0].cache.clear()
+    rig.dsr[0]._seen_rreqs.clear()
+    rig.dsr[0].send_data(3, 128)
+    rig.run(until=10.0)
+    new_rreps = rig.metrics.transmissions["rrep"] - rreps_before
+    # One cache reply from node 1 (1 hop back) is enough.
+    assert new_rreps <= 2
+    assert len(rig.delivered) == 2
+
+
+def test_forwarded_rrep_marks_request_answered():
+    rig = line_rig(3)
+    rig.dsr[0].send_data(2, 128)
+    rig.run(until=5.0)
+    # Node 1 forwarded the target's RREP and must know the request was
+    # answered (suppression bookkeeping).
+    assert len(rig.dsr[1]._answered) >= 1
+
+
+def test_discovery_completes_only_once():
+    rig = line_rig(4)
+    rig.dsr[0].send_data(3, 128)
+    rig.run(until=5.0)
+    assert 3 not in rig.dsr[0]._discoveries  # cleaned up
+    # Timer was cancelled: no stray retry floods after completion.
+    rreq_after_completion = rig.dsr[0].rreq_sent
+    rig.run(until=12.0)
+    assert rig.dsr[0].rreq_sent == rreq_after_completion
+
+
+def test_salvage_disabled_by_config():
+    config = DsrConfig(salvage=False)
+    rig = line_rig(4, dsr_config=config)
+    rig.dsr[0].send_data(3, 128)
+    rig.run(until=5.0)
+    rig.radios[3].sleep()
+    rig.dsr[0].send_data(3, 128)
+    rig.run(until=12.0)
+    assert all(agent.data_salvaged == 0 for agent in rig.dsr.values())
+
+
+def test_salvage_count_bounded():
+    from repro.routing.packets import DataPacket
+
+    packet = DataPacket(src=0, dst=3, uid=next_uid(), created_at=0.0,
+                        trip_route=(0, 1, 3), trip_index=0, payload_bytes=10)
+    salvaged = packet.salvaged((1, 2, 3)).salvaged((2, 4, 3))
+    assert salvaged.salvage_count == 2
+
+
+def test_rrep_request_key_round_trips():
+    rrep = RouteReply(src=2, dst=0, uid=next_uid(), created_at=0.0,
+                      trip_route=(2, 1, 0), trip_index=0, path=(0, 1, 2),
+                      request_key=(0, 42))
+    assert rrep.request_key == (0, 42)
+    advanced = rrep.advance()
+    assert advanced.request_key == (0, 42)

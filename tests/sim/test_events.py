@@ -1,0 +1,49 @@
+"""Tests for event handles and their ordering semantics."""
+
+from repro.sim.events import (
+    Event,
+    PRIORITY_KERNEL,
+    PRIORITY_LATE,
+    PRIORITY_NORMAL,
+)
+
+
+def test_sort_key_orders_by_time_first():
+    early = Event(1.0, lambda: None, priority=PRIORITY_LATE)
+    late = Event(2.0, lambda: None, priority=PRIORITY_KERNEL)
+    assert early < late
+
+
+def test_sort_key_orders_by_priority_within_time():
+    kernel = Event(1.0, lambda: None, priority=PRIORITY_KERNEL)
+    normal = Event(1.0, lambda: None, priority=PRIORITY_NORMAL)
+    late = Event(1.0, lambda: None, priority=PRIORITY_LATE)
+    assert kernel < normal < late
+
+
+def test_sequence_breaks_full_ties():
+    first = Event(1.0, lambda: None)
+    second = Event(1.0, lambda: None)
+    assert first < second
+    assert first.seq < second.seq
+
+
+def test_cancel_marks_event():
+    event = Event(1.0, lambda: None)
+    assert not event.cancelled
+    event.cancel()
+    assert event.cancelled
+
+
+def test_fire_invokes_callback_with_args():
+    got = []
+    event = Event(1.0, lambda a, b: got.append((a, b)), args=(1, 2))
+    event.fire()
+    assert got == [(1, 2)]
+
+
+def test_repr_mentions_state():
+    event = Event(1.0, lambda: None)
+    assert "pending" in repr(event)
+    event.cancel()
+    assert "cancelled" in repr(event)

@@ -1,0 +1,59 @@
+"""Tests for the trace sink."""
+
+from repro.sim.trace import NULL_TRACE, NullTrace, TraceLog, TraceRecord
+
+
+def test_emit_and_len():
+    log = TraceLog()
+    log.emit(1.0, "mac", 3, "hello")
+    log.emit(2.0, "dsr", 4, "world")
+    assert len(log) == 2
+
+
+def test_filter_by_category():
+    log = TraceLog()
+    log.emit(1.0, "mac", 1, "a")
+    log.emit(2.0, "dsr", 1, "b")
+    assert [r.detail for r in log.filter(category="mac")] == ["a"]
+
+
+def test_filter_by_node():
+    log = TraceLog()
+    log.emit(1.0, "mac", 1, "a")
+    log.emit(2.0, "mac", 2, "b")
+    assert [r.detail for r in log.filter(node=2)] == ["b"]
+
+
+def test_category_whitelist():
+    log = TraceLog(categories=["mac"])
+    log.emit(1.0, "mac", 1, "kept")
+    log.emit(1.0, "dsr", 1, "dropped")
+    assert [r.detail for r in log] == ["kept"]
+
+
+def test_dump_renders_lines():
+    log = TraceLog()
+    log.emit(1.5, "chan.tx", 7, "frame")
+    out = log.dump()
+    assert "chan.tx" in out
+    assert "n7" in out
+
+
+def test_record_str_format():
+    rec = TraceRecord(0.25, "mac", 12, "detail text")
+    text = str(rec)
+    assert "0.250000" in text
+    assert "detail text" in text
+
+
+def test_null_trace_is_inert():
+    assert not NullTrace().enabled
+    NULL_TRACE.emit(1.0, "x", 0, "ignored")
+    assert len(NULL_TRACE) == 0
+    assert NULL_TRACE.dump() == ""
+    assert NULL_TRACE.filter() == []
+    assert list(NULL_TRACE) == []
+
+
+def test_trace_log_enabled_flag():
+    assert TraceLog().enabled

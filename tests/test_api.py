@@ -1,0 +1,45 @@
+"""Public API surface tests."""
+
+import repro
+
+
+def test_version():
+    assert repro.__version__ == "1.0.0"
+
+
+def test_all_exports_resolve():
+    for name in repro.__all__:
+        assert hasattr(repro, name), name
+
+
+def test_schemes_tuple():
+    assert repro.SCHEMES == (
+        "ieee80211", "psm", "psm-nooh", "odpm", "rcast", "span",
+    )
+
+
+def test_top_level_quickstart_contract():
+    """The README's quickstart snippet must keep working."""
+    config = repro.SimulationConfig(
+        scheme="rcast", num_nodes=12, sim_time=6.0, packet_rate=0.5,
+        num_connections=2, mobility="static", arena_w=500.0, arena_h=300.0,
+        seed=7,
+    )
+    metrics = repro.run_simulation(config)
+    assert isinstance(metrics, repro.RunMetrics)
+    assert metrics.total_energy > 0
+    assert isinstance(metrics.describe(), str)
+
+
+def test_subpackage_imports():
+    import repro.core
+    import repro.experiments
+    import repro.mac
+    import repro.metrics
+    import repro.mobility
+    import repro.phy
+    import repro.routing
+    import repro.sim
+    import repro.traffic
+
+    assert repro.core.RcastManager is repro.RcastManager

@@ -1,0 +1,79 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+def test_run_command_prints_summary(capsys):
+    code = main([
+        "run", "--scheme", "rcast", "--nodes", "15", "--rate", "0.5",
+        "--sim-time", "8", "--connections", "2", "--static", "--seed", "3",
+    ])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "rcast:" in out
+    assert "transmissions:" in out
+    assert "wall time" in out
+
+
+def test_run_command_mobile(capsys):
+    code = main([
+        "run", "--scheme", "odpm", "--nodes", "12", "--rate", "0.5",
+        "--sim-time", "6", "--connections", "2", "--speed", "2",
+        "--pause", "0", "--seed", "4",
+    ])
+    assert code == 0
+    assert "odpm:" in capsys.readouterr().out
+
+
+def test_invalid_scheme_rejected():
+    with pytest.raises(SystemExit):
+        main(["run", "--scheme", "bogus"])
+
+
+def test_missing_command_rejected():
+    with pytest.raises(SystemExit):
+        main([])
+
+
+def test_unknown_figure_rejected():
+    with pytest.raises(SystemExit):
+        main(["fig42"])
+
+
+def test_invalid_scale_rejected():
+    with pytest.raises(SystemExit):
+        main(["fig5", "--scale", "galactic"])
+
+
+def test_ablation_requires_known_study():
+    with pytest.raises(SystemExit):
+        main(["ablation", "nonexistent"])
+
+
+def test_sweep_command_with_export(tmp_path, capsys, monkeypatch):
+    import dataclasses
+
+    import repro.cli as cli
+    from repro.experiments.scenarios import SMOKE_SCALE
+
+    tiny = dataclasses.replace(SMOKE_SCALE, num_nodes=12, sim_time=8.0,
+                               num_connections=2, repetitions=1)
+    monkeypatch.setitem(cli._SCALES, "smoke", tiny)
+    json_path = tmp_path / "sweep.json"
+    csv_path = tmp_path / "sweep.csv"
+    code = main([
+        "sweep", "--schemes", "rcast", "--rates", "0.5",
+        "--scenarios", "static", "--scale", "smoke",
+        "--json", str(json_path), "--csv", str(csv_path),
+    ])
+    assert code == 0
+    assert json_path.exists() and csv_path.exists()
+    out = capsys.readouterr().out
+    assert "total energy" in out
+
+
+def test_sweep_rejects_unknown_scenario():
+    with pytest.raises(SystemExit):
+        main(["sweep", "--scenarios", "lunar", "--scale", "smoke"])

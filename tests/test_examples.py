@@ -1,0 +1,38 @@
+"""Smoke tests for the example scripts.
+
+Full example runs cost minutes of CPU; these tests verify the scripts are
+importable, expose a ``main`` entry point, and keep their docstrings —
+the cheap contract that `python examples/<name>.py` will not crash at
+import time.  (The examples are exercised for real by the benchmark
+harness's underlying experiment modules.)
+"""
+
+import importlib.util
+import pathlib
+
+import pytest
+
+EXAMPLES = sorted(
+    pathlib.Path(__file__).resolve().parent.parent.joinpath("examples")
+    .glob("*.py")
+)
+
+
+def load(path):
+    spec = importlib.util.spec_from_file_location(path.stem, path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_examples_present():
+    names = {p.stem for p in EXAMPLES}
+    assert "quickstart" in names
+    assert len(EXAMPLES) >= 3  # deliverable: at least three examples
+
+
+@pytest.mark.parametrize("path", EXAMPLES, ids=lambda p: p.stem)
+def test_example_importable_with_main(path):
+    module = load(path)
+    assert callable(getattr(module, "main", None)), path
+    assert module.__doc__, path  # every example documents itself

@@ -1,0 +1,164 @@
+"""Tests for SimulationConfig validation and network assembly."""
+
+import pytest
+
+from repro.core.policy import (
+    NoOverhearing,
+    RcastPolicy,
+    UnconditionalOverhearing,
+)
+from repro.errors import ConfigurationError
+from repro.mac.base import AlwaysOnMac
+from repro.mac.odpm import OdpmPowerManager
+from repro.mac.power import AlwaysPs
+from repro.mac.psm import PsmMac
+from repro.network import SCHEMES, SimulationConfig, build_network
+
+from tests.conftest import line_config
+
+
+def small(scheme="rcast", **overrides):
+    params = dict(
+        scheme=scheme, num_nodes=10, arena_w=500.0, arena_h=300.0,
+        mobility="static", num_connections=2, packet_rate=0.5,
+        sim_time=5.0, seed=1,
+    )
+    params.update(overrides)
+    return SimulationConfig(**params)
+
+
+def test_unknown_scheme_rejected():
+    with pytest.raises(ConfigurationError):
+        small(scheme="wibble")
+
+
+def test_bad_sim_time_rejected():
+    with pytest.raises(ConfigurationError):
+        small(sim_time=0.0)
+
+
+def test_bad_rate_rejected():
+    with pytest.raises(ConfigurationError):
+        small(packet_rate=0.0)
+
+
+def test_unknown_rcast_factor_rejected():
+    with pytest.raises(ConfigurationError):
+        small(rcast_factors=("bogus",))
+
+
+def test_with_scheme_copies():
+    config = small("rcast")
+    other = config.with_scheme("odpm")
+    assert other.scheme == "odpm"
+    assert config.scheme == "rcast"
+    assert other.num_nodes == config.num_nodes
+
+
+def test_unknown_mobility_rejected():
+    with pytest.raises(ConfigurationError):
+        build_network(small(mobility="teleport"))
+
+
+def test_positions_length_mismatch_rejected():
+    with pytest.raises(ConfigurationError):
+        build_network(small(positions=((0.0, 0.0),)))
+
+
+def test_ieee80211_uses_always_on_mac():
+    network = build_network(small("ieee80211"))
+    assert all(isinstance(n.mac, AlwaysOnMac) for n in network.nodes)
+    assert all(n.rcast is None for n in network.nodes)
+
+
+def test_psm_scheme_wiring():
+    network = build_network(small("psm"))
+    for node in network.nodes:
+        assert isinstance(node.mac, PsmMac)
+        assert isinstance(node.mac.power, AlwaysPs)
+        assert isinstance(node.rcast.sender_policy, UnconditionalOverhearing)
+        assert not node.mac.tap_in_am
+
+
+def test_psm_nooh_scheme_wiring():
+    network = build_network(small("psm-nooh"))
+    for node in network.nodes:
+        assert isinstance(node.rcast.sender_policy, NoOverhearing)
+
+
+def test_odpm_scheme_wiring():
+    network = build_network(small("odpm"))
+    for node in network.nodes:
+        assert isinstance(node.mac.power, OdpmPowerManager)
+        assert node.mac.tap_in_am
+        assert isinstance(node.rcast.sender_policy, NoOverhearing)
+
+
+def test_rcast_scheme_wiring():
+    network = build_network(small("rcast"))
+    for node in network.nodes:
+        assert isinstance(node.rcast.sender_policy, RcastPolicy)
+        assert isinstance(node.mac.power, AlwaysPs)
+
+
+def test_rcast_factors_wiring():
+    network = build_network(small("rcast", rcast_factors=("sender", "mobility")))
+    for node in network.nodes:
+        assert node.rcast.active_factors == ["sender-recency", "mobility"]
+
+
+def test_traffic_none_builds_no_sources():
+    network = build_network(small(traffic="none"))
+    assert all(not n.sources for n in network.nodes)
+
+
+def test_traffic_sources_match_connections():
+    network = build_network(small(num_connections=3))
+    total = sum(len(n.sources) for n in network.nodes)
+    assert total == 3
+
+
+def test_poisson_traffic_supported():
+    network = build_network(small(traffic="poisson"))
+    total = sum(len(n.sources) for n in network.nodes)
+    assert total == 2
+
+
+def test_unknown_traffic_rejected():
+    with pytest.raises(ConfigurationError):
+        build_network(small(traffic="fractal"))
+
+
+def test_run_twice_rejected():
+    network = build_network(line_config("rcast", n=2, sim_time=1.0))
+    network.run()
+    with pytest.raises(ConfigurationError):
+        network.run()
+
+
+def test_all_schemes_buildable():
+    for scheme in SCHEMES:
+        network = build_network(small(scheme))
+        assert len(network.nodes) == 10
+
+
+def test_aodv_routing_selectable():
+    from repro.routing.aodv.protocol import AodvProtocol
+
+    network = build_network(small("rcast", routing="aodv"))
+    assert all(isinstance(n.dsr, AodvProtocol) for n in network.nodes)
+    metrics = network.run()
+    assert metrics.data_sent > 0
+
+
+def test_unknown_routing_rejected():
+    with pytest.raises(ConfigurationError):
+        small(routing="ospf")
+
+
+def test_aodv_end_to_end_delivery():
+    from repro.network import run_simulation
+
+    config = small("odpm", routing="aodv", sim_time=20.0, packet_rate=0.5)
+    metrics = run_simulation(config)
+    assert metrics.pdr > 0.7

@@ -1,0 +1,75 @@
+"""Tests for route-cache staleness auditing."""
+
+import pytest
+
+from repro.analysis.staleness import audit_staleness
+from repro.errors import ConfigurationError
+from repro.network import SimulationConfig, build_network
+
+from tests.conftest import line_config
+
+
+def test_static_network_has_no_stale_routes():
+    config = line_config("ieee80211", n=4, sim_time=10.0)
+    network = build_network(config)
+    network.nodes[0].dsr.send_data(3, 128)
+    network.run()
+    report = audit_staleness(network)
+    assert report.total_entries > 0
+    assert report.stale_entries == 0
+    assert report.stale_fraction == 0.0
+
+
+def test_manually_injected_stale_path_detected():
+    config = line_config("ieee80211", n=4, sim_time=5.0)
+    network = build_network(config)
+    # Path 0 -> 3 directly does not exist (300 m apart, 250 m range in the
+    # line_config default?  spacing 200 -> 0 and 3 are 600 m apart).
+    network.nodes[0].dsr.cache.add_path((0, 3), now=0.0, source="overhear")
+    network.run()
+    report = audit_staleness(network)
+    assert report.stale_entries >= 1
+    assert report.stale_by_source.get("overhear", 0) >= 1
+    assert report.stale_fraction_of("overhear") > 0.0
+
+
+def test_mobile_run_accumulates_stale_routes():
+    config = SimulationConfig(
+        scheme="psm", num_nodes=30, arena_w=800.0, arena_h=300.0,
+        mobility="waypoint", max_speed=6.0, pause_time=0.0,
+        num_connections=5, packet_rate=0.5, sim_time=40.0, seed=5,
+    )
+    network = build_network(config)
+    network.run()
+    report = audit_staleness(network)
+    assert report.total_entries > 0
+    assert report.stale_entries > 0
+    assert 0.0 < report.stale_fraction <= 1.0
+    assert "stale" in report.describe()
+
+
+def test_per_node_accounting_sums():
+    config = line_config("ieee80211", n=4, sim_time=10.0)
+    network = build_network(config)
+    network.nodes[0].dsr.send_data(3, 128)
+    network.run()
+    report = audit_staleness(network)
+    assert sum(t for t, _ in report.per_node.values()) == report.total_entries
+    assert sum(s for _, s in report.per_node.values()) == report.stale_entries
+
+
+def test_audit_rejects_aodv_networks():
+    config = line_config("ieee80211", n=3, sim_time=5.0, routing="aodv")
+    network = build_network(config)
+    network.run()
+    with pytest.raises(ConfigurationError):
+        audit_staleness(network)
+
+
+def test_empty_caches_give_zero_fraction():
+    config = line_config("ieee80211", n=3, sim_time=2.0)
+    network = build_network(config)
+    network.run()
+    report = audit_staleness(network)
+    assert report.stale_fraction == 0.0
+    assert report.stale_fraction_of("overhear") == 0.0

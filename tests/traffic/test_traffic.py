@@ -1,0 +1,170 @@
+"""Tests for traffic sources and connection selection."""
+
+import random
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.sim.engine import Simulator
+from repro.traffic.cbr import CbrSource
+from repro.traffic.pairs import choose_connections
+from repro.traffic.poisson import PoissonSource
+
+
+class FakeDsr:
+    """Records send_data calls."""
+
+    def __init__(self, node_id=0):
+        self.node_id = node_id
+        self.calls = []
+
+    def send_data(self, dst, payload_bytes, app_seq=0):
+        self.calls.append((dst, payload_bytes, app_seq))
+        return len(self.calls)
+
+
+# --- choose_connections -------------------------------------------------
+
+
+def test_pairs_count_and_validity():
+    rng = random.Random(1)
+    pairs = choose_connections(100, 20, rng)
+    assert len(pairs) == 20
+    for src, dst in pairs:
+        assert 0 <= src < 100
+        assert 0 <= dst < 100
+        assert src != dst
+
+
+def test_pairs_distinct_sources():
+    rng = random.Random(2)
+    pairs = choose_connections(50, 30, rng)
+    sources = [s for s, _ in pairs]
+    assert len(set(sources)) == 30
+
+
+def test_pairs_non_distinct_sources_allowed():
+    rng = random.Random(2)
+    pairs = choose_connections(5, 30, rng, distinct_sources=False)
+    assert len(pairs) == 30
+
+
+def test_pairs_deterministic_for_seed():
+    assert (choose_connections(40, 10, random.Random(9))
+            == choose_connections(40, 10, random.Random(9)))
+
+
+def test_pairs_validation():
+    with pytest.raises(ConfigurationError):
+        choose_connections(10, 0, random.Random(1))
+    with pytest.raises(ConfigurationError):
+        choose_connections(1, 1, random.Random(1))
+    with pytest.raises(ConfigurationError):
+        choose_connections(5, 6, random.Random(1))
+
+
+# --- CbrSource ------------------------------------------------------------
+
+
+def test_cbr_rate_and_count():
+    sim = Simulator()
+    dsr = FakeDsr()
+    source = CbrSource(sim, dsr, dst=5, rate_pps=2.0, packet_bytes=512,
+                       start=0.0, stop=10.0)
+    source.start()
+    sim.run(until=10.0)
+    # 2 pkt/s for 10 s: 20 packets (first at t=0).
+    assert len(dsr.calls) == 20
+    assert source.sent == 20
+
+
+def test_cbr_payload_and_sequence():
+    sim = Simulator()
+    dsr = FakeDsr()
+    CbrSource(sim, dsr, 3, 1.0, 256, stop=5.0).start()
+    sim.run(until=5.0)
+    assert dsr.calls[0] == (3, 256, 0)
+    assert dsr.calls[1] == (3, 256, 1)
+
+
+def test_cbr_jitter_delays_first_packet():
+    sim = Simulator()
+    dsr = FakeDsr()
+    source = CbrSource(sim, dsr, 3, 1.0, 256, rng=random.Random(1), stop=100.0)
+    source.start()
+    sim.run(until=0.0)
+    assert dsr.calls == []  # jittered into (0, 1] s
+    sim.run(until=1.01)
+    assert len(dsr.calls) == 1
+
+
+def test_cbr_intervals_are_constant():
+    sim = Simulator()
+    times = []
+    dsr = FakeDsr()
+    dsr.send_data = lambda *a, **k: times.append(sim.now)
+    CbrSource(sim, dsr, 3, 4.0, 100, stop=3.0).start()
+    sim.run(until=3.0)
+    gaps = [b - a for a, b in zip(times, times[1:])]
+    assert all(abs(g - 0.25) < 1e-9 for g in gaps)
+
+
+def test_cbr_start_is_idempotent():
+    sim = Simulator()
+    dsr = FakeDsr()
+    source = CbrSource(sim, dsr, 3, 1.0, 100, stop=2.0)
+    source.start()
+    source.start()
+    sim.run(until=2.0)
+    assert len(dsr.calls) == 2
+
+
+def test_cbr_validation():
+    sim = Simulator()
+    with pytest.raises(ConfigurationError):
+        CbrSource(sim, FakeDsr(), 1, rate_pps=0.0, packet_bytes=100)
+    with pytest.raises(ConfigurationError):
+        CbrSource(sim, FakeDsr(), 1, rate_pps=1.0, packet_bytes=0)
+
+
+def test_cbr_src_property():
+    sim = Simulator()
+    assert CbrSource(sim, FakeDsr(7), 1, 1.0, 100).src == 7
+
+
+# --- PoissonSource ----------------------------------------------------------
+
+
+def test_poisson_mean_rate():
+    sim = Simulator()
+    dsr = FakeDsr()
+    source = PoissonSource(sim, dsr, 2, rate_pps=5.0, packet_bytes=100,
+                           rng=random.Random(8), stop=200.0)
+    source.start()
+    sim.run(until=200.0)
+    # Expect ~1000 packets; allow 3-sigma slack (~sqrt(1000)*3 ~ 95).
+    assert 900 <= len(dsr.calls) <= 1100
+
+
+def test_poisson_requires_rng():
+    sim = Simulator()
+    with pytest.raises(ConfigurationError):
+        PoissonSource(sim, FakeDsr(), 1, 1.0, 100, rng=None)
+
+
+def test_poisson_validation():
+    sim = Simulator()
+    with pytest.raises(ConfigurationError):
+        PoissonSource(sim, FakeDsr(), 1, -1.0, 100, rng=random.Random(1))
+
+
+def test_poisson_deterministic_for_seed():
+    def run(seed):
+        sim = Simulator()
+        dsr = FakeDsr()
+        PoissonSource(sim, dsr, 2, 2.0, 100, rng=random.Random(seed),
+                      stop=50.0).start()
+        sim.run(until=50.0)
+        return len(dsr.calls)
+
+    assert run(4) == run(4)
