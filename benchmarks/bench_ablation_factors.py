@@ -11,8 +11,8 @@ from repro.experiments import ablation
 from benchmarks.conftest import run_once
 
 
-def test_ablation_factors(benchmark, scale):
-    result = run_once(benchmark, ablation.run_factors, scale)
+def test_ablation_factors(benchmark, scale, workers):
+    result = run_once(benchmark, ablation.run_factors, scale, workers=workers)
     print()
     print(ablation.format_result(result))
 

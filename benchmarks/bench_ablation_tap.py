@@ -12,8 +12,8 @@ from repro.experiments import ablation
 from benchmarks.conftest import run_once
 
 
-def test_ablation_tap(benchmark, scale):
-    result = run_once(benchmark, ablation.run_tap, scale)
+def test_ablation_tap(benchmark, scale, workers):
+    result = run_once(benchmark, ablation.run_tap, scale, workers=workers)
     print()
     print(ablation.format_result(result))
 

@@ -11,8 +11,8 @@ from repro.experiments import aodv_study
 from benchmarks.conftest import run_once
 
 
-def test_aodv_footnote(benchmark, scale):
-    result = run_once(benchmark, aodv_study.run, scale)
+def test_aodv_footnote(benchmark, scale, workers):
+    result = run_once(benchmark, aodv_study.run, scale, workers=workers)
     print()
     print(aodv_study.format_result(result))
 

@@ -12,8 +12,8 @@ from repro.experiments import fig5
 from benchmarks.conftest import run_once
 
 
-def test_fig5(benchmark, scale):
-    result = run_once(benchmark, fig5.run, scale)
+def test_fig5(benchmark, scale, workers):
+    result = run_once(benchmark, fig5.run, scale, workers=workers)
     print()
     print(fig5.format_result(result))
 

@@ -9,8 +9,8 @@ from repro.experiments import fig6
 from benchmarks.conftest import run_once
 
 
-def test_fig6(benchmark, scale):
-    result = run_once(benchmark, fig6.run, scale)
+def test_fig6(benchmark, scale, workers):
+    result = run_once(benchmark, fig6.run, scale, workers=workers)
     print()
     print(fig6.format_result(result))
 

@@ -10,8 +10,8 @@ from repro.experiments import fig7
 from benchmarks.conftest import run_once
 
 
-def test_fig7(benchmark, scale):
-    result = run_once(benchmark, fig7.run, scale)
+def test_fig7(benchmark, scale, workers):
+    result = run_once(benchmark, fig7.run, scale, workers=workers)
     print()
     print(fig7.format_result(result))
 

@@ -13,8 +13,8 @@ from repro.metrics.stats import mean
 from benchmarks.conftest import run_once
 
 
-def test_fig8(benchmark, scale):
-    result = run_once(benchmark, fig8.run, scale)
+def test_fig8(benchmark, scale, workers):
+    result = run_once(benchmark, fig8.run, scale, workers=workers)
     print()
     print(fig8.format_result(result))
 

@@ -10,8 +10,8 @@ from repro.experiments import fig9
 from benchmarks.conftest import run_once
 
 
-def test_fig9(benchmark, scale):
-    result = run_once(benchmark, fig9.run, scale)
+def test_fig9(benchmark, scale, workers):
+    result = run_once(benchmark, fig9.run, scale, workers=workers)
     print()
     print(fig9.format_result(result))
 

@@ -11,8 +11,8 @@ from repro.experiments import lifetime
 from benchmarks.conftest import run_once
 
 
-def test_lifetime(benchmark, scale):
-    result = run_once(benchmark, lifetime.run, scale)
+def test_lifetime(benchmark, scale, workers):
+    result = run_once(benchmark, lifetime.run, scale, workers=workers)
     print()
     print(lifetime.format_result(result))
 

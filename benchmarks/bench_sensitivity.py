@@ -10,8 +10,8 @@ from repro.experiments import sensitivity
 from benchmarks.conftest import run_once
 
 
-def test_sensitivity(benchmark, scale):
-    result = run_once(benchmark, sensitivity.run, scale)
+def test_sensitivity(benchmark, scale, workers):
+    result = run_once(benchmark, sensitivity.run, scale, workers=workers)
     print()
     print(sensitivity.format_result(result))
 

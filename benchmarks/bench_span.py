@@ -10,8 +10,8 @@ from repro.experiments import span_study
 from benchmarks.conftest import run_once
 
 
-def test_span_density(benchmark, scale):
-    result = run_once(benchmark, span_study.run, scale)
+def test_span_density(benchmark, scale, workers):
+    result = run_once(benchmark, span_study.run, scale, workers=workers)
     print()
     print(span_study.format_result(result))
 

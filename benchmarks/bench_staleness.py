@@ -11,8 +11,8 @@ from repro.experiments import staleness_study
 from benchmarks.conftest import run_once
 
 
-def test_staleness(benchmark, scale):
-    result = run_once(benchmark, staleness_study.run, scale)
+def test_staleness(benchmark, scale, workers):
+    result = run_once(benchmark, staleness_study.run, scale, workers=workers)
     print()
     print(staleness_study.format_result(result))
 

@@ -11,8 +11,8 @@ from repro.experiments import sync_study
 from benchmarks.conftest import run_once
 
 
-def test_sync_jitter(benchmark, scale):
-    result = run_once(benchmark, sync_study.run, scale)
+def test_sync_jitter(benchmark, scale, workers):
+    result = run_once(benchmark, sync_study.run, scale, workers=workers)
     print()
     print(sync_study.format_result(result))
 

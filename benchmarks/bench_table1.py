@@ -11,8 +11,8 @@ from repro.experiments import table1
 from benchmarks.conftest import run_once
 
 
-def test_table1(benchmark, scale):
-    result = run_once(benchmark, table1.run, scale)
+def test_table1(benchmark, scale, workers):
+    result = run_once(benchmark, table1.run, scale, workers=workers)
     print()
     print(table1.format_result(result))
     failed = [label for label, ok in result.checks if not ok]

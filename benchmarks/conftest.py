@@ -8,6 +8,11 @@ same rows/series the paper reports.  The scale is selected with the
 * ``bench`` — the default: the paper's topology and traffic at a shorter
   simulated duration (shape-preserving, laptop-friendly);
 * ``paper`` — the full 100-node / 1125 s / 10-repetition setup (hours).
+
+``RCAST_BENCH_WORKERS`` selects the worker-process count for the parallel
+execution engine (default 1 = serial; 0 = all cores).  Aggregated results
+are bit-identical for any worker count, so the shape assertions are
+unaffected by parallelism.
 """
 
 from __future__ import annotations
@@ -35,6 +40,12 @@ def scale() -> ExperimentScale:
             f"RCAST_BENCH_SCALE must be one of {sorted(_SCALES)}, got {name!r}"
         )
     return _SCALES[name]
+
+
+@pytest.fixture(scope="session")
+def workers() -> int:
+    """Worker-process count selected via RCAST_BENCH_WORKERS (0 = cores)."""
+    return int(os.environ.get("RCAST_BENCH_WORKERS", "1"))
 
 
 def run_once(benchmark, fn, *args, **kwargs):

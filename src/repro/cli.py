@@ -8,6 +8,9 @@ Subcommands:
 * ``ablation`` — the extension studies (factors / tap / rreq).
 
 ``--scale {smoke,bench,paper}`` selects the fidelity/time trade-off.
+``--workers N`` shards replications across N worker processes (0 = all
+cores; results are bit-identical for any worker count); ``--json-out``
+writes the result object as machine-readable JSON.
 """
 
 from __future__ import annotations
@@ -86,11 +89,13 @@ def _build_parser() -> argparse.ArgumentParser:
         fig_p = sub.add_parser(name, help=f"reproduce {name}")
         fig_p.add_argument("--scale", choices=_SCALES, default="bench")
         fig_p.add_argument("--seed", type=int, default=1)
+        _add_parallel_args(fig_p)
 
     abl_p = sub.add_parser("ablation", help="run an ablation study")
     abl_p.add_argument("study", choices=_ABLATIONS)
     abl_p.add_argument("--scale", choices=_SCALES, default="bench")
     abl_p.add_argument("--seed", type=int, default=1)
+    _add_parallel_args(abl_p)
 
     sweep_p = sub.add_parser(
         "sweep", help="custom (scheme x rate x scenario) sweep with export"
@@ -103,11 +108,31 @@ def _build_parser() -> argparse.ArgumentParser:
                          help="comma-separated from {mobile,static}")
     sweep_p.add_argument("--scale", choices=_SCALES, default="bench")
     sweep_p.add_argument("--seed", type=int, default=1)
-    sweep_p.add_argument("--json", dest="json_path", default=None,
+    sweep_p.add_argument("--json", "--json-out", dest="json_path",
+                         default=None,
                          help="write the full sweep (incl. vectors) as JSON")
     sweep_p.add_argument("--csv", dest="csv_path", default=None,
                          help="write the scalar metrics as CSV")
+    sweep_p.add_argument("--workers", type=_workers_type, default=1,
+                         help="worker processes (0 = all cores; default 1)")
     return parser
+
+
+def _workers_type(value: str) -> int:
+    try:
+        workers = int(value)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"invalid int value: {value!r}")
+    if workers < 0:
+        raise argparse.ArgumentTypeError("must be >= 0 (0 = all cores)")
+    return workers
+
+
+def _add_parallel_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--workers", type=_workers_type, default=1,
+                        help="worker processes (0 = all cores; default 1)")
+    parser.add_argument("--json-out", dest="json_out", default=None,
+                        help="write the result object as JSON")
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
@@ -131,9 +156,22 @@ def _cmd_run(args: argparse.Namespace) -> int:
     return 0
 
 
+def _on_event(event) -> None:
+    """Structured progress -> stderr (grid summary with utilization)."""
+    if event.kind == "grid-finish" and event.stats is not None:
+        stats = event.stats
+        print(
+            f"  .. grid done: {stats.items} runs in {stats.elapsed:.1f}s "
+            f"on {stats.workers} workers "
+            f"(utilization {stats.utilization * 100:.0f}%)",
+            file=sys.stderr,
+        )
+
+
 def _cmd_sweep(args: argparse.Namespace, scale: ExperimentScale,
                progress) -> int:
     from repro.experiments.export import write_sweep_csv, write_sweep_json
+    from repro.experiments.parallel import resolve_workers
     from repro.experiments.sweep import sweep as run_sweep
     from repro.metrics.report import format_series
 
@@ -147,8 +185,10 @@ def _cmd_sweep(args: argparse.Namespace, scale: ExperimentScale,
     scenarios = tuple(name == "mobile"
                       for name in ("mobile", "static")
                       if name in scenario_names)
+    on_event = _on_event if resolve_workers(args.workers) > 1 else None
     result = run_sweep(scale, schemes, rates=rates, scenarios=scenarios,
-                       seed=args.seed, progress=progress)
+                       seed=args.seed, progress=progress,
+                       workers=args.workers, on_event=on_event)
     for mobile in result.scenarios:
         label = "mobile" if mobile else "static"
         print(format_series(
@@ -175,13 +215,25 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     if args.command == "sweep":
         return _cmd_sweep(args, scale, progress)
     if args.command == "ablation":
-        result = _ABLATIONS[args.study](scale, seed=args.seed, progress=progress)
+        result = _ABLATIONS[args.study](scale, seed=args.seed,
+                                        progress=progress,
+                                        workers=args.workers)
         print(ablation.format_result(result))
+        _maybe_write_json(result, args)
         return 0
     run_fn, fmt_fn = _FIGURES[args.command]
-    result = run_fn(scale, seed=args.seed, progress=progress)
+    result = run_fn(scale, seed=args.seed, progress=progress,
+                    workers=args.workers)
     print(fmt_fn(result))
+    _maybe_write_json(result, args)
     return 0
+
+
+def _maybe_write_json(result, args: argparse.Namespace) -> None:
+    if getattr(args, "json_out", None):
+        from repro.experiments.export import write_result_json
+
+        print(f"wrote {write_result_json(result, args.json_out)}")
 
 
 if __name__ == "__main__":

@@ -27,7 +27,20 @@ repetitions — hours of CPU), ``BENCH_SCALE`` preserves the shape at
 laptop-friendly cost, and ``SMOKE_SCALE`` exists for tests.
 """
 
-from repro.experiments.runner import AggregateMetrics, aggregate, run_replications
+from repro.experiments.parallel import (
+    ParallelRunner,
+    ProgressEvent,
+    RunnerStats,
+    parallel_map,
+    resolve_workers,
+    run_grid,
+)
+from repro.experiments.runner import (
+    AggregateMetrics,
+    aggregate,
+    run_and_aggregate,
+    run_replications,
+)
 from repro.experiments.scenarios import (
     BENCH_SCALE,
     PAPER_SCALE,
@@ -42,9 +55,16 @@ __all__ = [
     "BENCH_SCALE",
     "ExperimentScale",
     "PAPER_SCALE",
+    "ParallelRunner",
+    "ProgressEvent",
+    "RunnerStats",
     "SMOKE_SCALE",
     "aggregate",
     "make_config",
+    "parallel_map",
+    "resolve_workers",
+    "run_and_aggregate",
+    "run_grid",
     "run_replications",
     "sweep",
 ]

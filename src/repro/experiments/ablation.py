@@ -19,7 +19,8 @@ from dataclasses import dataclass
 from typing import Dict, Tuple
 
 from repro.constants import POWER_AWAKE_W
-from repro.experiments.runner import AggregateMetrics, run_and_aggregate
+from repro.experiments.parallel import run_grid
+from repro.experiments.runner import AggregateMetrics, aggregate
 from repro.experiments.scenarios import ExperimentScale, make_config
 from repro.metrics.report import format_table
 
@@ -43,58 +44,61 @@ class AblationResult:
     variants: Dict[str, AggregateMetrics]
 
 
+def _run_variants(study: str, scale: ExperimentScale, configs, workers,
+                  progress) -> AblationResult:
+    """Run a named-variant grid and fold it into an :class:`AblationResult`."""
+    runs = run_grid(configs, scale.repetitions, workers=workers)
+    variants: Dict[str, AggregateMetrics] = {}
+    for name in configs:
+        variants[name] = aggregate(runs[name])
+        if progress is not None:
+            progress(f"{name}: {variants[name].describe()}")
+    return AblationResult(study, scale.name, scale.low_rate, variants)
+
+
 def run_factors(scale: ExperimentScale, seed: int = 1,
-                progress=None) -> AblationResult:
+                progress=None, workers=None) -> AblationResult:
     """Rcast decision-factor ablation (mobile scenario, low rate)."""
     # The battery factor needs a finite battery to have any effect; size it
     # so an always-awake node would drain ~2/3 of it during the run.
     battery = 1.5 * POWER_AWAKE_W * scale.sim_time
-    variants: Dict[str, AggregateMetrics] = {}
-    for factors in FACTOR_SETS:
-        name = "+".join(factors) if factors else "neighbors-only"
-        config = make_config(
+    configs = {
+        ("+".join(factors) if factors else "neighbors-only"): make_config(
             scale, "rcast", scale.low_rate, mobile=True, seed=seed,
             rcast_factors=factors, battery_joules=battery,
         )
-        variants[name] = run_and_aggregate(config, scale.repetitions)
-        if progress is not None:
-            progress(f"{name}: {variants[name].describe()}")
-    return AblationResult("decision-factors", scale.name, scale.low_rate,
-                          variants)
+        for factors in FACTOR_SETS
+    }
+    return _run_variants("decision-factors", scale, configs, workers,
+                         progress)
 
 
 def run_tap(scale: ExperimentScale, seed: int = 1,
-            progress=None) -> AblationResult:
+            progress=None, workers=None) -> AblationResult:
     """Opportunistic-tap ablation (mobile scenario, low rate)."""
-    variants: Dict[str, AggregateMetrics] = {}
-    for tap in (False, True):
-        name = "tap-on" if tap else "tap-off"
-        config = make_config(
+    configs = {
+        ("tap-on" if tap else "tap-off"): make_config(
             scale, "rcast", scale.low_rate, mobile=True, seed=seed,
             opportunistic_tap=tap,
         )
-        variants[name] = run_and_aggregate(config, scale.repetitions)
-        if progress is not None:
-            progress(f"{name}: {variants[name].describe()}")
-    return AblationResult("opportunistic-tap", scale.name, scale.low_rate,
-                          variants)
+        for tap in (False, True)
+    }
+    return _run_variants("opportunistic-tap", scale, configs, workers,
+                         progress)
 
 
 def run_rreq(scale: ExperimentScale, seed: int = 1,
-             progress=None) -> AblationResult:
+             progress=None, workers=None) -> AblationResult:
     """Randomized RREQ-reception ablation (static dense network)."""
-    variants: Dict[str, AggregateMetrics] = {}
-    for randomized in (False, True):
-        name = "rreq-randomized" if randomized else "rreq-all"
-        config = make_config(
+    configs = {
+        ("rreq-randomized" if randomized else "rreq-all"): make_config(
             scale, "rcast", scale.low_rate, mobile=False, seed=seed,
             rreq_randomized=randomized,
         )
-        variants[name] = run_and_aggregate(config, scale.repetitions)
-        if progress is not None:
-            progress(f"{name}: {variants[name].describe()}")
-    return AblationResult("randomized-rreq", scale.name, scale.low_rate,
-                          variants)
+        for randomized in (False, True)
+    }
+    return _run_variants("randomized-rreq", scale, configs, workers,
+                         progress)
 
 
 def format_result(result: AblationResult) -> str:

@@ -52,27 +52,30 @@ class AodvStudyResult:
                           self.transmissions[(protocol, scheme)])
 
 
-def run(scale: ExperimentScale, seed: int = 1, progress=None) -> AodvStudyResult:
+def run(scale: ExperimentScale, seed: int = 1, progress=None,
+        workers=None) -> AodvStudyResult:
     """Run the protocol x scheme grid (mobile scenario, low rate)."""
-    from repro.experiments.runner import run_replications
+    from repro.experiments.parallel import run_grid
     from repro.experiments.runner import aggregate as aggregate_runs
 
+    configs = {
+        (protocol, scheme): make_config(scale, scheme, scale.low_rate,
+                                        mobile=True, seed=seed,
+                                        routing=protocol)
+        for protocol in PROTOCOLS for scheme in SCHEMES
+    }
+    grid = run_grid(configs, scale.repetitions, workers=workers)
     cells: Dict[Tuple[str, str], AggregateMetrics] = {}
     tx: Dict[Tuple[str, str], Dict[str, int]] = {}
-    for protocol in PROTOCOLS:
-        for scheme in SCHEMES:
-            config = make_config(scale, scheme, scale.low_rate, mobile=True,
-                                 seed=seed, routing=protocol)
-            runs = run_replications(config, scale.repetitions)
-            cells[(protocol, scheme)] = aggregate_runs(runs)
-            totals: Dict[str, int] = {}
-            for metrics in runs:
-                for kind, count in metrics.transmissions.items():
-                    totals[kind] = totals.get(kind, 0) + count
-            tx[(protocol, scheme)] = totals
-            if progress is not None:
-                progress(f"{protocol}/{scheme}: "
-                         f"{cells[(protocol, scheme)].describe()}")
+    for key, runs in grid.items():
+        cells[key] = aggregate_runs(runs)
+        totals: Dict[str, int] = {}
+        for metrics in runs:
+            for kind, count in metrics.transmissions.items():
+                totals[kind] = totals.get(kind, 0) + count
+        tx[key] = totals
+        if progress is not None:
+            progress(f"{key[0]}/{key[1]}: {cells[key].describe()}")
     return AodvStudyResult(scale.name, scale.low_rate, cells, tx)
 
 

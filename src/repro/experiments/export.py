@@ -8,9 +8,10 @@ with their plotting tool of choice.
 from __future__ import annotations
 
 import csv
+import dataclasses
 import json
 from pathlib import Path
-from typing import Dict, Union
+from typing import Any, Dict, Optional, Union
 
 import numpy as np
 
@@ -18,6 +19,13 @@ from repro.experiments.runner import AggregateMetrics
 from repro.experiments.sweep import SweepResult
 
 PathLike = Union[str, Path]
+
+
+def _vector(value: Optional[np.ndarray]) -> Optional[list]:
+    """Explicit ndarray -> list encoding; ``None`` stays ``None``."""
+    if value is None:
+        return None
+    return [float(v) for v in np.asarray(value).ravel()]
 
 #: scalar fields of AggregateMetrics exported per cell
 SCALAR_FIELDS = (
@@ -36,9 +44,10 @@ def aggregate_to_dict(agg: AggregateMetrics) -> Dict:
     for field in SCALAR_FIELDS:
         value = getattr(agg, field)
         out[field] = None if not np.isfinite(value) else float(value)
-    out["sorted_node_energy"] = [float(v) for v in agg.sorted_node_energy]
-    out["role_numbers"] = [float(v) for v in agg.role_numbers]
-    out["node_energy"] = [float(v) for v in agg.node_energy]
+    out["sorted_node_energy"] = _vector(agg.sorted_node_energy)
+    out["role_numbers"] = _vector(agg.role_numbers)
+    out["node_energy"] = _vector(agg.node_energy)
+    out["dropped_replications"] = dict(agg.dropped_replications)
     return out
 
 
@@ -89,6 +98,47 @@ def load_sweep_json(path: PathLike) -> Dict:
     return json.loads(Path(path).read_text())
 
 
+def result_to_jsonable(obj: Any) -> Any:
+    """Recursively convert any experiment result object to JSON-safe data.
+
+    Handles dataclasses (including the per-figure result types), numpy
+    arrays and scalars, dicts with non-string keys (stringified), and
+    non-finite floats (``None`` — JSON has no inf/nan).  This is the
+    generic encoder behind the CLI's ``--json-out``; the structured sweep
+    export (:func:`sweep_to_dict`) remains the stable schema for sweeps.
+    """
+    if isinstance(obj, AggregateMetrics):
+        return aggregate_to_dict(obj)
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        return {
+            f.name: result_to_jsonable(getattr(obj, f.name))
+            for f in dataclasses.fields(obj)
+        }
+    if isinstance(obj, np.ndarray):
+        return [result_to_jsonable(v) for v in obj.tolist()]
+    if isinstance(obj, (np.floating, float)):
+        value = float(obj)
+        return value if np.isfinite(value) else None
+    if isinstance(obj, (np.integer, int)) and not isinstance(obj, bool):
+        return int(obj)
+    if isinstance(obj, dict):
+        return {
+            (key if isinstance(key, str) else str(key)):
+                result_to_jsonable(value)
+            for key, value in obj.items()
+        }
+    if isinstance(obj, (list, tuple, set, frozenset)):
+        return [result_to_jsonable(v) for v in obj]
+    return obj
+
+
+def write_result_json(result: Any, path: PathLike) -> Path:
+    """Serialize any experiment result via :func:`result_to_jsonable`."""
+    path = Path(path)
+    path.write_text(json.dumps(result_to_jsonable(result), indent=2))
+    return path
+
+
 __all__ = [
     "SCALAR_FIELDS",
     "aggregate_to_dict",
@@ -96,4 +146,6 @@ __all__ = [
     "write_sweep_json",
     "write_sweep_csv",
     "load_sweep_json",
+    "result_to_jsonable",
+    "write_result_json",
 ]

@@ -43,11 +43,12 @@ class Fig5Result:
         return self.panels[(rate, mobile)]
 
 
-def run(scale: ExperimentScale, seed: int = 1, progress=None) -> Fig5Result:
+def run(scale: ExperimentScale, seed: int = 1, progress=None,
+        workers=None) -> Fig5Result:
     """Run the four panels of Figure 5."""
     rates = (scale.low_rate, scale.high_rate)
     grid = sweep(scale, SCHEMES, rates=rates, scenarios=(True, False),
-                 seed=seed, progress=progress)
+                 seed=seed, progress=progress, workers=workers)
     panels: Dict[PanelKey, Dict[str, np.ndarray]] = {}
     for mobile in (True, False):
         for rate in rates:

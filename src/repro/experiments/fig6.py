@@ -34,10 +34,11 @@ class Fig6Result:
         return [ratio_improvement(o, r) for o, r in zip(odpm, rcast)]
 
 
-def run(scale: ExperimentScale, seed: int = 1, progress=None) -> Fig6Result:
+def run(scale: ExperimentScale, seed: int = 1, progress=None,
+        workers=None) -> Fig6Result:
     """Run the Figure 6 rate sweep."""
     grid = sweep(scale, SCHEMES, scenarios=(True, False), seed=seed,
-                 progress=progress)
+                 progress=progress, workers=workers)
     variance: Dict[bool, Dict[str, List[float]]] = {}
     for mobile in (True, False):
         variance[mobile] = {

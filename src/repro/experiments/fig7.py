@@ -49,10 +49,11 @@ class Fig7Result:
         return [ratio_improvement(b, r) for b, r in zip(base, rcast)]
 
 
-def run(scale: ExperimentScale, seed: int = 1, progress=None) -> Fig7Result:
+def run(scale: ExperimentScale, seed: int = 1, progress=None,
+        workers=None) -> Fig7Result:
     """Run the Figure 7 rate sweep."""
     grid = sweep(scale, SCHEMES, scenarios=(True, False), seed=seed,
-                 progress=progress)
+                 progress=progress, workers=workers)
     data: Dict[bool, Dict[str, Dict[str, List[float]]]] = {}
     for mobile in (True, False):
         data[mobile] = {

@@ -38,10 +38,11 @@ class Fig8Result:
     data: Dict[bool, Dict[str, Dict[str, List[float]]]]
 
 
-def run(scale: ExperimentScale, seed: int = 1, progress=None) -> Fig8Result:
+def run(scale: ExperimentScale, seed: int = 1, progress=None,
+        workers=None) -> Fig8Result:
     """Run the Figure 8 rate sweep."""
     grid = sweep(scale, SCHEMES, scenarios=(True, False), seed=seed,
-                 progress=progress)
+                 progress=progress, workers=workers)
     data: Dict[bool, Dict[str, Dict[str, List[float]]]] = {}
     for mobile in (True, False):
         data[mobile] = {

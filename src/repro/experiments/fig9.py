@@ -70,11 +70,12 @@ def _make_panel(scheme: str, rate: float, agg: AggregateMetrics) -> Fig9Panel:
     )
 
 
-def run(scale: ExperimentScale, seed: int = 1, progress=None) -> Fig9Result:
+def run(scale: ExperimentScale, seed: int = 1, progress=None,
+        workers=None) -> Fig9Result:
     """Run the six panels (3 schemes x 2 rates) of Figure 9 (mobile)."""
     rates = (scale.low_rate, scale.high_rate)
     grid = sweep(scale, SCHEMES, rates=rates, scenarios=(True,), seed=seed,
-                 progress=progress)
+                 progress=progress, workers=workers)
     panels = {
         (scheme, rate): _make_panel(scheme, rate, grid.get(scheme, rate, True))
         for scheme in SCHEMES for rate in rates

@@ -15,7 +15,7 @@ from dataclasses import dataclass
 from typing import Dict
 
 from repro.constants import POWER_AWAKE_W
-from repro.experiments.runner import run_replications
+from repro.experiments.parallel import run_grid
 from repro.experiments.scenarios import ExperimentScale, make_config
 from repro.metrics.lifetime import lifetime_from_metrics
 from repro.metrics.report import format_table
@@ -44,15 +44,19 @@ class LifetimeResult:
     summaries: Dict[str, LifetimeSummary]
 
 
-def run(scale: ExperimentScale, seed: int = 1, progress=None) -> LifetimeResult:
+def run(scale: ExperimentScale, seed: int = 1, progress=None,
+        workers=None) -> LifetimeResult:
     """Run the lifetime comparison (static scenario, low rate)."""
     battery = 0.6 * POWER_AWAKE_W * scale.sim_time
+    configs = {
+        scheme: make_config(scale, scheme, scale.low_rate, mobile=False,
+                            seed=seed, battery_joules=battery)
+        for scheme in SCHEMES
+    }
+    grid = run_grid(configs, scale.repetitions, workers=workers)
     summaries: Dict[str, LifetimeSummary] = {}
     for scheme in SCHEMES:
-        config = make_config(scale, scheme, scale.low_rate, mobile=False,
-                             seed=seed, battery_joules=battery)
-        runs = run_replications(config, scale.repetitions)
-        reports = [lifetime_from_metrics(m, battery) for m in runs]
+        reports = [lifetime_from_metrics(m, battery) for m in grid[scheme]]
         summaries[scheme] = LifetimeSummary(
             scheme=scheme,
             first_death=mean([r.first_death for r in reports]),

@@ -3,32 +3,57 @@
 The paper repeats every scenario ten times; :func:`run_replications` does
 the same with deterministically derived seeds and :func:`aggregate` folds
 the per-run :class:`~repro.metrics.collector.RunMetrics` into means with
-95% confidence half-widths.
+95% confidence half-widths.  ``workers`` shards replications across a
+process pool (:mod:`repro.experiments.parallel`); results are reassembled
+in repetition order, so the aggregate is bit-identical for any worker
+count.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
-from typing import List, Sequence
+import dataclasses
+import warnings
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
 from repro.metrics.collector import RunMetrics
 from repro.metrics.stats import confidence_interval_95, mean
 from repro.network import SimulationConfig, run_simulation
-from repro.experiments.scenarios import replication_seed
 
 
-def run_replications(config: SimulationConfig, repetitions: int) -> List[RunMetrics]:
-    """Run ``config`` ``repetitions`` times with derived seeds."""
-    results = []
-    for rep in range(repetitions):
-        cfg = replace(config, seed=replication_seed(config.seed, rep))
-        results.append(run_simulation(cfg))
-    return results
+class NonFiniteReplicationWarning(RuntimeWarning):
+    """Raised when :func:`aggregate` drops non-finite replication values."""
 
 
-@dataclass
+def run_replications(
+    config: SimulationConfig,
+    repetitions: int,
+    workers: Optional[int] = None,
+    on_event=None,
+) -> List[RunMetrics]:
+    """Run ``config`` ``repetitions`` times with derived seeds.
+
+    ``workers=None`` (or 1) runs serially in-process; any other value
+    shards the replications across a process pool.  The returned list is
+    always in repetition order (index ``rep`` ran with seed
+    ``replication_seed(config.seed, rep)``), whichever path executed it.
+    """
+    from repro.experiments.parallel import (
+        replication_config,
+        resolve_workers,
+        run_grid,
+    )
+
+    if resolve_workers(workers) == 1 and on_event is None:
+        return [run_simulation(replication_config(config, rep))
+                for rep in range(repetitions)]
+    return run_grid({None: config}, repetitions, workers=workers,
+                    on_event=on_event)[None]
+
+
+@dataclass(eq=False)
 class AggregateMetrics:
     """Across-replication means (and 95% CIs) of the paper's quantities."""
 
@@ -48,42 +73,90 @@ class AggregateMetrics:
     normalized_overhead_ci: float
     #: per-node energy sorted ascending, averaged element-wise across runs
     #: (the paper's Fig. 5 curves)
-    sorted_node_energy: np.ndarray = None
+    sorted_node_energy: Optional[np.ndarray] = None
     #: element-wise mean role numbers (unsorted, node-indexed)
-    role_numbers: np.ndarray = None
+    role_numbers: Optional[np.ndarray] = None
     #: mean per-node energy vector (node-indexed, for scatter plots)
-    node_energy: np.ndarray = None
+    node_energy: Optional[np.ndarray] = None
+    #: per-metric count of replications whose value was non-finite and was
+    #: therefore excluded from that metric's mean/CI (empty = none dropped)
+    dropped_replications: Dict[str, int] = field(default_factory=dict)
+
+    def __eq__(self, other: object) -> bool:
+        """Field-wise equality with ndarray-aware comparison.
+
+        The generated dataclass ``__eq__`` raises on ndarray fields
+        (ambiguous truth value); this version compares vectors with
+        :func:`numpy.array_equal` so aggregates from different worker
+        counts can be checked for bit-identity directly.
+        """
+        if not isinstance(other, AggregateMetrics):
+            return NotImplemented
+        for f in dataclasses.fields(self):
+            a = getattr(self, f.name)
+            b = getattr(other, f.name)
+            if isinstance(a, np.ndarray) or isinstance(b, np.ndarray):
+                if a is None or b is None:
+                    return False
+                if not np.array_equal(a, b):
+                    return False
+            elif a != b:
+                return False
+        return True
 
     def describe(self) -> str:
         """One-line summary."""
-        return (
+        line = (
             f"{self.scheme}: E={self.total_energy:.1f}J "
             f"var={self.energy_variance:.1f} PDR={self.pdr * 100:.1f}% "
             f"delay={self.avg_delay * 1e3:.0f}ms "
             f"EPB={self.energy_per_bit * 1e6:.1f}uJ/bit "
             f"ovh={self.normalized_overhead:.2f}"
         )
+        if self.dropped_replications:
+            drops = ",".join(f"{k}:{v}"
+                             for k, v in sorted(self.dropped_replications.items()))
+            line += f" [non-finite reps dropped: {drops}]"
+        return line
 
 
 def aggregate(runs: Sequence[RunMetrics]) -> AggregateMetrics:
-    """Fold replications into means with confidence half-widths."""
+    """Fold replications into means with confidence half-widths.
+
+    Non-finite per-replication values (e.g. infinite energy-per-bit when a
+    run delivered nothing) are excluded from that metric's mean/CI, but
+    never silently: each exclusion is counted in
+    ``AggregateMetrics.dropped_replications`` and a
+    :class:`NonFiniteReplicationWarning` is emitted.
+    """
     if not runs:
         raise ValueError("cannot aggregate zero runs")
     scheme = runs[0].scheme
+    dropped: Dict[str, int] = {}
 
-    def agg(values: List[float]) -> tuple:
-        """Mean and 95% CI over the finite values."""
+    def agg(name: str, values: List[float]) -> tuple:
+        """Mean and 95% CI over the finite values, counting exclusions."""
         finite = [v for v in values if np.isfinite(v)]
+        excluded = len(values) - len(finite)
+        if excluded:
+            dropped[name] = excluded
+            warnings.warn(
+                f"aggregate({scheme}): dropped {excluded}/{len(values)} "
+                f"non-finite {name} replication values",
+                NonFiniteReplicationWarning,
+                stacklevel=3,
+            )
         if not finite:
             return float("inf"), 0.0
         return mean(finite), confidence_interval_95(finite)
 
-    te, te_ci = agg([r.total_energy for r in runs])
-    ev, ev_ci = agg([r.energy_variance for r in runs])
-    pdr, pdr_ci = agg([r.pdr for r in runs])
-    dly, dly_ci = agg([r.avg_delay for r in runs])
-    epb, epb_ci = agg([r.energy_per_bit for r in runs])
-    ovh, ovh_ci = agg([r.normalized_overhead for r in runs])
+    te, te_ci = agg("total_energy", [r.total_energy for r in runs])
+    ev, ev_ci = agg("energy_variance", [r.energy_variance for r in runs])
+    pdr, pdr_ci = agg("pdr", [r.pdr for r in runs])
+    dly, dly_ci = agg("avg_delay", [r.avg_delay for r in runs])
+    epb, epb_ci = agg("energy_per_bit", [r.energy_per_bit for r in runs])
+    ovh, ovh_ci = agg("normalized_overhead",
+                      [r.normalized_overhead for r in runs])
     sorted_energy = np.mean(
         np.stack([r.sorted_node_energy() for r in runs]), axis=0
     )
@@ -100,12 +173,25 @@ def aggregate(runs: Sequence[RunMetrics]) -> AggregateMetrics:
         sorted_node_energy=sorted_energy,
         role_numbers=roles,
         node_energy=node_energy,
+        dropped_replications=dropped,
     )
 
 
-def run_and_aggregate(config: SimulationConfig, repetitions: int) -> AggregateMetrics:
+def run_and_aggregate(
+    config: SimulationConfig,
+    repetitions: int,
+    workers: Optional[int] = None,
+    on_event=None,
+) -> AggregateMetrics:
     """Convenience composition of :func:`run_replications` + :func:`aggregate`."""
-    return aggregate(run_replications(config, repetitions))
+    return aggregate(run_replications(config, repetitions, workers=workers,
+                                      on_event=on_event))
 
 
-__all__ = ["AggregateMetrics", "aggregate", "run_replications", "run_and_aggregate"]
+__all__ = [
+    "AggregateMetrics",
+    "NonFiniteReplicationWarning",
+    "aggregate",
+    "run_replications",
+    "run_and_aggregate",
+]

@@ -17,7 +17,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict
 
-from repro.experiments.runner import AggregateMetrics, run_and_aggregate
+from repro.experiments.parallel import run_grid
+from repro.experiments.runner import AggregateMetrics, aggregate
 from repro.experiments.scenarios import ExperimentScale, make_config
 from repro.metrics.report import format_table
 
@@ -38,24 +39,29 @@ class SensitivityResult:
     by_fraction: Dict[float, AggregateMetrics]
 
 
-def run(scale: ExperimentScale, seed: int = 1, progress=None) -> SensitivityResult:
+def run(scale: ExperimentScale, seed: int = 1, progress=None,
+        workers=None) -> SensitivityResult:
     """Sweep PSM timing for Rcast (static scenario, low rate)."""
-    by_beacon: Dict[float, AggregateMetrics] = {}
+    configs = {}
     for beacon in BEACON_INTERVALS:
-        config = make_config(
+        configs[("beacon", beacon)] = make_config(
             scale, "rcast", scale.low_rate, mobile=False, seed=seed,
             beacon_interval=beacon, atim_window=0.2 * beacon,
         )
-        by_beacon[beacon] = run_and_aggregate(config, scale.repetitions)
+    for fraction in ATIM_FRACTIONS:
+        configs[("fraction", fraction)] = make_config(
+            scale, "rcast", scale.low_rate, mobile=False, seed=seed,
+            beacon_interval=0.25, atim_window=0.25 * fraction,
+        )
+    runs = run_grid(configs, scale.repetitions, workers=workers)
+    by_beacon: Dict[float, AggregateMetrics] = {}
+    for beacon in BEACON_INTERVALS:
+        by_beacon[beacon] = aggregate(runs[("beacon", beacon)])
         if progress is not None:
             progress(f"beacon={beacon}s: {by_beacon[beacon].describe()}")
     by_fraction: Dict[float, AggregateMetrics] = {}
     for fraction in ATIM_FRACTIONS:
-        config = make_config(
-            scale, "rcast", scale.low_rate, mobile=False, seed=seed,
-            beacon_interval=0.25, atim_window=0.25 * fraction,
-        )
-        by_fraction[fraction] = run_and_aggregate(config, scale.repetitions)
+        by_fraction[fraction] = aggregate(runs[("fraction", fraction)])
         if progress is not None:
             progress(f"atim={fraction:.0%}: {by_fraction[fraction].describe()}")
     return SensitivityResult(scale.name, scale.low_rate, by_beacon,

@@ -13,7 +13,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Tuple
 
-from repro.experiments.runner import AggregateMetrics, run_and_aggregate
+from repro.experiments.parallel import parallel_map, run_grid
+from repro.experiments.runner import AggregateMetrics, aggregate
 from repro.experiments.scenarios import ExperimentScale, make_config
 from repro.metrics.report import format_table
 from repro.network import build_network
@@ -36,8 +37,9 @@ class SpanStudyResult:
     num_nodes: int
 
 
-def _measure_backbone(scale: ExperimentScale, factor: float, seed: int) -> float:
+def _measure_backbone(args: Tuple[ExperimentScale, float, int]) -> float:
     """Run one SPAN network and report its final coordinator count."""
+    scale, factor, seed = args
     config = make_config(
         scale, "span", scale.low_rate, mobile=False, seed=seed,
         arena_w=scale.arena_w * factor,
@@ -47,23 +49,28 @@ def _measure_backbone(scale: ExperimentScale, factor: float, seed: int) -> float
     return float(network.span_election.backbone_size)
 
 
-def run(scale: ExperimentScale, seed: int = 1, progress=None) -> SpanStudyResult:
+def run(scale: ExperimentScale, seed: int = 1, progress=None,
+        workers=None) -> SpanStudyResult:
     """Run the density sweep (static scenario, low rate)."""
+    configs = {
+        (scheme, factor): make_config(
+            scale, scheme, scale.low_rate, mobile=False, seed=seed,
+            arena_w=scale.arena_w * factor,
+        )
+        for factor in DENSITY_FACTORS for scheme in SCHEMES
+    }
+    grid = run_grid(configs, scale.repetitions, workers=workers)
     cells: Dict[Tuple[str, float], AggregateMetrics] = {}
-    backbone: Dict[float, float] = {}
-    for factor in DENSITY_FACTORS:
-        for scheme in SCHEMES:
-            config = make_config(
-                scale, scheme, scale.low_rate, mobile=False, seed=seed,
-                arena_w=scale.arena_w * factor,
-            )
-            cells[(scheme, factor)] = run_and_aggregate(
-                config, scale.repetitions
-            )
-            if progress is not None:
-                progress(f"x{factor} {scheme}: "
-                         f"{cells[(scheme, factor)].describe()}")
-        backbone[factor] = _measure_backbone(scale, factor, seed)
+    for key in configs:
+        cells[key] = aggregate(grid[key])
+        if progress is not None:
+            progress(f"x{key[1]} {key[0]}: {cells[key].describe()}")
+    sizes = parallel_map(
+        _measure_backbone,
+        [(scale, factor, seed) for factor in DENSITY_FACTORS],
+        workers=workers,
+    )
+    backbone = dict(zip(DENSITY_FACTORS, sizes))
     return SpanStudyResult(scale.name, scale.low_rate, cells, backbone,
                            scale.num_nodes)
 

@@ -15,14 +15,27 @@ lower stale fraction; no-overhearing holds the fewest.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict
+from typing import Dict, Tuple
 
 from repro.analysis.staleness import StalenessReport, audit_staleness
+from repro.experiments.parallel import parallel_map
 from repro.experiments.scenarios import ExperimentScale, make_config
 from repro.metrics.report import format_table
 from repro.network import build_network
 
 SCHEMES = ("psm", "rcast", "psm-nooh")
+
+
+def _audit_scheme(
+    args: Tuple[ExperimentScale, str, int]
+) -> Tuple[StalenessReport, float]:
+    """Run one scheme's network and audit its caches (worker entry point)."""
+    scale, scheme, seed = args
+    config = make_config(scale, scheme, scale.low_rate, mobile=True,
+                         seed=seed)
+    network = build_network(config)
+    metrics = network.run()
+    return audit_staleness(network), metrics.pdr
 
 
 @dataclass
@@ -36,17 +49,18 @@ class StalenessStudyResult:
 
 
 def run(scale: ExperimentScale, seed: int = 1,
-        progress=None) -> StalenessStudyResult:
+        progress=None, workers=None) -> StalenessStudyResult:
     """Run the overhearing spectrum and audit caches (mobile, low rate)."""
+    audits = parallel_map(
+        _audit_scheme,
+        [(scale, scheme, seed) for scheme in SCHEMES],
+        workers=workers,
+    )
     reports: Dict[str, StalenessReport] = {}
     pdr: Dict[str, float] = {}
-    for scheme in SCHEMES:
-        config = make_config(scale, scheme, scale.low_rate, mobile=True,
-                             seed=seed)
-        network = build_network(config)
-        metrics = network.run()
-        reports[scheme] = audit_staleness(network)
-        pdr[scheme] = metrics.pdr
+    for scheme, (report, scheme_pdr) in zip(SCHEMES, audits):
+        reports[scheme] = report
+        pdr[scheme] = scheme_pdr
         if progress is not None:
             progress(f"{scheme}: {reports[scheme].describe()}")
     return StalenessStudyResult(scale.name, scale.low_rate, reports, pdr)

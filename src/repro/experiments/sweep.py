@@ -3,6 +3,13 @@
 The paper's Figures 6-8 are rate sweeps at two pause times; :func:`sweep`
 runs the full grid and returns a :class:`SweepResult` the figure modules
 slice series out of.
+
+With ``workers > 1`` the sweep shards every (cell x repetition) work item
+across a process pool (:mod:`repro.experiments.parallel`) — not just the
+replications of one cell — so a full-grid sweep approaches linear
+multicore speedup.  Results are reassembled keyed by ``(cell, rep)``,
+never by completion order: the same seed produces bit-identical
+:class:`~repro.experiments.runner.AggregateMetrics` for any worker count.
 """
 
 from __future__ import annotations
@@ -10,7 +17,16 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
-from repro.experiments.runner import AggregateMetrics, run_and_aggregate
+from repro.experiments.parallel import (
+    ProgressCallback,
+    resolve_workers,
+    run_grid,
+)
+from repro.experiments.runner import (
+    AggregateMetrics,
+    aggregate,
+    run_and_aggregate,
+)
 from repro.experiments.scenarios import ExperimentScale, make_config
 
 #: Result key: (scheme, rate, mobile?).
@@ -44,9 +60,19 @@ def sweep(
     scenarios: Sequence[bool] = (True, False),
     seed: int = 1,
     progress: Optional[Callable[[str], None]] = None,
+    workers: Optional[int] = None,
+    on_event: Optional[ProgressCallback] = None,
     **config_overrides,
 ) -> SweepResult:
-    """Run the full grid; each cell is aggregated over the scale's reps."""
+    """Run the full grid; each cell is aggregated over the scale's reps.
+
+    ``workers=None`` (or 1) keeps the serial cell-by-cell path;
+    ``workers=N`` shards all (cell x repetition) items across ``N`` worker
+    processes (``workers=0`` = all cores).  ``progress`` receives one
+    human-readable line per finished cell in deterministic grid order;
+    ``on_event`` receives the structured
+    :class:`~repro.experiments.parallel.ProgressEvent` stream.
+    """
     rates = tuple(rates if rates is not None else scale.rates)
     result = SweepResult(
         scale_name=scale.name,
@@ -54,16 +80,35 @@ def sweep(
         rates=rates,
         scenarios=tuple(scenarios),
     )
-    for mobile in scenarios:
-        for rate in rates:
-            for scheme in schemes:
-                config = make_config(scale, scheme, rate, mobile, seed=seed,
-                                     **config_overrides)
-                agg = run_and_aggregate(config, scale.repetitions)
-                result.cells[(scheme, rate, mobile)] = agg
-                if progress is not None:
-                    label = "mobile" if mobile else "static"
-                    progress(f"[{label} rate={rate}] {agg.describe()}")
+    if resolve_workers(workers) == 1 and on_event is None:
+        for mobile in scenarios:
+            for rate in rates:
+                for scheme in schemes:
+                    config = make_config(scale, scheme, rate, mobile,
+                                         seed=seed, **config_overrides)
+                    agg = run_and_aggregate(config, scale.repetitions)
+                    result.cells[(scheme, rate, mobile)] = agg
+                    if progress is not None:
+                        label = "mobile" if mobile else "static"
+                        progress(f"[{label} rate={rate}] {agg.describe()}")
+        return result
+
+    configs = {
+        (scheme, rate, mobile): make_config(scale, scheme, rate, mobile,
+                                            seed=seed, **config_overrides)
+        for mobile in scenarios
+        for rate in rates
+        for scheme in schemes
+    }
+    runs = run_grid(configs, scale.repetitions, workers=workers,
+                    on_event=on_event)
+    for key in configs:
+        agg = aggregate(runs[key])
+        result.cells[key] = agg
+        if progress is not None:
+            scheme, rate, mobile = key
+            label = "mobile" if mobile else "static"
+            progress(f"[{label} rate={rate}] {agg.describe()}")
     return result
 
 

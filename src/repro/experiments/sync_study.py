@@ -19,7 +19,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict
 
-from repro.experiments.runner import AggregateMetrics, run_and_aggregate
+from repro.experiments.parallel import run_grid
+from repro.experiments.runner import AggregateMetrics, aggregate
 from repro.experiments.scenarios import ExperimentScale, make_config
 from repro.metrics.report import format_table
 
@@ -39,13 +40,18 @@ class SyncStudyResult:
     cells: Dict[float, AggregateMetrics]
 
 
-def run(scale: ExperimentScale, seed: int = 1, progress=None) -> SyncStudyResult:
+def run(scale: ExperimentScale, seed: int = 1, progress=None,
+        workers=None) -> SyncStudyResult:
     """Sweep residual clock error for Rcast (static, low rate)."""
+    configs = {
+        jitter: make_config(scale, "rcast", scale.low_rate, mobile=False,
+                            seed=seed, clock_jitter=jitter)
+        for jitter in JITTERS
+    }
+    runs = run_grid(configs, scale.repetitions, workers=workers)
     cells: Dict[float, AggregateMetrics] = {}
     for jitter in JITTERS:
-        config = make_config(scale, "rcast", scale.low_rate, mobile=False,
-                             seed=seed, clock_jitter=jitter)
-        cells[jitter] = run_and_aggregate(config, scale.repetitions)
+        cells[jitter] = aggregate(runs[jitter])
         if progress is not None:
             progress(f"jitter={jitter * 1e3:.0f}ms: {cells[jitter].describe()}")
     return SyncStudyResult(scale.name, scale.low_rate, cells)

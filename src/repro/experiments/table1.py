@@ -11,7 +11,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Tuple
 
-from repro.experiments.runner import AggregateMetrics, run_and_aggregate
+from repro.experiments.parallel import run_grid
+from repro.experiments.runner import AggregateMetrics, aggregate
 from repro.experiments.scenarios import ExperimentScale, make_config
 from repro.metrics.report import format_table
 
@@ -45,13 +46,18 @@ class Table1Result:
     checks: List[Tuple[str, bool]]
 
 
-def run(scale: ExperimentScale, seed: int = 1, progress=None) -> Table1Result:
+def run(scale: ExperimentScale, seed: int = 1, progress=None,
+        workers=None) -> Table1Result:
     """Run all schemes at the scale's low rate, mobile scenario."""
     rate = scale.low_rate
+    configs = {
+        scheme: make_config(scale, scheme, rate, mobile=True, seed=seed)
+        for scheme in SCHEMES
+    }
+    runs = run_grid(configs, scale.repetitions, workers=workers)
     rows: Dict[str, AggregateMetrics] = {}
     for scheme in SCHEMES:
-        config = make_config(scale, scheme, rate, mobile=True, seed=seed)
-        rows[scheme] = run_and_aggregate(config, scale.repetitions)
+        rows[scheme] = aggregate(runs[scheme])
         if progress is not None:
             progress(rows[scheme].describe())
     checks = _verify(rows)

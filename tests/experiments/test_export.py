@@ -69,3 +69,42 @@ def test_infinite_values_serialized_as_null(tiny_sweep):
     patched = dataclasses.replace(agg, energy_per_bit=float("inf"))
     d = aggregate_to_dict(patched)
     assert d["energy_per_bit"] is None
+
+
+def test_none_vectors_serialized_as_null(tiny_sweep):
+    # Mistyped `np.ndarray = None` defaults used to crash the exporter;
+    # Optional vectors must serialize as null, not raise.
+    agg = tiny_sweep.get("rcast", 0.5, False)
+    patched = dataclasses.replace(agg, sorted_node_energy=None,
+                                  role_numbers=None, node_energy=None)
+    d = aggregate_to_dict(patched)
+    assert d["sorted_node_energy"] is None
+    assert d["role_numbers"] is None
+    assert d["node_energy"] is None
+
+
+def test_dropped_replications_exported(tiny_sweep):
+    agg = tiny_sweep.get("rcast", 0.5, False)
+    patched = dataclasses.replace(agg,
+                                  dropped_replications={"energy_per_bit": 3})
+    d = aggregate_to_dict(patched)
+    assert d["dropped_replications"] == {"energy_per_bit": 3}
+
+
+def test_result_to_jsonable_generic(tiny_sweep, tmp_path):
+    import numpy as np
+
+    from repro.experiments.export import result_to_jsonable, write_result_json
+
+    encoded = result_to_jsonable(tiny_sweep)
+    # Tuple cell keys become strings; AggregateMetrics use the stable schema.
+    assert any("rcast" in key for key in encoded["cells"])
+    cell = next(iter(encoded["cells"].values()))
+    assert "total_energy" in cell
+    # ndarray, numpy scalars, inf and nested containers are all JSON-safe.
+    blob = {"vec": np.arange(3.0), "inf": float("inf"),
+            "mixed": [np.float64(1.5), (1, 2)]}
+    assert result_to_jsonable(blob) == {"vec": [0.0, 1.0, 2.0], "inf": None,
+                                        "mixed": [1.5, [1, 2]]}
+    path = write_result_json(tiny_sweep, tmp_path / "result.json")
+    assert json.loads(path.read_text()) == encoded

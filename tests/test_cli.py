@@ -77,3 +77,48 @@ def test_sweep_command_with_export(tmp_path, capsys, monkeypatch):
 def test_sweep_rejects_unknown_scenario():
     with pytest.raises(SystemExit):
         main(["sweep", "--scenarios", "lunar", "--scale", "smoke"])
+
+
+def test_sweep_command_parallel_workers(tmp_path, capsys, monkeypatch):
+    import dataclasses
+    import json
+
+    import repro.cli as cli
+    from repro.experiments.scenarios import SMOKE_SCALE
+
+    tiny = dataclasses.replace(SMOKE_SCALE, num_nodes=12, sim_time=8.0,
+                               num_connections=2, repetitions=2)
+    monkeypatch.setitem(cli._SCALES, "smoke", tiny)
+    json_path = tmp_path / "sweep.json"
+    code = main([
+        "sweep", "--schemes", "rcast", "--rates", "0.5",
+        "--scenarios", "static", "--scale", "smoke",
+        "--workers", "2", "--json-out", str(json_path),
+    ])
+    assert code == 0
+    captured = capsys.readouterr()
+    assert "total energy" in captured.out
+    assert "utilization" in captured.err
+    data = json.loads(json_path.read_text())
+    assert data["cells"][0]["repetitions"] == 2
+
+
+def test_figure_command_workers_and_json_out(tmp_path, capsys, monkeypatch):
+    import dataclasses
+    import json
+
+    import repro.cli as cli
+    from repro.experiments.scenarios import SMOKE_SCALE
+
+    tiny = dataclasses.replace(SMOKE_SCALE, num_nodes=12, sim_time=8.0,
+                               num_connections=2, repetitions=1,
+                               rates=(0.5,), low_rate=0.5, high_rate=0.5)
+    monkeypatch.setitem(cli._SCALES, "smoke", tiny)
+    json_path = tmp_path / "fig6.json"
+    code = main(["fig6", "--scale", "smoke", "--workers", "2",
+                 "--json-out", str(json_path)])
+    assert code == 0
+    assert "variance" in capsys.readouterr().out
+    data = json.loads(json_path.read_text())
+    assert data["scale_name"] == "smoke"
+    assert "variance" in data
