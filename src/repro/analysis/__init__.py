@@ -1,5 +1,10 @@
-"""Post-hoc analysis utilities: topology structure, cache staleness."""
+"""Analysis tools: topology structure, cache staleness, and rcast-lint.
 
+``python -m repro.analysis`` runs the rcast-lint static checker (see
+:mod:`repro.analysis.lint`).
+"""
+
+from repro.analysis.lint import Diagnostic, lint_paths, lint_source
 from repro.analysis.staleness import StalenessReport, audit_staleness
 from repro.analysis.topology import (
     TopologySnapshot,
@@ -8,9 +13,12 @@ from repro.analysis.topology import (
 )
 
 __all__ = [
+    "Diagnostic",
     "StalenessReport",
     "TopologySnapshot",
     "audit_staleness",
     "connectivity_over_time",
+    "lint_paths",
+    "lint_source",
     "snapshot_topology",
 ]

@@ -1,0 +1,10 @@
+"""``python -m repro.analysis`` — run rcast-lint standalone."""
+
+from __future__ import annotations
+
+import sys
+
+from repro.analysis.lint.runner import main
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,38 @@
+"""rcast-lint: determinism & protocol-invariant static analysis.
+
+AST-based checks that turn the simulator's reproducibility conventions
+(named RNG streams, virtual time, order-stable iteration, pure event
+handlers) into machine-checked invariants.  See
+:mod:`repro.analysis.lint.rules` for the rule catalogue and
+:mod:`repro.analysis.lint.runner` for entry points.
+"""
+
+from repro.analysis.lint.diagnostics import (
+    Diagnostic,
+    Severity,
+    SuppressionIndex,
+)
+from repro.analysis.lint.rules import ALL_RULES, RULES_BY_ID, Rule
+from repro.analysis.lint.runner import (
+    execute,
+    format_json,
+    format_text,
+    lint_paths,
+    lint_source,
+    main,
+)
+
+__all__ = [
+    "ALL_RULES",
+    "Diagnostic",
+    "RULES_BY_ID",
+    "Rule",
+    "Severity",
+    "SuppressionIndex",
+    "execute",
+    "format_json",
+    "format_text",
+    "lint_paths",
+    "lint_source",
+    "main",
+]

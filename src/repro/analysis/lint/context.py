@@ -1,0 +1,198 @@
+"""Shared per-file AST context for rcast-lint rules.
+
+Rules need the same groundwork: the parsed module, which local names are
+bound to the ``random`` / ``numpy`` / ``time`` / ``datetime`` modules (or to
+names imported *from* them), and the suppression pragmas present in the
+source.  :class:`FileContext` computes all of it once per file.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.analysis.lint.diagnostics import SuppressionIndex
+
+
+def dotted_chain(node: ast.expr) -> Optional[Tuple[str, ...]]:
+    """Resolve ``a.b.c`` into ``("a", "b", "c")``; None for non-name chains."""
+    parts: List[str] = []
+    current: ast.expr = node
+    while isinstance(current, ast.Attribute):
+        parts.append(current.attr)
+        current = current.value
+    if not isinstance(current, ast.Name):
+        return None
+    parts.append(current.id)
+    parts.reverse()
+    return tuple(parts)
+
+
+class ImportMap:
+    """Which local names refer to the modules the rules care about."""
+
+    def __init__(self, tree: ast.Module) -> None:
+        #: local aliases of the ``random`` module (``import random as _r``)
+        self.random_aliases: Set[str] = set()
+        #: local aliases of the ``numpy`` module
+        self.numpy_aliases: Set[str] = set()
+        #: local aliases of the ``time`` module
+        self.time_aliases: Set[str] = set()
+        #: local aliases of the ``datetime`` *module*
+        self.datetime_aliases: Set[str] = set()
+        #: names bound to the ``datetime.datetime`` / ``datetime.date`` classes
+        self.datetime_class_names: Set[str] = set()
+        #: ``from random import x`` nodes (each is one R001 finding)
+        self.from_random_imports: List[ast.ImportFrom] = []
+        #: ``from numpy.random import x`` / ``from numpy import random`` nodes
+        self.from_numpy_random_imports: List[ast.ImportFrom] = []
+        #: ``from time import <wall-clock name>`` nodes and the bound names
+        self.from_time_wallclock: List[Tuple[ast.ImportFrom, str]] = []
+
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    local = alias.asname or alias.name.split(".")[0]
+                    if alias.name == "random":
+                        self.random_aliases.add(local)
+                    elif alias.name in ("numpy", "numpy.random"):
+                        self.numpy_aliases.add(local)
+                    elif alias.name == "time":
+                        self.time_aliases.add(local)
+                    elif alias.name == "datetime":
+                        self.datetime_aliases.add(local)
+            elif isinstance(node, ast.ImportFrom):
+                module = node.module or ""
+                if node.level:
+                    continue  # relative import: not a stdlib module
+                if module == "random":
+                    self.from_random_imports.append(node)
+                elif module == "numpy.random":
+                    self.from_numpy_random_imports.append(node)
+                elif module == "numpy":
+                    if any(alias.name == "random" for alias in node.names):
+                        self.from_numpy_random_imports.append(node)
+                elif module == "time":
+                    for alias in node.names:
+                        if alias.name in WALL_CLOCK_TIME_ATTRS:
+                            self.from_time_wallclock.append(
+                                (node, alias.asname or alias.name)
+                            )
+                elif module == "datetime":
+                    for alias in node.names:
+                        if alias.name in ("datetime", "date"):
+                            self.datetime_class_names.add(
+                                alias.asname or alias.name
+                            )
+
+
+#: ``time`` module attributes that read the wall clock.
+WALL_CLOCK_TIME_ATTRS = frozenset(
+    {"time", "time_ns", "localtime", "gmtime", "ctime", "asctime"}
+)
+
+#: ``datetime``/``date`` class methods that read the wall clock.
+WALL_CLOCK_DATETIME_ATTRS = frozenset({"now", "utcnow", "today"})
+
+
+class FileContext:
+    """Everything a rule needs to examine one source file."""
+
+    def __init__(self, path: str, rel: str, source: str,
+                 tree: ast.Module) -> None:
+        self.path = path
+        self.rel = rel.replace("\\", "/")
+        self.source = source
+        self.tree = tree
+        self.imports = ImportMap(tree)
+        self.suppressions = SuppressionIndex(source)
+        #: names assigned at module top level (shared mutable state targets)
+        self.module_level_names: Set[str] = _module_level_names(tree)
+        #: function name -> def node, for handler lookups (module + methods)
+        self.functions: Dict[str, List[ast.FunctionDef]] = {}
+        for node in ast.walk(tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                self.functions.setdefault(node.name, []).append(node)
+
+    # ------------------------------------------------------------------
+    # Shared predicates (used by R001/R002 directly and by R005 again on
+    # handler bodies)
+    # ------------------------------------------------------------------
+
+    def global_random_call(self, call: ast.Call) -> Optional[str]:
+        """Describe a draw on the global random state, or None.
+
+        Catches ``random.<fn>(...)`` / ``<alias>.Random(...)`` on any alias
+        of the ``random`` module and ``np.random.<fn>(...)`` on any numpy
+        alias.
+        """
+        chain = dotted_chain(call.func)
+        if chain is None or len(chain) < 2:
+            return None
+        if chain[0] in self.imports.random_aliases:
+            return ".".join(chain)
+        if (
+            chain[0] in self.imports.numpy_aliases
+            and len(chain) >= 3
+            and chain[1] == "random"
+        ):
+            return ".".join(chain)
+        return None
+
+    def wall_clock_call(self, call: ast.Call) -> Optional[str]:
+        """Describe a wall-clock read, or None.
+
+        Catches ``time.time()``-style calls on any ``time`` alias,
+        ``datetime.datetime.now()`` / ``datetime.date.today()`` on any
+        ``datetime`` module alias, ``datetime.now()`` on an imported class,
+        and calls to names bound by ``from time import time``.
+        """
+        chain = dotted_chain(call.func)
+        if chain is None:
+            return None
+        if (
+            len(chain) == 2
+            and chain[0] in self.imports.time_aliases
+            and chain[1] in WALL_CLOCK_TIME_ATTRS
+        ):
+            return ".".join(chain)
+        if (
+            len(chain) == 3
+            and chain[0] in self.imports.datetime_aliases
+            and chain[1] in ("datetime", "date")
+            and chain[2] in WALL_CLOCK_DATETIME_ATTRS
+        ):
+            return ".".join(chain)
+        if (
+            len(chain) == 2
+            and chain[0] in self.imports.datetime_class_names
+            and chain[1] in WALL_CLOCK_DATETIME_ATTRS
+        ):
+            return ".".join(chain)
+        if len(chain) == 1:
+            for _node, name in self.imports.from_time_wallclock:
+                if chain[0] == name:
+                    return name
+        return None
+
+
+def _module_level_names(tree: ast.Module) -> Set[str]:
+    names: Set[str] = set()
+    for stmt in tree.body:
+        if isinstance(stmt, ast.Assign):
+            for target in stmt.targets:
+                if isinstance(target, ast.Name):
+                    names.add(target.id)
+        elif isinstance(stmt, ast.AnnAssign):
+            if isinstance(stmt.target, ast.Name):
+                names.add(stmt.target.id)
+    return names
+
+
+__all__ = [
+    "FileContext",
+    "ImportMap",
+    "WALL_CLOCK_DATETIME_ATTRS",
+    "WALL_CLOCK_TIME_ATTRS",
+    "dotted_chain",
+]

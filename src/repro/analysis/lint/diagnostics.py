@@ -1,0 +1,117 @@
+"""Diagnostic records and suppression parsing for rcast-lint.
+
+A :class:`Diagnostic` pinpoints one finding: rule id, severity, file, line,
+column, message.  Findings can be silenced inline::
+
+    value = random.random()  # rcast-lint: disable=R001 -- calibration only
+
+or for a whole file by putting the pragma on its own line near the top::
+
+    # rcast-lint: disable-file=R002 -- CLI wall-time reporting is cosmetic
+
+Both forms take a comma-separated rule list or ``all``.  The ``-- reason``
+tail is conventional (and required by review policy) but not enforced
+syntactically.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from enum import Enum
+from typing import Dict, FrozenSet, List, Set
+
+
+class Severity(str, Enum):
+    """How bad a finding is; errors fail the build, warnings do not."""
+
+    ERROR = "error"
+    WARNING = "warning"
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One lint finding, pinned to a precise source location."""
+
+    rule: str
+    name: str
+    severity: Severity
+    path: str
+    line: int
+    col: int
+    message: str
+
+    def format(self) -> str:
+        """Render as ``path:line:col: R00x severity: message [name]``."""
+        return (
+            f"{self.path}:{self.line}:{self.col}: "
+            f"{self.rule} {self.severity.value}: {self.message} [{self.name}]"
+        )
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-safe representation."""
+        return {
+            "rule": self.rule,
+            "name": self.name,
+            "severity": self.severity.value,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+        }
+
+
+#: ``# rcast-lint: disable=R001,R003`` (same line) or
+#: ``# rcast-lint: disable-file=R002`` (whole file).
+_PRAGMA = re.compile(
+    r"#\s*rcast-lint:\s*disable(?P<scope>-file)?\s*=\s*"
+    r"(?P<rules>all|[A-Za-z0-9_]+(?:\s*,\s*[A-Za-z0-9_]+)*)"
+)
+
+#: Sentinel rule id meaning "every rule".
+ALL_RULES = "all"
+
+
+class SuppressionIndex:
+    """Per-file map of which rules are disabled on which lines."""
+
+    def __init__(self, source: str) -> None:
+        self._by_line: Dict[int, Set[str]] = {}
+        self._file_wide: Set[str] = set()
+        for lineno, text in enumerate(source.splitlines(), start=1):
+            match = _PRAGMA.search(text)
+            if match is None:
+                continue
+            rules = frozenset(
+                r.strip() for r in match.group("rules").split(",")
+            )
+            if match.group("scope"):
+                self._file_wide |= rules
+            else:
+                self._by_line.setdefault(lineno, set()).update(rules)
+
+    def is_suppressed(self, rule: str, line: int) -> bool:
+        """True when ``rule`` is disabled on ``line`` (or file-wide)."""
+        if ALL_RULES in self._file_wide or rule in self._file_wide:
+            return True
+        on_line = self._by_line.get(line)
+        if on_line is None:
+            return False
+        return ALL_RULES in on_line or rule in on_line
+
+    @property
+    def file_wide(self) -> FrozenSet[str]:
+        """Rules disabled for the whole file."""
+        return frozenset(self._file_wide)
+
+    def suppressed_lines(self) -> List[int]:
+        """Lines carrying an inline pragma (diagnostics / tooling)."""
+        return sorted(self._by_line)
+
+
+__all__ = [
+    "ALL_RULES",
+    "Diagnostic",
+    "Severity",
+    "SuppressionIndex",
+]

@@ -1,0 +1,564 @@
+"""The rcast-lint rule set.
+
+Five simulator-specific determinism/protocol invariants, each with a stable
+id.  Rules yield ``(line, col, message)`` findings; the runner attaches
+file paths, applies path scoping and inline suppressions, and renders
+output.
+
+=====  =======================  ==================================================
+id     name                     invariant
+=====  =======================  ==================================================
+R001   rng-discipline           all randomness flows through named
+                                :class:`~repro.sim.rng.RngRegistry` streams;
+                                no global ``random`` / ``np.random`` draws
+R002   wall-clock               simulation code never reads the wall clock
+                                (virtual time only; ``perf_counter`` is fine)
+R003   unordered-iteration      no iteration over ``set`` / ``frozenset``
+                                values in protocol code without ``sorted()``
+R004   mutable-default          no mutable default arguments
+R005   handler-purity           event handlers must not read the wall clock,
+                                draw global randomness, or mutate module
+                                globals
+=====  =======================  ==================================================
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple, Type
+
+from repro.analysis.lint.context import FileContext
+from repro.analysis.lint.diagnostics import Severity
+
+#: A raw finding: (line, col, message).
+Finding = Tuple[int, int, str]
+
+#: Directories (relative to the package root) that execute under virtual
+#: time and feed the deterministic event loop.
+SIM_PATHS: Tuple[str, ...] = (
+    "sim/",
+    "mac/",
+    "phy/",
+    "routing/",
+    "core/",
+    "traffic/",
+    "mobility/",
+    "experiments/",
+    "network.py",
+    "node.py",
+)
+
+
+class Rule:
+    """Base class: id, human name, severity, and path scoping."""
+
+    id: str = ""
+    name: str = ""
+    severity: Severity = Severity.ERROR
+    #: apply only to files under these relative paths (empty = everywhere)
+    paths: Tuple[str, ...] = ()
+    #: never apply to files under these relative paths
+    allow: Tuple[str, ...] = ()
+
+    def run(self, ctx: FileContext) -> Iterator[Finding]:
+        """Yield findings for one file."""
+        raise NotImplementedError
+
+    def applies_to(self, rel: str) -> bool:
+        """Whether this rule is in scope for the file at ``rel``."""
+        if any(_path_matches(rel, pattern) for pattern in self.allow):
+            return False
+        if not self.paths:
+            return True
+        return any(_path_matches(rel, pattern) for pattern in self.paths)
+
+
+def _path_matches(rel: str, pattern: str) -> bool:
+    rel = rel.replace("\\", "/")
+    if pattern.endswith("/"):
+        return rel.startswith(pattern) or f"/{pattern}" in f"/{rel}"
+    return rel == pattern or rel.endswith("/" + pattern)
+
+
+# ----------------------------------------------------------------------
+# R001 — rng-discipline
+# ----------------------------------------------------------------------
+
+
+class RngDiscipline(Rule):
+    """All randomness must come from named ``RngRegistry`` streams.
+
+    Direct draws on the global ``random`` module (or ``np.random``) are
+    invisible to the registry: they couple unrelated subsystems to one
+    shared sequence and break the bit-identical-per-seed guarantee the
+    moment anyone adds a draw.  ``sim/rng.py`` itself is the only module
+    allowed to construct generators.
+    """
+
+    id = "R001"
+    name = "rng-discipline"
+    allow = ("sim/rng.py",)
+
+    def run(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ctx.imports.from_random_imports:
+            yield (
+                node.lineno, node.col_offset,
+                "import from the global `random` module; draw from a named "
+                "RngRegistry stream (repro.sim.rng) instead",
+            )
+        for node in ctx.imports.from_numpy_random_imports:
+            yield (
+                node.lineno, node.col_offset,
+                "import from `numpy.random`; use "
+                "RngRegistry.numpy_stream(name) instead",
+            )
+        for call in ast.walk(ctx.tree):
+            if not isinstance(call, ast.Call):
+                continue
+            described = ctx.global_random_call(call)
+            if described is not None:
+                yield (
+                    call.lineno, call.col_offset,
+                    f"direct call to `{described}`; all randomness must come "
+                    "from a named RngRegistry stream (repro.sim.rng)",
+                )
+
+
+# ----------------------------------------------------------------------
+# R002 — wall-clock
+# ----------------------------------------------------------------------
+
+
+class WallClock(Rule):
+    """Simulation code runs on virtual time; the wall clock is forbidden.
+
+    A ``time.time()`` in a protocol path silently couples results to host
+    load and clock steps.  ``time.perf_counter()`` / ``time.monotonic()``
+    are allowed for *reporting* elapsed wall time (they never feed back
+    into simulated behaviour and are immune to clock adjustments).
+    """
+
+    id = "R002"
+    name = "wall-clock"
+    # The CLI reports elapsed wall time to humans; that read never feeds
+    # back into simulated behaviour, so the module is allowlisted (and uses
+    # perf_counter anyway).
+    allow = ("cli.py",)
+
+    def run(self, ctx: FileContext) -> Iterator[Finding]:
+        for node, bound_name in ctx.imports.from_time_wallclock:
+            yield (
+                node.lineno, node.col_offset,
+                f"`from time import {bound_name}` imports a wall-clock "
+                "reader; use simulator virtual time (sim.now) or "
+                "time.perf_counter() for elapsed-time reporting",
+            )
+        for call in ast.walk(ctx.tree):
+            if not isinstance(call, ast.Call):
+                continue
+            described = ctx.wall_clock_call(call)
+            if described is not None:
+                yield (
+                    call.lineno, call.col_offset,
+                    f"wall-clock read `{described}()`; simulation code must "
+                    "use virtual time (sim.now); use time.perf_counter() "
+                    "for elapsed-time reporting",
+                )
+
+
+# ----------------------------------------------------------------------
+# R003 — unordered-iteration
+# ----------------------------------------------------------------------
+
+_SET_ANNOTATION = re.compile(
+    r"^(?:typing\.)?(?:Set|FrozenSet|AbstractSet|MutableSet|set|frozenset)"
+    r"(?:\[|$)"
+)
+
+#: ``sorted()`` restores a deterministic order; these merely materialize
+#: the (hash-dependent) iteration order and do NOT sanitize it.
+_TRANSPARENT_WRAPPERS = frozenset({"list", "tuple", "enumerate", "iter"})
+
+_SET_BINOPS = (ast.BitOr, ast.BitAnd, ast.BitXor, ast.Sub)
+
+
+def _annotation_is_set(annotation: ast.expr) -> bool:
+    try:
+        text = ast.unparse(annotation)
+    except Exception:  # pragma: no cover - malformed annotation
+        return False
+    return _SET_ANNOTATION.match(text.strip()) is not None
+
+
+class UnorderedIteration(Rule):
+    """Iterating a ``set`` leaks hash order into the event schedule.
+
+    Any ``for x in some_set`` in protocol/MAC/handler code makes event
+    ordering (and therefore RNG consumption) depend on hash seeds and
+    insertion history, which breaks the workers=1 vs workers=N
+    bit-identical guarantee.  Wrap the iterable in ``sorted(...)``;
+    ``list(...)``/``tuple(...)`` only materialize the unstable order.
+
+    Set *comprehensions* over sets are exempt: their result is itself
+    unordered, so the traversal order cannot leak (side-effectful
+    comprehension predicates are pathological enough to be out of scope).
+    """
+
+    id = "R003"
+    name = "unordered-iteration"
+    paths = SIM_PATHS
+
+    def run(self, ctx: FileContext) -> Iterator[Finding]:
+        set_attrs = _set_typed_attrs(ctx.tree)
+        module_sets = _set_typed_locals(ctx.tree.body, set_attrs)
+        yield from self._scan(ctx.tree.body, module_sets, set_attrs)
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                local = module_sets | _set_typed_locals(node.body, set_attrs)
+                for arg, annotation in _annotated_args(node):
+                    if _annotation_is_set(annotation):
+                        local.add(arg)
+                yield from self._scan(node.body, local, set_attrs)
+
+    def _scan(self, body: Sequence[ast.stmt], set_names: Set[str],
+              set_attrs: Set[str]) -> Iterator[Finding]:
+        exempt: Set[int] = set()
+        for node in _walk_scope(body):
+            # A comprehension fed straight into an order-erasing sink
+            # (sorted/set/frozenset) cannot leak traversal order.  Parents
+            # are yielded before children, so the exemption lands first.
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Name)
+                and node.func.id in ("sorted", "set", "frozenset")
+                and node.args
+            ):
+                exempt.add(id(node.args[0]))
+            iters: List[ast.expr] = []
+            if isinstance(node, ast.For):
+                iters.append(node.iter)
+            elif isinstance(node, (ast.ListComp, ast.GeneratorExp,
+                                   ast.DictComp)):
+                if id(node) in exempt:
+                    continue
+                iters.extend(gen.iter for gen in node.generators)
+            for expr in iters:
+                finding = _check_iterable(expr, set_names, set_attrs)
+                if finding is not None:
+                    yield finding
+
+
+def _walk_scope(body: Sequence[ast.stmt]) -> Iterator[ast.AST]:
+    """Walk statements without descending into nested function scopes.
+
+    Each function is scanned exactly once, with its own local-name table;
+    descending from the enclosing scope would double-report its loops.
+    """
+    stack: List[ast.AST] = list(body)
+    while stack:
+        node = stack.pop()
+        yield node
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue  # nested scope: scanned separately with its own names
+        stack.extend(ast.iter_child_nodes(node))
+
+
+def _annotated_args(
+    node: ast.FunctionDef | ast.AsyncFunctionDef,
+) -> Iterator[Tuple[str, ast.expr]]:
+    args = node.args
+    for arg in args.posonlyargs + args.args + args.kwonlyargs:
+        if arg.annotation is not None:
+            yield arg.arg, arg.annotation
+
+
+def _set_typed_attrs(tree: ast.Module) -> Set[str]:
+    """Attribute names assigned set values anywhere in the file.
+
+    Tracked by attribute *name* regardless of receiver, so
+    ``self._seen = set()`` and ``tx.audible = set(...)`` both mark their
+    attribute; a later ``for x in tx.audible`` is then in scope.
+    """
+    attrs: Set[str] = set()
+    for node in ast.walk(tree):
+        target: Optional[ast.expr] = None
+        if isinstance(node, ast.Assign) and len(node.targets) == 1:
+            if _is_set_expr(node.value, set(), attrs):
+                target = node.targets[0]
+        elif isinstance(node, ast.AnnAssign):
+            if _annotation_is_set(node.annotation):
+                target = node.target
+        if isinstance(target, ast.Attribute):
+            attrs.add(target.attr)
+    return attrs
+
+
+def _set_typed_locals(body: Sequence[ast.stmt],
+                      set_attrs: Set[str]) -> Set[str]:
+    names: Set[str] = set()
+    for node in _walk_scope(body):
+        if isinstance(node, ast.Assign) and len(node.targets) == 1:
+            target = node.targets[0]
+            if (
+                isinstance(target, ast.Name)
+                and _is_set_expr(node.value, names, set_attrs)
+            ):
+                names.add(target.id)
+        elif isinstance(node, ast.AnnAssign):
+            if (
+                isinstance(node.target, ast.Name)
+                and _annotation_is_set(node.annotation)
+            ):
+                names.add(node.target.id)
+    return names
+
+
+def _is_set_expr(node: ast.expr, set_names: Set[str],
+                 set_attrs: Set[str]) -> bool:
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+        return node.func.id in ("set", "frozenset")
+    if isinstance(node, ast.Name):
+        return node.id in set_names
+    if isinstance(node, ast.Attribute) and isinstance(node.value, ast.Name):
+        return node.attr in set_attrs
+    if isinstance(node, ast.BinOp) and isinstance(node.op, _SET_BINOPS):
+        return (
+            _is_set_expr(node.left, set_names, set_attrs)
+            or _is_set_expr(node.right, set_names, set_attrs)
+        )
+    return False
+
+
+def _check_iterable(expr: ast.expr, set_names: Set[str],
+                    set_attrs: Set[str]) -> Optional[Finding]:
+    # sorted(...) sanitizes whatever is inside.
+    if (
+        isinstance(expr, ast.Call)
+        and isinstance(expr.func, ast.Name)
+        and expr.func.id == "sorted"
+    ):
+        return None
+    # list()/tuple()/enumerate()/iter() just materialize the unstable
+    # order; look through them.
+    if (
+        isinstance(expr, ast.Call)
+        and isinstance(expr.func, ast.Name)
+        and expr.func.id in _TRANSPARENT_WRAPPERS
+        and expr.args
+    ):
+        return _check_iterable(expr.args[0], set_names, set_attrs)
+    if _is_set_expr(expr, set_names, set_attrs):
+        try:
+            rendered = ast.unparse(expr)
+        except Exception:  # pragma: no cover - unparseable expr
+            rendered = "<set>"
+        return (
+            expr.lineno, expr.col_offset,
+            f"iteration over unordered set `{rendered}`; wrap in "
+            "sorted(...) so event order cannot depend on hash order",
+        )
+    return None
+
+
+# ----------------------------------------------------------------------
+# R004 — mutable-default
+# ----------------------------------------------------------------------
+
+_MUTABLE_FACTORIES = frozenset(
+    {"list", "dict", "set", "bytearray", "defaultdict", "OrderedDict",
+     "Counter", "deque"}
+)
+
+
+class MutableDefault(Rule):
+    """Mutable default arguments are shared across calls (and runs)."""
+
+    id = "R004"
+    name = "mutable-default"
+
+    def run(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            defaults = list(node.args.defaults) + [
+                d for d in node.args.kw_defaults if d is not None
+            ]
+            for default in defaults:
+                if _is_mutable_literal(default):
+                    yield (
+                        default.lineno, default.col_offset,
+                        f"mutable default argument in `{node.name}()`; "
+                        "use None and create the value inside the function",
+                    )
+
+
+def _is_mutable_literal(node: ast.expr) -> bool:
+    if isinstance(node, (ast.List, ast.Dict, ast.Set, ast.ListComp,
+                         ast.DictComp, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+        return node.func.id in _MUTABLE_FACTORIES
+    return False
+
+
+# ----------------------------------------------------------------------
+# R005 — handler-purity
+# ----------------------------------------------------------------------
+
+#: Method names that mutate their receiver in place.
+_MUTATOR_METHODS = frozenset(
+    {"append", "add", "update", "extend", "insert", "remove", "discard",
+     "pop", "popitem", "clear", "setdefault", "sort", "reverse"}
+)
+
+_HANDLER_NAME = re.compile(r"^_?(on|handle)_|^_\w+_(timeout|timer)$")
+
+
+class HandlerPurity(Rule):
+    """Event handlers must be pure with respect to process state.
+
+    A handler is any function registered on the engine
+    (``sim.schedule(...)`` / ``sim.schedule_at(...)``), passed as an
+    ``on_*=`` callback, or following the ``_on_*`` / ``_handle_*`` naming
+    convention.  Handlers run inside the deterministic event loop: reading
+    the wall clock, drawing from the global ``random`` module, or mutating
+    module-level state makes replays diverge.
+    """
+
+    id = "R005"
+    name = "handler-purity"
+    paths = SIM_PATHS
+
+    def run(self, ctx: FileContext) -> Iterator[Finding]:
+        handler_names = _registered_handler_names(ctx)
+        seen: Set[int] = set()
+        for name in sorted(handler_names):
+            for func in ctx.functions.get(name, ()):
+                if id(func) in seen:
+                    continue
+                seen.add(id(func))
+                yield from self._check_handler(ctx, func)
+
+    def _check_handler(
+        self, ctx: FileContext, func: ast.FunctionDef | ast.AsyncFunctionDef
+    ) -> Iterator[Finding]:
+        for node in ast.walk(func):
+            if isinstance(node, ast.Global):
+                yield (
+                    node.lineno, node.col_offset,
+                    f"event handler `{func.name}` declares "
+                    f"`global {', '.join(node.names)}`; handlers must not "
+                    "mutate module globals",
+                )
+            if isinstance(node, ast.Call):
+                wall = ctx.wall_clock_call(node)
+                if wall is not None:
+                    yield (
+                        node.lineno, node.col_offset,
+                        f"event handler `{func.name}` reads the wall clock "
+                        f"via `{wall}()`; use the simulator's virtual time",
+                    )
+                rand = ctx.global_random_call(node)
+                if rand is not None:
+                    yield (
+                        node.lineno, node.col_offset,
+                        f"event handler `{func.name}` draws from the global "
+                        f"random module via `{rand}()`; use an injected "
+                        "RngRegistry stream",
+                    )
+                if (
+                    isinstance(node.func, ast.Attribute)
+                    and node.func.attr in _MUTATOR_METHODS
+                    and isinstance(node.func.value, ast.Name)
+                    and node.func.value.id in ctx.module_level_names
+                ):
+                    yield (
+                        node.lineno, node.col_offset,
+                        f"event handler `{func.name}` mutates module-level "
+                        f"`{node.func.value.id}` via "
+                        f"`.{node.func.attr}()`; handlers must not mutate "
+                        "module globals",
+                    )
+            if isinstance(node, (ast.Assign, ast.AugAssign)):
+                targets = (
+                    node.targets if isinstance(node, ast.Assign)
+                    else [node.target]
+                )
+                for target in targets:
+                    if (
+                        isinstance(target, ast.Subscript)
+                        and isinstance(target.value, ast.Name)
+                        and target.value.id in ctx.module_level_names
+                    ):
+                        yield (
+                            target.lineno, target.col_offset,
+                            f"event handler `{func.name}` writes into "
+                            f"module-level `{target.value.id}`; handlers "
+                            "must not mutate module globals",
+                        )
+
+
+def _registered_handler_names(ctx: FileContext) -> Set[str]:
+    names: Set[str] = set()
+    for name in ctx.functions:
+        if _HANDLER_NAME.match(name):
+            names.add(name)
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        if (
+            isinstance(node.func, ast.Attribute)
+            and node.func.attr in ("schedule", "schedule_at")
+            and len(node.args) >= 2
+        ):
+            callback = node.args[1]
+            name = _callback_name(callback)
+            if name is not None:
+                names.add(name)
+        for keyword in node.keywords:
+            if keyword.arg is not None and keyword.arg.startswith("on_"):
+                name = _callback_name(keyword.value)
+                if name is not None:
+                    names.add(name)
+    return names
+
+
+def _callback_name(node: ast.expr) -> Optional[str]:
+    if isinstance(node, ast.Name):
+        return node.id
+    if (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "self"
+    ):
+        return node.attr
+    return None
+
+
+#: All rules, in id order.  The runner instantiates from here.
+ALL_RULES: Tuple[Type[Rule], ...] = (
+    RngDiscipline,
+    WallClock,
+    UnorderedIteration,
+    MutableDefault,
+    HandlerPurity,
+)
+
+RULES_BY_ID: Dict[str, Type[Rule]] = {rule.id: rule for rule in ALL_RULES}
+
+
+__all__ = [
+    "ALL_RULES",
+    "Finding",
+    "HandlerPurity",
+    "MutableDefault",
+    "Rule",
+    "RULES_BY_ID",
+    "RngDiscipline",
+    "SIM_PATHS",
+    "UnorderedIteration",
+    "WallClock",
+]

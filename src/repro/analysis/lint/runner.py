@@ -1,0 +1,228 @@
+"""rcast-lint execution: file discovery, rule dispatch, output, CLI.
+
+Entry points:
+
+* :func:`lint_source` — lint one in-memory snippet (tests, tooling);
+* :func:`lint_paths` — lint files/directories recursively;
+* :func:`execute` — full CLI behaviour (render + exit code), shared by
+  ``rcast-repro lint`` and ``python -m repro.analysis``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import json
+import sys
+from pathlib import Path
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from repro.analysis.lint.context import FileContext
+from repro.analysis.lint.diagnostics import Diagnostic, Severity
+from repro.analysis.lint.rules import ALL_RULES, RULES_BY_ID, Rule
+
+#: Version of the JSON output schema.
+JSON_SCHEMA_VERSION = 1
+
+
+def _resolve_rules(rule_ids: Optional[Sequence[str]]) -> List[Rule]:
+    if rule_ids is None:
+        return [cls() for cls in ALL_RULES]
+    rules: List[Rule] = []
+    for rid in rule_ids:
+        cls = RULES_BY_ID.get(rid.strip().upper())
+        if cls is None:
+            known = ", ".join(sorted(RULES_BY_ID))
+            raise ValueError(f"unknown rule {rid!r}; known rules: {known}")
+        rules.append(cls())
+    return rules
+
+
+def lint_source(
+    source: str,
+    path: str = "<string>",
+    rel: Optional[str] = None,
+    rules: Optional[Sequence[str]] = None,
+) -> List[Diagnostic]:
+    """Lint one source string.
+
+    ``rel`` is the package-relative path used for rule scoping (e.g.
+    ``"routing/dsr/protocol.py"``); it defaults to ``path``, which makes
+    every path-scoped rule apply only if the path matches.
+    """
+    rel = rel if rel is not None else path
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        return [
+            Diagnostic(
+                rule="E001", name="syntax-error", severity=Severity.ERROR,
+                path=path, line=exc.lineno or 1, col=(exc.offset or 1) - 1,
+                message=f"cannot parse: {exc.msg}",
+            )
+        ]
+    ctx = FileContext(path, rel, source, tree)
+    diagnostics: List[Diagnostic] = []
+    for rule in _resolve_rules(rules):
+        if not rule.applies_to(ctx.rel):
+            continue
+        for line, col, message in rule.run(ctx):
+            if ctx.suppressions.is_suppressed(rule.id, line):
+                continue
+            diagnostics.append(
+                Diagnostic(
+                    rule=rule.id, name=rule.name, severity=rule.severity,
+                    path=path, line=line, col=col, message=message,
+                )
+            )
+    diagnostics.sort(key=lambda d: (d.path, d.line, d.col, d.rule))
+    return diagnostics
+
+
+def _package_relative(path: Path) -> str:
+    """Path relative to the innermost ``repro`` package root, for scoping."""
+    parts = path.parts
+    for index in range(len(parts) - 1, -1, -1):
+        if parts[index] == "repro":
+            return "/".join(parts[index + 1:])
+    return path.name
+
+
+def _discover(paths: Sequence[Path]) -> Iterable[Tuple[Path, str]]:
+    for root in paths:
+        if root.is_dir():
+            for file in sorted(root.rglob("*.py")):
+                yield file, _package_relative(file)
+        else:
+            yield root, _package_relative(root)
+
+
+def default_target() -> Path:
+    """The installed ``repro`` package directory (lint-the-simulator)."""
+    import repro
+
+    return Path(repro.__file__).resolve().parent
+
+
+def lint_paths(
+    paths: Sequence[str],
+    rules: Optional[Sequence[str]] = None,
+) -> List[Diagnostic]:
+    """Lint files and directories (recursively); returns sorted findings."""
+    targets = [Path(p) for p in paths] if paths else [default_target()]
+    missing = [str(p) for p in targets if not p.exists()]
+    if missing:
+        raise FileNotFoundError(f"no such file or directory: {missing}")
+    diagnostics: List[Diagnostic] = []
+    for file, rel in _discover(targets):
+        source = file.read_text(encoding="utf-8")
+        diagnostics.extend(
+            lint_source(source, path=str(file), rel=rel, rules=rules)
+        )
+    diagnostics.sort(key=lambda d: (d.path, d.line, d.col, d.rule))
+    return diagnostics
+
+
+def format_text(diagnostics: Sequence[Diagnostic]) -> str:
+    """Human-readable report, one finding per line plus a summary."""
+    lines = [d.format() for d in diagnostics]
+    errors = sum(1 for d in diagnostics if d.severity is Severity.ERROR)
+    warnings = len(diagnostics) - errors
+    if diagnostics:
+        lines.append(
+            f"found {len(diagnostics)} finding(s): "
+            f"{errors} error(s), {warnings} warning(s)"
+        )
+    else:
+        lines.append("clean: no findings")
+    return "\n".join(lines)
+
+
+def format_json(diagnostics: Sequence[Diagnostic]) -> str:
+    """Machine-readable report (stable schema for CI)."""
+    return json.dumps(
+        {
+            "version": JSON_SCHEMA_VERSION,
+            "count": len(diagnostics),
+            "findings": [d.to_dict() for d in diagnostics],
+        },
+        indent=2,
+        sort_keys=True,
+    )
+
+
+def execute(
+    paths: Sequence[str],
+    output_format: str = "text",
+    rules: Optional[Sequence[str]] = None,
+) -> int:
+    """Run the linter and print the report; returns the exit code."""
+    try:
+        diagnostics = lint_paths(paths, rules=rules)
+    except (FileNotFoundError, ValueError) as exc:
+        print(f"rcast-lint: {exc}", file=sys.stderr)
+        return 2
+    if output_format == "json":
+        print(format_json(diagnostics))
+    else:
+        print(format_text(diagnostics))
+    return 1 if diagnostics else 0
+
+
+def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
+    """Attach the lint options (shared by the CLI and ``__main__``)."""
+    parser.add_argument(
+        "paths", nargs="*",
+        help="files/directories to lint (default: the repro package)",
+    )
+    parser.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="output format (default text)",
+    )
+    parser.add_argument(
+        "--rules", default=None,
+        help="comma-separated rule ids to run (default: all)",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true",
+        help="print the rule catalogue and exit",
+    )
+
+
+def run_from_args(args: argparse.Namespace) -> int:
+    """Execute a parsed lint command (CLI / ``__main__`` glue)."""
+    if args.list_rules:
+        for cls in ALL_RULES:
+            doc = (cls.__doc__ or "").strip().splitlines()[0]
+            print(f"{cls.id}  {cls.name:<22} {doc}")
+        return 0
+    rule_ids = (
+        [r for r in args.rules.split(",") if r.strip()]
+        if args.rules else None
+    )
+    return execute(args.paths, output_format=args.format, rules=rule_ids)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Standalone entry point (``python -m repro.analysis``)."""
+    parser = argparse.ArgumentParser(
+        prog="rcast-lint",
+        description="Determinism & protocol-invariant linter for the "
+                    "Rcast simulator",
+    )
+    add_lint_arguments(parser)
+    return run_from_args(parser.parse_args(argv))
+
+
+__all__ = [
+    "JSON_SCHEMA_VERSION",
+    "add_lint_arguments",
+    "default_target",
+    "execute",
+    "format_json",
+    "format_text",
+    "lint_paths",
+    "lint_source",
+    "main",
+    "run_from_args",
+]

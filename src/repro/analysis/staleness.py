@@ -16,9 +16,13 @@ Rcast and no-overhearing in the same mobile scenario.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List
+from typing import TYPE_CHECKING, Dict, Sequence, Tuple
 
 from repro.errors import ConfigurationError
+
+if TYPE_CHECKING:
+    from repro.mobility.manager import PositionService
+    from repro.network import Network
 
 
 @dataclass(frozen=True)
@@ -28,7 +32,7 @@ class StalenessReport:
     total_entries: int
     stale_entries: int
     #: per-node (entries, stale) pairs, node-indexed
-    per_node: Dict[int, tuple]
+    per_node: Dict[int, Tuple[int, int]]
     #: stale entries broken down by how the path was learned
     stale_by_source: Dict[str, int]
     entries_by_source: Dict[str, int]
@@ -55,7 +59,7 @@ class StalenessReport:
         )
 
 
-def audit_staleness(network) -> StalenessReport:
+def audit_staleness(network: "Network") -> StalenessReport:
     """Audit every DSR route cache in ``network`` against ground truth.
 
     Only meaningful for DSR networks (AODV keeps next-hops, not paths).
@@ -63,7 +67,7 @@ def audit_staleness(network) -> StalenessReport:
     positions = network.positions
     total = 0
     stale = 0
-    per_node: Dict[int, tuple] = {}
+    per_node: Dict[int, Tuple[int, int]] = {}
     stale_by_source: Dict[str, int] = {}
     entries_by_source: Dict[str, int] = {}
     for node in network.nodes:
@@ -96,7 +100,7 @@ def audit_staleness(network) -> StalenessReport:
     )
 
 
-def _is_stale(path, positions) -> bool:
+def _is_stale(path: Sequence[int], positions: "PositionService") -> bool:
     for a, b in zip(path, path[1:]):
         if not positions.in_range(a, b):
             return True

@@ -15,6 +15,7 @@ from typing import Dict, List, Optional, Tuple
 
 import networkx as nx
 import numpy as np
+from numpy.typing import NDArray
 
 from repro.errors import ConfigurationError
 from repro.mobility.base import MobilityModel
@@ -52,7 +53,8 @@ class TopologySnapshot:
         )
 
 
-def _graph_from_positions(positions: np.ndarray, tx_range: float) -> nx.Graph:
+def _graph_from_positions(positions: NDArray[np.float64],
+                          tx_range: float) -> nx.Graph:
     graph = nx.Graph()
     n = positions.shape[0]
     graph.add_nodes_from(range(n))

@@ -5,7 +5,8 @@ Subcommands:
 * ``run``      — one simulation, printing the run summary;
 * ``table1``   — the scheme-behaviour comparison (Table 1);
 * ``fig5`` .. ``fig9`` — regenerate one figure of the paper;
-* ``ablation`` — the extension studies (factors / tap / rreq).
+* ``ablation`` — the extension studies (factors / tap / rreq);
+* ``lint``     — rcast-lint determinism & protocol-invariant checks.
 
 ``--scale {smoke,bench,paper}`` selects the fidelity/time trade-off.
 ``--workers N`` shards replications across N worker processes (0 = all
@@ -18,7 +19,15 @@ from __future__ import annotations
 import argparse
 import sys
 import time
-from typing import Optional, Sequence
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    Callable,
+    Dict,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
 from repro.experiments import (
     ablation,
@@ -43,9 +52,15 @@ from repro.experiments.scenarios import (
 )
 from repro.network import SCHEMES, SimulationConfig, run_simulation
 
+if TYPE_CHECKING:
+    from repro.experiments.parallel import ProgressEvent
+
 _SCALES = {"smoke": SMOKE_SCALE, "bench": BENCH_SCALE, "paper": PAPER_SCALE}
 
-_FIGURES = {
+#: study name -> (run function, result formatter).  The run functions share
+#: the (scale, seed=, progress=, workers=) calling convention but return
+#: study-specific result objects, hence Callable[..., Any].
+_FIGURES: Dict[str, Tuple[Callable[..., Any], Callable[..., str]]] = {
     "table1": (table1.run, table1.format_result),
     "fig5": (fig5.run, fig5.format_result),
     "fig6": (fig6.run, fig6.format_result),
@@ -60,7 +75,7 @@ _FIGURES = {
     "staleness": (staleness_study.run, staleness_study.format_result),
 }
 
-_ABLATIONS = {
+_ABLATIONS: Dict[str, Callable[..., Any]] = {
     "factors": ablation.run_factors,
     "tap": ablation.run_tap,
     "rreq": ablation.run_rreq,
@@ -115,6 +130,14 @@ def _build_parser() -> argparse.ArgumentParser:
                          help="write the scalar metrics as CSV")
     sweep_p.add_argument("--workers", type=_workers_type, default=1,
                          help="worker processes (0 = all cores; default 1)")
+
+    lint_p = sub.add_parser(
+        "lint",
+        help="run rcast-lint (determinism & protocol-invariant checks)",
+    )
+    from repro.analysis.lint.runner import add_lint_arguments
+
+    add_lint_arguments(lint_p)
     return parser
 
 
@@ -147,16 +170,20 @@ def _cmd_run(args: argparse.Namespace) -> int:
         pause_time=args.pause,
         seed=args.seed,
     )
-    started = time.time()
+    # perf_counter, not time.time(): monotonic, immune to NTP clock steps.
+    # This module is on the rcast-lint R002 allowlist because reporting
+    # elapsed wall time to a human is the one legitimate wall-clock use —
+    # it never feeds back into simulated behaviour.
+    started = time.perf_counter()
     metrics = run_simulation(config)
     print(metrics.describe())
     print(f"transmissions: {metrics.transmissions}")
     print(f"drops: {metrics.drop_reasons}")
-    print(f"wall time: {time.time() - started:.1f}s")
+    print(f"wall time: {time.perf_counter() - started:.1f}s")
     return 0
 
 
-def _on_event(event) -> None:
+def _on_event(event: "ProgressEvent") -> None:
     """Structured progress -> stderr (grid summary with utilization)."""
     if event.kind == "grid-finish" and event.stats is not None:
         stats = event.stats
@@ -169,7 +196,7 @@ def _on_event(event) -> None:
 
 
 def _cmd_sweep(args: argparse.Namespace, scale: ExperimentScale,
-               progress) -> int:
+               progress: Callable[[str], None]) -> int:
     from repro.experiments.export import write_sweep_csv, write_sweep_json
     from repro.experiments.parallel import resolve_workers
     from repro.experiments.sweep import sweep as run_sweep
@@ -210,6 +237,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     args = _build_parser().parse_args(argv)
     if args.command == "run":
         return _cmd_run(args)
+    if args.command == "lint":
+        from repro.analysis.lint.runner import run_from_args
+
+        return run_from_args(args)
     scale: ExperimentScale = _SCALES[args.scale]
     progress = lambda line: print(f"  .. {line}", file=sys.stderr)  # noqa: E731
     if args.command == "sweep":
@@ -229,7 +260,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     return 0
 
 
-def _maybe_write_json(result, args: argparse.Namespace) -> None:
+def _maybe_write_json(result: Any, args: argparse.Namespace) -> None:
     if getattr(args, "json_out", None):
         from repro.experiments.export import write_result_json
 

@@ -23,9 +23,12 @@ optional factor contributes a multiplier in a bounded range:
 from __future__ import annotations
 
 import math
-from typing import Callable, Optional, Sequence
+from typing import TYPE_CHECKING, Callable, List, Optional, Sequence
 
 from repro.errors import ConfigurationError
+
+if TYPE_CHECKING:
+    from repro.mac.frames import Announcement
 
 
 class NeighborCountProbability:
@@ -36,7 +39,7 @@ class NeighborCountProbability:
     def __init__(self, neighbor_count_fn: Callable[[], int]) -> None:
         self._neighbor_count_fn = neighbor_count_fn
 
-    def __call__(self, announcement) -> float:
+    def __call__(self, announcement: "Announcement") -> float:
         return 1.0 / max(1, self._neighbor_count_fn())
 
 
@@ -69,7 +72,7 @@ class SenderRecencyFactor:
         self.min_gain = min_gain
         self.max_gain = max_gain
 
-    def __call__(self, announcement) -> float:
+    def __call__(self, announcement: "Announcement") -> float:
         last = self._last_heard_fn(announcement.sender)
         if last is None:
             return self.max_gain
@@ -94,7 +97,7 @@ class MobilityFactor:
         self._rate_fn = link_change_rate_fn
         self.scale = scale
 
-    def __call__(self, announcement) -> float:
+    def __call__(self, announcement: "Announcement") -> float:
         rate = max(self._rate_fn(), 0.0)
         return math.exp(-rate / self.scale)
 
@@ -114,24 +117,24 @@ class BatteryFactor:
         self._remaining_fn = remaining_fraction_fn
         self.floor = floor
 
-    def __call__(self, announcement) -> float:
+    def __call__(self, announcement: "Announcement") -> float:
         return max(self._remaining_fn(), self.floor)
 
 
 class CompositeProbability:
     """Product of a base probability and any number of factor multipliers."""
 
-    def __init__(self, base: Callable[[object], float],
-                 factors: Sequence[Callable[[object], float]] = ()) -> None:
+    def __init__(self, base: "Callable[[Announcement], float]",
+                 factors: "Sequence[Callable[[Announcement], float]]" = ()) -> None:
         self._base = base
         self._factors = list(factors)
 
     @property
-    def factor_names(self) -> list:
+    def factor_names(self) -> List[str]:
         """Names of the active factor multipliers."""
         return [getattr(f, "name", type(f).__name__) for f in self._factors]
 
-    def __call__(self, announcement) -> float:
+    def __call__(self, announcement: "Announcement") -> float:
         p = self._base(announcement)
         for factor in self._factors:
             p *= factor(announcement)

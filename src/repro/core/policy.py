@@ -32,9 +32,14 @@ example, so we implement the example: *overhear with probability P_R*.
 from __future__ import annotations
 
 from enum import Enum
-from typing import Callable, Dict, Optional
+from typing import TYPE_CHECKING, Any, Callable, Dict, Optional
 
 from repro.errors import ConfigurationError
+
+if TYPE_CHECKING:
+    import random
+
+    from repro.mac.frames import Announcement
 
 
 class OverhearingLevel(Enum):
@@ -68,7 +73,7 @@ class SenderPolicy:
     #: label used in reports
     name = "abstract"
 
-    def level_for(self, packet) -> OverhearingLevel:
+    def level_for(self, packet: Any) -> OverhearingLevel:
         """Overhearing level to advertise for ``packet``."""
         raise NotImplementedError
 
@@ -78,7 +83,7 @@ class NoOverhearing(SenderPolicy):
 
     name = "none"
 
-    def level_for(self, packet) -> OverhearingLevel:
+    def level_for(self, packet: Any) -> OverhearingLevel:
         """Always NONE."""
         return OverhearingLevel.NONE
 
@@ -92,7 +97,7 @@ class UnconditionalOverhearing(SenderPolicy):
 
     name = "unconditional"
 
-    def level_for(self, packet) -> OverhearingLevel:
+    def level_for(self, packet: Any) -> OverhearingLevel:
         """Always UNCONDITIONAL."""
         return OverhearingLevel.UNCONDITIONAL
 
@@ -115,7 +120,7 @@ class RcastPolicy(SenderPolicy):
         if overrides:
             self._levels.update(overrides)
 
-    def level_for(self, packet) -> OverhearingLevel:
+    def level_for(self, packet: Any) -> OverhearingLevel:
         """Level for ``packet`` per the per-kind table."""
         kind = getattr(packet, "kind", None)
         if kind is None:
@@ -132,18 +137,19 @@ class RandomizedOverhearing:
     (``P_R = 1 / max(1, neighbors)``).
     """
 
-    def __init__(self, rng, probability_fn: Callable[[object], float]) -> None:
+    def __init__(self, rng: "random.Random",
+                 probability_fn: "Callable[[Announcement], float]") -> None:
         self._rng = rng
         self._probability_fn = probability_fn
         self.decisions = 0
         self.overhears = 0
 
-    def probability(self, announcement) -> float:
+    def probability(self, announcement: "Announcement") -> float:
         """The P_R that would be used for this announcement, clamped to [0, 1]."""
         p = self._probability_fn(announcement)
         return min(max(p, 0.0), 1.0)
 
-    def decide(self, announcement) -> bool:
+    def decide(self, announcement: "Announcement") -> bool:
         """True when the node should stay awake and overhear."""
         p = self.probability(announcement)
         self.decisions += 1

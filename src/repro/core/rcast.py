@@ -15,9 +15,17 @@ The PSM MAC asks it two questions:
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.core.atim import subtype_for_level
+
+if TYPE_CHECKING:
+    import random
+
+    from repro.mac.frames import Announcement
+    from repro.mobility.manager import PositionService
+    from repro.phy.energy import EnergyMeter
+    from repro.sim.engine import Simulator
 from repro.core.factors import (
     BatteryFactor,
     CompositeProbability,
@@ -39,14 +47,14 @@ class RcastManager:
     def __init__(
         self,
         node_id: int,
-        sim,
-        positions,
-        rng,
+        sim: "Simulator",
+        positions: "PositionService",
+        rng: "random.Random",
         sender_policy: Optional[SenderPolicy] = None,
         use_sender_recency: bool = False,
         use_mobility: bool = False,
         use_battery: bool = False,
-        energy_meter=None,
+        energy_meter: "Optional[EnergyMeter]" = None,
         recency_horizon: float = 10.0,
         randomized_broadcast: bool = False,
         broadcast_floor: float = 0.5,
@@ -61,7 +69,7 @@ class RcastManager:
         self._last_heard: Dict[int, float] = {}
 
         base = NeighborCountProbability(lambda: positions.neighbor_count(node_id))
-        factors = []
+        factors: "List[Callable[[Announcement], float]]" = []
         if use_sender_recency:
             factors.append(SenderRecencyFactor(
                 now_fn=lambda: sim.now,
@@ -85,7 +93,7 @@ class RcastManager:
     # Sender side
     # ------------------------------------------------------------------
 
-    def advertise(self, packet) -> Tuple[OverhearingLevel, int]:
+    def advertise(self, packet: Any) -> Tuple[OverhearingLevel, int]:
         """Level and ATIM subtype to advertise for an outgoing packet."""
         level = self.sender_policy.level_for(packet)
         return level, subtype_for_level(level)
@@ -102,7 +110,7 @@ class RcastManager:
         """Time ``sender`` was last heard, or None if never."""
         return self._last_heard.get(sender)
 
-    def should_overhear(self, announcement) -> bool:
+    def should_overhear(self, announcement: "Announcement") -> bool:
         """Resolve an advertisement not addressed to this node.
 
         NONE never overhears, UNCONDITIONAL always does, RANDOMIZED draws
@@ -115,7 +123,7 @@ class RcastManager:
             return True
         return self.decider.decide(announcement)
 
-    def should_receive_broadcast(self, announcement) -> bool:
+    def should_receive_broadcast(self, announcement: "Announcement") -> bool:
         """Resolve a broadcast (e.g. RREQ) advertisement.
 
         Broadcasts are received by every awake node by default.  The
@@ -128,7 +136,7 @@ class RcastManager:
         p = max(self.decider.probability(announcement), self.broadcast_floor)
         return self._rng.random() < p
 
-    def overhearing_probability(self, announcement) -> float:
+    def overhearing_probability(self, announcement: "Announcement") -> float:
         """The P_R that :meth:`should_overhear` would use (diagnostics)."""
         return self.decider.probability(announcement)
 

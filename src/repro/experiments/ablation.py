@@ -16,13 +16,14 @@ Three studies, all marked future work or design alternatives in the paper:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Tuple
+from typing import Callable, Dict, Optional, Tuple
 
 from repro.constants import POWER_AWAKE_W
 from repro.experiments.parallel import run_grid
 from repro.experiments.runner import AggregateMetrics, aggregate
 from repro.experiments.scenarios import ExperimentScale, make_config
 from repro.metrics.report import format_table
+from repro.network import SimulationConfig
 
 #: factor combinations evaluated by the factor ablation
 FACTOR_SETS: Tuple[Tuple[str, ...], ...] = (
@@ -44,8 +45,10 @@ class AblationResult:
     variants: Dict[str, AggregateMetrics]
 
 
-def _run_variants(study: str, scale: ExperimentScale, configs, workers,
-                  progress) -> AblationResult:
+def _run_variants(study: str, scale: ExperimentScale,
+                  configs: "Dict[str, SimulationConfig]",
+                  workers: Optional[int],
+                  progress: Optional[Callable[[str], None]]) -> AblationResult:
     """Run a named-variant grid and fold it into an :class:`AblationResult`."""
     runs = run_grid(configs, scale.repetitions, workers=workers)
     variants: Dict[str, AggregateMetrics] = {}
@@ -57,7 +60,8 @@ def _run_variants(study: str, scale: ExperimentScale, configs, workers,
 
 
 def run_factors(scale: ExperimentScale, seed: int = 1,
-                progress=None, workers=None) -> AblationResult:
+                progress: Optional[Callable[[str], None]] = None,
+        workers: Optional[int] = None) -> AblationResult:
     """Rcast decision-factor ablation (mobile scenario, low rate)."""
     # The battery factor needs a finite battery to have any effect; size it
     # so an always-awake node would drain ~2/3 of it during the run.
@@ -74,7 +78,8 @@ def run_factors(scale: ExperimentScale, seed: int = 1,
 
 
 def run_tap(scale: ExperimentScale, seed: int = 1,
-            progress=None, workers=None) -> AblationResult:
+            progress: Optional[Callable[[str], None]] = None,
+        workers: Optional[int] = None) -> AblationResult:
     """Opportunistic-tap ablation (mobile scenario, low rate)."""
     configs = {
         ("tap-on" if tap else "tap-off"): make_config(
@@ -88,7 +93,8 @@ def run_tap(scale: ExperimentScale, seed: int = 1,
 
 
 def run_rreq(scale: ExperimentScale, seed: int = 1,
-             progress=None, workers=None) -> AblationResult:
+             progress: Optional[Callable[[str], None]] = None,
+        workers: Optional[int] = None) -> AblationResult:
     """Randomized RREQ-reception ablation (static dense network)."""
     configs = {
         ("rreq-randomized" if randomized else "rreq-all"): make_config(

@@ -19,7 +19,7 @@ measures:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Tuple
+from typing import Callable, Dict, Optional, Tuple
 
 from repro.experiments.runner import AggregateMetrics
 from repro.experiments.scenarios import ExperimentScale, make_config
@@ -52,8 +52,8 @@ class AodvStudyResult:
                           self.transmissions[(protocol, scheme)])
 
 
-def run(scale: ExperimentScale, seed: int = 1, progress=None,
-        workers=None) -> AodvStudyResult:
+def run(scale: ExperimentScale, seed: int = 1, progress: Optional[Callable[[str], None]] = None,
+        workers: Optional[int] = None) -> AodvStudyResult:
     """Run the protocol x scheme grid (mobile scenario, low rate)."""
     from repro.experiments.parallel import run_grid
     from repro.experiments.runner import aggregate as aggregate_runs

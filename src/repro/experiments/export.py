@@ -11,9 +11,10 @@ import csv
 import dataclasses
 import json
 from pathlib import Path
-from typing import Any, Dict, Optional, Union
+from typing import Any, Dict, List, Optional, Union
 
 import numpy as np
+from numpy.typing import NDArray
 
 from repro.experiments.runner import AggregateMetrics
 from repro.experiments.sweep import SweepResult
@@ -21,7 +22,7 @@ from repro.experiments.sweep import SweepResult
 PathLike = Union[str, Path]
 
 
-def _vector(value: Optional[np.ndarray]) -> Optional[list]:
+def _vector(value: Optional[NDArray[np.float64]]) -> Optional[List[float]]:
     """Explicit ndarray -> list encoding; ``None`` stays ``None``."""
     if value is None:
         return None
@@ -38,9 +39,10 @@ SCALAR_FIELDS = (
 )
 
 
-def aggregate_to_dict(agg: AggregateMetrics) -> Dict:
+def aggregate_to_dict(agg: AggregateMetrics) -> Dict[str, Any]:
     """JSON-safe dict of one aggregate (vectors included)."""
-    out = {"scheme": agg.scheme, "repetitions": agg.repetitions}
+    out: Dict[str, Any] = {"scheme": agg.scheme,
+                           "repetitions": agg.repetitions}
     for field in SCALAR_FIELDS:
         value = getattr(agg, field)
         out[field] = None if not np.isfinite(value) else float(value)
@@ -51,9 +53,9 @@ def aggregate_to_dict(agg: AggregateMetrics) -> Dict:
     return out
 
 
-def sweep_to_dict(result: SweepResult) -> Dict:
+def sweep_to_dict(result: SweepResult) -> Dict[str, Any]:
     """JSON-safe dict of a full sweep grid."""
-    cells = []
+    cells: List[Dict[str, Any]] = []
     for (scheme, rate, mobile), agg in sorted(
         result.cells.items(), key=lambda kv: (kv[0][2], kv[0][1], kv[0][0])
     ):
@@ -93,9 +95,10 @@ def write_sweep_csv(result: SweepResult, path: PathLike) -> Path:
     return path
 
 
-def load_sweep_json(path: PathLike) -> Dict:
+def load_sweep_json(path: PathLike) -> Dict[str, Any]:
     """Read back a JSON export (plain dict; no object reconstruction)."""
-    return json.loads(Path(path).read_text())
+    loaded: Dict[str, Any] = json.loads(Path(path).read_text())
+    return loaded
 
 
 def result_to_jsonable(obj: Any) -> Any:

@@ -16,10 +16,12 @@ Shape to reproduce:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 import numpy as np
+from numpy.typing import NDArray
 
+from repro.experiments.runner import AggregateMetrics
 from repro.experiments.scenarios import ExperimentScale
 from repro.experiments.sweep import sweep
 from repro.metrics.report import format_table
@@ -36,27 +38,34 @@ class Fig5Result:
 
     scale_name: str
     rates: Tuple[float, float]           # (low, high)
-    panels: Dict[PanelKey, Dict[str, np.ndarray]]
+    panels: Dict[PanelKey, Dict[str, NDArray[np.float64]]]
 
-    def panel(self, rate: float, mobile: bool) -> Dict[str, np.ndarray]:
+    def panel(self, rate: float,
+              mobile: bool) -> Dict[str, NDArray[np.float64]]:
         """Scheme -> sorted-energy curve for one panel."""
         return self.panels[(rate, mobile)]
 
 
-def run(scale: ExperimentScale, seed: int = 1, progress=None,
-        workers=None) -> Fig5Result:
+def run(scale: ExperimentScale, seed: int = 1, progress: Optional[Callable[[str], None]] = None,
+        workers: Optional[int] = None) -> Fig5Result:
     """Run the four panels of Figure 5."""
     rates = (scale.low_rate, scale.high_rate)
     grid = sweep(scale, SCHEMES, rates=rates, scenarios=(True, False),
                  seed=seed, progress=progress, workers=workers)
-    panels: Dict[PanelKey, Dict[str, np.ndarray]] = {}
+    panels: Dict[PanelKey, Dict[str, NDArray[np.float64]]] = {}
     for mobile in (True, False):
         for rate in rates:
             panels[(rate, mobile)] = {
-                scheme: grid.get(scheme, rate, mobile).sorted_node_energy
+                scheme: _curve(grid.get(scheme, rate, mobile))
                 for scheme in SCHEMES
             }
     return Fig5Result(scale.name, rates, panels)
+
+
+def _curve(agg: AggregateMetrics) -> NDArray[np.float64]:
+    curve = agg.sorted_node_energy
+    assert curve is not None, "aggregate() always fills sorted_node_energy"
+    return curve
 
 
 def format_result(result: Fig5Result, step: int = 10) -> str:

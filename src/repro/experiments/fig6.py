@@ -9,7 +9,7 @@ improvement for Rcast over ODPM.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.experiments.scenarios import ExperimentScale
 from repro.experiments.sweep import sweep
@@ -34,8 +34,8 @@ class Fig6Result:
         return [ratio_improvement(o, r) for o, r in zip(odpm, rcast)]
 
 
-def run(scale: ExperimentScale, seed: int = 1, progress=None,
-        workers=None) -> Fig6Result:
+def run(scale: ExperimentScale, seed: int = 1, progress: Optional[Callable[[str], None]] = None,
+        workers: Optional[int] = None) -> Fig6Result:
     """Run the Figure 6 rate sweep."""
     grid = sweep(scale, SCHEMES, scenarios=(True, False), seed=seed,
                  progress=progress, workers=workers)

@@ -12,7 +12,7 @@ reproduce:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.experiments.scenarios import ExperimentScale
 from repro.experiments.sweep import sweep
@@ -49,8 +49,8 @@ class Fig7Result:
         return [ratio_improvement(b, r) for b, r in zip(base, rcast)]
 
 
-def run(scale: ExperimentScale, seed: int = 1, progress=None,
-        workers=None) -> Fig7Result:
+def run(scale: ExperimentScale, seed: int = 1, progress: Optional[Callable[[str], None]] = None,
+        workers: Optional[int] = None) -> Fig7Result:
     """Run the Figure 7 rate sweep."""
     grid = sweep(scale, SCHEMES, scenarios=(True, False), seed=seed,
                  progress=progress, workers=workers)

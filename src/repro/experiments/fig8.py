@@ -14,7 +14,7 @@ Shape to reproduce:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.experiments.scenarios import ExperimentScale
 from repro.experiments.sweep import sweep
@@ -38,8 +38,8 @@ class Fig8Result:
     data: Dict[bool, Dict[str, Dict[str, List[float]]]]
 
 
-def run(scale: ExperimentScale, seed: int = 1, progress=None,
-        workers=None) -> Fig8Result:
+def run(scale: ExperimentScale, seed: int = 1, progress: Optional[Callable[[str], None]] = None,
+        workers: Optional[int] = None) -> Fig8Result:
     """Run the Figure 8 rate sweep."""
     grid = sweep(scale, SCHEMES, scenarios=(True, False), seed=seed,
                  progress=progress, workers=workers)

@@ -13,9 +13,10 @@ The role number measures packet-forwarding responsibility (see
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 import numpy as np
+from numpy.typing import NDArray
 
 from repro.experiments.runner import AggregateMetrics
 from repro.experiments.scenarios import ExperimentScale
@@ -32,8 +33,8 @@ class Fig9Panel:
 
     scheme: str
     rate: float
-    roles: np.ndarray          # per-node role numbers
-    energy: np.ndarray         # per-node energy [J]
+    roles: NDArray[np.float64]   # per-node role numbers
+    energy: NDArray[np.float64]  # per-node energy [J]
     max_role: float
     mean_role: float
     role_variance: float
@@ -57,6 +58,8 @@ class Fig9Result:
 def _make_panel(scheme: str, rate: float, agg: AggregateMetrics) -> Fig9Panel:
     roles = agg.role_numbers
     energy = agg.node_energy
+    assert roles is not None and energy is not None, \
+        "aggregate() always fills the per-node vectors"
     if roles.std() > 0 and energy.std() > 0:
         correlation = float(np.corrcoef(roles, energy)[0, 1])
     else:
@@ -70,8 +73,8 @@ def _make_panel(scheme: str, rate: float, agg: AggregateMetrics) -> Fig9Panel:
     )
 
 
-def run(scale: ExperimentScale, seed: int = 1, progress=None,
-        workers=None) -> Fig9Result:
+def run(scale: ExperimentScale, seed: int = 1, progress: Optional[Callable[[str], None]] = None,
+        workers: Optional[int] = None) -> Fig9Result:
     """Run the six panels (3 schemes x 2 rates) of Figure 9 (mobile)."""
     rates = (scale.low_rate, scale.high_rate)
     grid = sweep(scale, SCHEMES, rates=rates, scenarios=(True,), seed=seed,

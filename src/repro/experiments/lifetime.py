@@ -12,7 +12,7 @@ and the alive fraction at the run horizon.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict
+from typing import Callable, Dict, Optional
 
 from repro.constants import POWER_AWAKE_W
 from repro.experiments.parallel import run_grid
@@ -44,8 +44,8 @@ class LifetimeResult:
     summaries: Dict[str, LifetimeSummary]
 
 
-def run(scale: ExperimentScale, seed: int = 1, progress=None,
-        workers=None) -> LifetimeResult:
+def run(scale: ExperimentScale, seed: int = 1, progress: Optional[Callable[[str], None]] = None,
+        workers: Optional[int] = None) -> LifetimeResult:
     """Run the lifetime comparison (static scenario, low rate)."""
     battery = 0.6 * POWER_AWAKE_W * scale.sim_time
     configs = {

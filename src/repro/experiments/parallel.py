@@ -28,7 +28,7 @@ from __future__ import annotations
 
 import os
 import time
-from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
 from dataclasses import dataclass, replace
 from typing import (
     Any,
@@ -39,12 +39,18 @@ from typing import (
     Mapping,
     Optional,
     Sequence,
+    Set,
     Tuple,
+    TypeVar,
 )
 
 from repro.metrics.collector import RunMetrics
 from repro.network import SimulationConfig, run_simulation
 from repro.experiments.scenarios import replication_seed
+
+#: Grid cell key.  Generic (rather than plain ``Hashable``) so callers keep
+#: their concrete key type — ``Mapping`` is invariant in its key parameter.
+CellT = TypeVar("CellT", bound=Hashable)
 
 
 def resolve_workers(workers: Optional[int]) -> int:
@@ -161,8 +167,8 @@ class ParallelRunner:
     # Public API
     # ------------------------------------------------------------------
 
-    def run_grid(self, configs: Mapping[Hashable, SimulationConfig],
-                 repetitions: int) -> Dict[Hashable, List[RunMetrics]]:
+    def run_grid(self, configs: Mapping[CellT, SimulationConfig],
+                 repetitions: int) -> Dict[CellT, List[RunMetrics]]:
         """Run ``repetitions`` derived-seed replications of every cell.
 
         Returns ``{cell: [RunMetrics, ...]}`` with the inner list in
@@ -196,7 +202,7 @@ class ParallelRunner:
         started = time.perf_counter()
         busy = 0.0
         remaining = _per_cell_counts(items)
-        seen_cells: set = set()
+        seen_cells: Set[Hashable] = set()
         results: Dict[Tuple[Hashable, int], RunMetrics] = {}
         for completed, item in enumerate(items):
             if item.cell not in seen_cells:
@@ -222,8 +228,10 @@ class ParallelRunner:
         results: Dict[Tuple[Hashable, int], RunMetrics] = {}
         completed = 0
         with ProcessPoolExecutor(max_workers=self.max_workers) as pool:
-            pending = set()
-            seen_cells: set = set()
+            pending: Set[
+                "Future[Tuple[Hashable, int, RunMetrics, float]]"
+            ] = set()
+            seen_cells: Set[Hashable] = set()
             for item in items:
                 if item.cell not in seen_cells:
                     seen_cells.add(item.cell)
@@ -275,11 +283,11 @@ def _per_cell_counts(items: Sequence[WorkItem]) -> Dict[Hashable, int]:
 
 
 def run_grid(
-    configs: Mapping[Hashable, SimulationConfig],
+    configs: Mapping[CellT, SimulationConfig],
     repetitions: int,
     workers: Optional[int] = None,
     on_event: Optional[ProgressCallback] = None,
-) -> Dict[Hashable, List[RunMetrics]]:
+) -> Dict[CellT, List[RunMetrics]]:
     """Run a ``{cell: config}`` grid, ``repetitions`` replications per cell.
 
     ``workers`` follows :func:`resolve_workers` semantics (``None`` -> 1,

@@ -14,13 +14,17 @@ from __future__ import annotations
 import dataclasses
 import warnings
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
+from numpy.typing import NDArray
 
 from repro.metrics.collector import RunMetrics
 from repro.metrics.stats import confidence_interval_95, mean
 from repro.network import SimulationConfig, run_simulation
+
+if TYPE_CHECKING:
+    from repro.experiments.parallel import ProgressCallback
 
 
 class NonFiniteReplicationWarning(RuntimeWarning):
@@ -31,7 +35,7 @@ def run_replications(
     config: SimulationConfig,
     repetitions: int,
     workers: Optional[int] = None,
-    on_event=None,
+    on_event: "Optional[ProgressCallback]" = None,
 ) -> List[RunMetrics]:
     """Run ``config`` ``repetitions`` times with derived seeds.
 
@@ -73,11 +77,11 @@ class AggregateMetrics:
     normalized_overhead_ci: float
     #: per-node energy sorted ascending, averaged element-wise across runs
     #: (the paper's Fig. 5 curves)
-    sorted_node_energy: Optional[np.ndarray] = None
+    sorted_node_energy: Optional[NDArray[np.float64]] = None
     #: element-wise mean role numbers (unsorted, node-indexed)
-    role_numbers: Optional[np.ndarray] = None
+    role_numbers: Optional[NDArray[np.float64]] = None
     #: mean per-node energy vector (node-indexed, for scatter plots)
-    node_energy: Optional[np.ndarray] = None
+    node_energy: Optional[NDArray[np.float64]] = None
     #: per-metric count of replications whose value was non-finite and was
     #: therefore excluded from that metric's mean/CI (empty = none dropped)
     dropped_replications: Dict[str, int] = field(default_factory=dict)
@@ -134,7 +138,7 @@ def aggregate(runs: Sequence[RunMetrics]) -> AggregateMetrics:
     scheme = runs[0].scheme
     dropped: Dict[str, int] = {}
 
-    def agg(name: str, values: List[float]) -> tuple:
+    def agg(name: str, values: List[float]) -> Tuple[float, float]:
         """Mean and 95% CI over the finite values, counting exclusions."""
         finite = [v for v in values if np.isfinite(v)]
         excluded = len(values) - len(finite)
@@ -181,7 +185,7 @@ def run_and_aggregate(
     config: SimulationConfig,
     repetitions: int,
     workers: Optional[int] = None,
-    on_event=None,
+    on_event: "Optional[ProgressCallback]" = None,
 ) -> AggregateMetrics:
     """Convenience composition of :func:`run_replications` + :func:`aggregate`."""
     return aggregate(run_replications(config, repetitions, workers=workers,

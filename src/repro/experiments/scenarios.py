@@ -15,7 +15,7 @@ both energy and traffic scale linearly in simulated time.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Tuple
+from typing import Any, Dict, Tuple
 
 from repro.network import SimulationConfig
 from repro.sim.rng import derive_seed
@@ -91,7 +91,7 @@ def make_config(
     rate: float,
     mobile: bool,
     seed: int = 1,
-    **overrides,
+    **overrides: Any,
 ) -> SimulationConfig:
     """Build a :class:`SimulationConfig` for one point of an experiment.
 
@@ -99,7 +99,7 @@ def make_config(
     waypoint); ``mobile=False`` is the static scenario (T_pause = 1125 s —
     nodes never leave their initial uniform placement).
     """
-    params = dict(
+    params: Dict[str, Any] = dict(
         scheme=scheme,
         seed=seed,
         sim_time=scale.sim_time,

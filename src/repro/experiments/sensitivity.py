@@ -15,7 +15,7 @@ choice encodes:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict
+from typing import Callable, Dict, Optional
 
 from repro.experiments.parallel import run_grid
 from repro.experiments.runner import AggregateMetrics, aggregate
@@ -39,8 +39,8 @@ class SensitivityResult:
     by_fraction: Dict[float, AggregateMetrics]
 
 
-def run(scale: ExperimentScale, seed: int = 1, progress=None,
-        workers=None) -> SensitivityResult:
+def run(scale: ExperimentScale, seed: int = 1, progress: Optional[Callable[[str], None]] = None,
+        workers: Optional[int] = None) -> SensitivityResult:
     """Sweep PSM timing for Rcast (static scenario, low rate)."""
     configs = {}
     for beacon in BEACON_INTERVALS:

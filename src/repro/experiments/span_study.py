@@ -11,7 +11,7 @@ and ODPM on energy and the fraction of always-on nodes.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Tuple
+from typing import Callable, Dict, Optional, Tuple
 
 from repro.experiments.parallel import parallel_map, run_grid
 from repro.experiments.runner import AggregateMetrics, aggregate
@@ -49,8 +49,8 @@ def _measure_backbone(args: Tuple[ExperimentScale, float, int]) -> float:
     return float(network.span_election.backbone_size)
 
 
-def run(scale: ExperimentScale, seed: int = 1, progress=None,
-        workers=None) -> SpanStudyResult:
+def run(scale: ExperimentScale, seed: int = 1, progress: Optional[Callable[[str], None]] = None,
+        workers: Optional[int] = None) -> SpanStudyResult:
     """Run the density sweep (static scenario, low rate)."""
     configs = {
         (scheme, factor): make_config(

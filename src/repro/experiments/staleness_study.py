@@ -15,7 +15,7 @@ lower stale fraction; no-overhearing holds the fewest.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Tuple
+from typing import Callable, Dict, Optional, Tuple
 
 from repro.analysis.staleness import StalenessReport, audit_staleness
 from repro.experiments.parallel import parallel_map
@@ -49,7 +49,8 @@ class StalenessStudyResult:
 
 
 def run(scale: ExperimentScale, seed: int = 1,
-        progress=None, workers=None) -> StalenessStudyResult:
+        progress: Optional[Callable[[str], None]] = None,
+        workers: Optional[int] = None) -> StalenessStudyResult:
     """Run the overhearing spectrum and audit caches (mobile, low rate)."""
     audits = parallel_map(
         _audit_scheme,

@@ -15,7 +15,7 @@ never by completion order: the same seed produces bit-identical
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.experiments.parallel import (
     ProgressCallback,
@@ -62,7 +62,7 @@ def sweep(
     progress: Optional[Callable[[str], None]] = None,
     workers: Optional[int] = None,
     on_event: Optional[ProgressCallback] = None,
-    **config_overrides,
+    **config_overrides: Any,
 ) -> SweepResult:
     """Run the full grid; each cell is aggregated over the scale's reps.
 

@@ -17,7 +17,7 @@ and delay for delivery.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict
+from typing import Callable, Dict, Optional
 
 from repro.experiments.parallel import run_grid
 from repro.experiments.runner import AggregateMetrics, aggregate
@@ -40,8 +40,8 @@ class SyncStudyResult:
     cells: Dict[float, AggregateMetrics]
 
 
-def run(scale: ExperimentScale, seed: int = 1, progress=None,
-        workers=None) -> SyncStudyResult:
+def run(scale: ExperimentScale, seed: int = 1, progress: Optional[Callable[[str], None]] = None,
+        workers: Optional[int] = None) -> SyncStudyResult:
     """Sweep residual clock error for Rcast (static, low rate)."""
     configs = {
         jitter: make_config(scale, "rcast", scale.low_rate, mobile=False,

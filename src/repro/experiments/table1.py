@@ -9,7 +9,7 @@ the two PSM baselines) at a mid-load point and checks each expectation.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.experiments.parallel import run_grid
 from repro.experiments.runner import AggregateMetrics, aggregate
@@ -46,8 +46,8 @@ class Table1Result:
     checks: List[Tuple[str, bool]]
 
 
-def run(scale: ExperimentScale, seed: int = 1, progress=None,
-        workers=None) -> Table1Result:
+def run(scale: ExperimentScale, seed: int = 1, progress: Optional[Callable[[str], None]] = None,
+        workers: Optional[int] = None) -> Table1Result:
     """Run all schemes at the scale's low rate, mobile scenario."""
     rate = scale.low_rate
     configs = {

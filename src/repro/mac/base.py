@@ -19,7 +19,8 @@ The upper layer (DSR) talks to every MAC through four callbacks set with
 
 from __future__ import annotations
 
-from typing import Callable, Optional, Set
+import random
+from typing import Any, Callable, Optional, Set
 
 from repro.mac.dcf import DcfTransmitter, TxOutcome
 from repro.mac.frames import BROADCAST, Frame, FrameKind
@@ -27,7 +28,7 @@ from repro.mobility.manager import PositionService
 from repro.phy.channel import Channel
 from repro.phy.radio import Radio
 from repro.sim.engine import Simulator
-from repro.sim.trace import NULL_TRACE
+from repro.sim.trace import NULL_TRACE, TraceSink
 
 
 class MacBase:
@@ -40,8 +41,8 @@ class MacBase:
         channel: Channel,
         radio: Radio,
         positions: PositionService,
-        rng,
-        trace=NULL_TRACE,
+        rng: random.Random,
+        trace: TraceSink = NULL_TRACE,
     ) -> None:
         self.sim = sim
         self.node_id = node_id
@@ -52,11 +53,11 @@ class MacBase:
         self.trace = trace
         self.dcf = DcfTransmitter(sim, node_id, channel, rng, trace=trace)
         channel.attach(node_id, self._on_channel_receive, self.dcf.on_tx_complete)
-        self._on_receive: Callable = _noop
-        self._on_promiscuous: Callable = _noop
-        self._on_link_failure: Callable = _noop
-        self._on_sent: Callable = _noop
-        self._on_dropped: Callable = _noop
+        self._on_receive: Callable[..., None] = _noop
+        self._on_promiscuous: Callable[..., None] = _noop
+        self._on_link_failure: Callable[..., None] = _noop
+        self._on_sent: Callable[..., None] = _noop
+        self._on_dropped: Callable[..., None] = _noop
         # Statistics
         self.unicasts_sent = 0
         self.unicasts_failed = 0
@@ -66,11 +67,11 @@ class MacBase:
 
     def set_upper(
         self,
-        on_receive: Callable,
-        on_promiscuous: Optional[Callable] = None,
-        on_link_failure: Optional[Callable] = None,
-        on_sent: Optional[Callable] = None,
-        on_dropped: Optional[Callable] = None,
+        on_receive: Callable[..., None],
+        on_promiscuous: Optional[Callable[..., None]] = None,
+        on_link_failure: Optional[Callable[..., None]] = None,
+        on_sent: Optional[Callable[..., None]] = None,
+        on_dropped: Optional[Callable[..., None]] = None,
     ) -> None:
         """Install the routing-layer callbacks."""
         self._on_receive = on_receive
@@ -85,7 +86,7 @@ class MacBase:
     def finalize(self) -> None:
         """Stop operation at the end of a run."""
 
-    def send(self, packet, dst: int) -> None:
+    def send(self, packet: Any, dst: int) -> None:
         """Transmit ``packet`` to neighbor ``dst`` (or :data:`BROADCAST`)."""
         raise NotImplementedError
 
@@ -98,7 +99,7 @@ class MacBase:
         raise NotImplementedError
 
 
-def _noop(*_args, **_kwargs) -> None:
+def _noop(*_args: Any, **_kwargs: Any) -> None:
     """Default do-nothing upper-layer callback."""
 
 
@@ -114,7 +115,7 @@ class AlwaysOnMac(MacBase):
         """Wake the radio permanently (no PSM)."""
         self.radio.wake()
 
-    def send(self, packet, dst: int) -> None:
+    def send(self, packet: Any, dst: int) -> None:
         """Transmit immediately under DCF contention."""
         frame = Frame(self.node_id, dst, packet, FrameKind.DATA)
         if dst == BROADCAST:

@@ -21,6 +21,7 @@ medium pushing attempts out in time.
 
 from __future__ import annotations
 
+import random
 from collections import deque
 from dataclasses import dataclass
 from enum import Enum
@@ -34,8 +35,9 @@ from repro.constants import (
 )
 from repro.mac.frames import Frame
 from repro.phy.channel import Channel
+from repro.sim.events import Event
 from repro.sim.engine import Simulator
-from repro.sim.trace import NULL_TRACE
+from repro.sim.trace import NULL_TRACE, TraceSink
 
 
 class TxOutcome(Enum):
@@ -62,10 +64,10 @@ class DcfTransmitter:
         sim: Simulator,
         node_id: int,
         channel: Channel,
-        rng,
+        rng: random.Random,
         retry_limit: int = MAC_RETRY_LIMIT,
         backoff_mean: float = MAC_BACKOFF_MEAN_S,
-        trace=NULL_TRACE,
+        trace: TraceSink = NULL_TRACE,
     ) -> None:
         self.sim = sim
         self.node_id = node_id
@@ -76,7 +78,7 @@ class DcfTransmitter:
         self.trace = trace
         self._pending: Deque[_Submission] = deque()
         self._current: Optional[_Submission] = None
-        self._attempt_event = None
+        self._attempt_event: Optional[Event] = None
         # Statistics
         self.busy_deferrals = 0
         self.retries = 0
@@ -134,6 +136,7 @@ class DcfTransmitter:
 
     def _finish(self, outcome: TxOutcome, delivered: Set[int]) -> None:
         sub = self._current
+        assert sub is not None, "_finish with no submission in flight"
         self._current = None
         self._attempt_event = None
         if outcome is TxOutcome.FAILED:

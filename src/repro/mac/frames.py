@@ -12,6 +12,10 @@ from __future__ import annotations
 import itertools
 from dataclasses import dataclass, field
 from enum import Enum
+from typing import TYPE_CHECKING, Any
+
+if TYPE_CHECKING:
+    from repro.core.policy import OverhearingLevel
 
 #: MAC broadcast address.
 BROADCAST = -1
@@ -37,17 +41,17 @@ class Frame:
 
     src: int
     dst: int
-    packet: object
+    packet: Any
     kind: FrameKind = FrameKind.DATA
     frame_id: int = field(default_factory=lambda: next(_frame_ids))
     #: sender's power-management mode at transmission time (the PwrMgt bit);
     #: ODPM receivers use it to maintain their neighbor-mode beliefs.
-    sender_mode: object = None
+    sender_mode: Any = None
 
     @property
     def size_bytes(self) -> int:
         """Payload size in bytes (MAC overhead is added by the channel)."""
-        return self.packet.size_bytes
+        return int(self.packet.size_bytes)
 
     @property
     def is_broadcast(self) -> bool:
@@ -73,11 +77,11 @@ class Announcement:
     sender: int
     dst: int
     frame_id: int
-    level: object
+    level: "OverhearingLevel"
     subtype: int
     packet_kind: str
     #: sender's power-management mode (PwrMgt bit of the ATIM frame control)
-    sender_mode: object = None
+    sender_mode: Any = None
 
     @property
     def is_broadcast(self) -> bool:

@@ -28,8 +28,9 @@ the failure mode the paper describes for inaccurate mode information.
 
 from __future__ import annotations
 
+import random
 from functools import partial
-from typing import Dict, Optional, Set, Tuple
+from typing import Any, Dict, List, Optional, Set, Tuple
 
 from repro.constants import ATIM_WINDOW_S, BEACON_INTERVAL_S
 from repro.core.rcast import RcastManager
@@ -39,7 +40,12 @@ from repro.mac.dcf import TxOutcome
 from repro.mac.frames import BROADCAST, Announcement, Frame, FrameKind
 from repro.mac.power import AlwaysPs, PowerManager, PowerMode
 from repro.mac.queue import QueuedFrame, TxQueue
+from repro.mobility.manager import PositionService
+from repro.phy.channel import Channel
+from repro.phy.radio import Radio
+from repro.sim.engine import Simulator
 from repro.sim.events import PRIORITY_KERNEL
+from repro.sim.trace import TraceSink
 
 
 class PsmMac(MacBase):
@@ -47,12 +53,12 @@ class PsmMac(MacBase):
 
     def __init__(
         self,
-        sim,
+        sim: Simulator,
         node_id: int,
-        channel,
-        radio,
-        positions,
-        rng,
+        channel: Channel,
+        radio: Radio,
+        positions: PositionService,
+        rng: random.Random,
         rcast: RcastManager,
         power_manager: Optional[PowerManager] = None,
         beacon_interval: float = BEACON_INTERVAL_S,
@@ -63,7 +69,7 @@ class PsmMac(MacBase):
         opportunistic_tap: bool = False,
         mode_belief_ttl: float = 2.0,
         clock_offset: float = 0.0,
-        trace=None,
+        trace: Optional[TraceSink] = None,
     ) -> None:
         from repro.sim.trace import NULL_TRACE
 
@@ -168,7 +174,7 @@ class PsmMac(MacBase):
         # The ATIM window is also a finite contention period, so at most
         # ``max_announcements`` destinations get through per interval —
         # a deep backlog therefore cannot wake the whole neighborhood.
-        per_dst: Dict[int, list] = {}
+        per_dst: Dict[int, List[QueuedFrame]] = {}
         for entry in self._queue:
             per_dst.setdefault(entry.frame.dst, []).append(entry)
         budget = self.max_announcements
@@ -260,7 +266,7 @@ class PsmMac(MacBase):
     # Sending
     # ------------------------------------------------------------------
 
-    def send(self, packet, dst: int) -> None:
+    def send(self, packet: Any, dst: int) -> None:
         """Queue for the next ATIM window, or transmit immediately when
         ODPM believes both ends are in AM."""
         now = self.sim.now
@@ -279,7 +285,7 @@ class PsmMac(MacBase):
             return
         self._enqueue(packet, dst)
 
-    def _enqueue(self, packet, dst: int) -> None:
+    def _enqueue(self, packet: Any, dst: int) -> None:
         if dst == BROADCAST:
             self.broadcasts_sent += 1
         else:
@@ -301,7 +307,8 @@ class PsmMac(MacBase):
     # DCF completions
     # ------------------------------------------------------------------
 
-    def _on_immediate_done(self, frame: Frame, outcome: TxOutcome, delivered) -> None:
+    def _on_immediate_done(self, frame: Frame, outcome: TxOutcome,
+                           delivered: Set[int]) -> None:
         if outcome is TxOutcome.DELIVERED:
             self._on_sent(frame.packet, frame.dst)
             return
@@ -316,7 +323,7 @@ class PsmMac(MacBase):
         ))
 
     def _on_queue_done(self, entry: QueuedFrame, frame: Frame,
-                       outcome: TxOutcome, delivered) -> None:
+                       outcome: TxOutcome, delivered: Set[int]) -> None:
         if outcome is TxOutcome.DELIVERED:
             self._queue.remove(entry)
             self._on_sent(frame.packet, frame.dst)
@@ -356,7 +363,7 @@ class PsmMac(MacBase):
     # Power hints
     # ------------------------------------------------------------------
 
-    def _note_power_event(self, packet) -> None:
+    def _note_power_event(self, packet: Any) -> None:
         kind = getattr(packet, "kind", None)
         if kind in ("data", "rrep"):
             self.power.note_event("data" if kind == "data" else "rrep",

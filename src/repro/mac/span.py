@@ -27,10 +27,16 @@ Implementation notes (simplifications, documented per DESIGN.md):
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, List, Optional, Set
+import random
+from typing import TYPE_CHECKING, Dict, FrozenSet, List, Optional, Set
 
 from repro.errors import ConfigurationError
 from repro.mac.power import PowerManager, PowerMode
+
+if TYPE_CHECKING:
+    from repro.mobility.manager import PositionService
+    from repro.phy.energy import EnergyMeter
+    from repro.sim.engine import Simulator
 
 
 class SpanElection:
@@ -38,12 +44,12 @@ class SpanElection:
 
     def __init__(
         self,
-        sim,
-        positions,
-        rng,
+        sim: Simulator,
+        positions: PositionService,
+        rng: random.Random,
         election_period: float = 2.0,
         withdraw_grace: float = 5.0,
-        energy_meters: Optional[Dict[int, object]] = None,
+        energy_meters: Optional[Dict[int, EnergyMeter]] = None,
     ) -> None:
         if election_period <= 0 or withdraw_grace <= 0:
             raise ConfigurationError("SPAN periods must be positive")
@@ -105,8 +111,8 @@ class SpanElection:
         if one_hop:
             return True
         cu = {c for c in coords if c in neighbors_u}
-        cw = {c for c in coords if c in neighbors_w}
-        for c1 in cu:
+        cw = sorted(c for c in coords if c in neighbors_w)
+        for c1 in sorted(cu):
             c1_neighbors = self.positions.neighbors(c1)
             if any(c2 in c1_neighbors for c2 in cw if c2 != c1):
                 return True

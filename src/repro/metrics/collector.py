@@ -14,9 +14,10 @@ meters.  Everything the paper's evaluation section reports comes out of
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Optional, Sequence
+from typing import Any, Dict, Optional, Sequence
 
 import numpy as np
+from numpy.typing import NDArray
 
 from repro.metrics.role import RoleTracker
 from repro.metrics.stats import mean, sample_variance
@@ -101,7 +102,8 @@ class MetricsCollector:
         records = list(self._data.values())
         sent = len(records)
         delivered = [r for r in records if r.delivered_at is not None]
-        delays = [r.delivered_at - r.sent_at for r in delivered]
+        delays = [r.delivered_at - r.sent_at for r in delivered
+                  if r.delivered_at is not None]
         delivered_bits = sum(r.payload_bytes * 8 for r in delivered)
         energy = np.asarray(node_energy, dtype=float)
         total_energy = float(energy.sum())
@@ -146,17 +148,17 @@ class RunMetrics:
     data_delivered: int
     pdr: float
     avg_delay: float
-    node_energy: np.ndarray
-    node_awake_time: np.ndarray
+    node_energy: NDArray[np.float64]
+    node_awake_time: NDArray[np.float64]
     total_energy: float
     energy_variance: float
     energy_per_bit: float
     control_transmissions: int
     transmissions: Dict[str, int]
     normalized_overhead: float
-    role_numbers: np.ndarray
+    role_numbers: NDArray[np.int64]
     link_breaks: int
-    overheard_by_node: np.ndarray
+    overheard_by_node: NDArray[np.int64]
     drop_reasons: Dict[str, int] = field(default_factory=dict)
 
     @property
@@ -164,7 +166,7 @@ class RunMetrics:
         """Average per-node energy in joules."""
         return float(self.node_energy.mean()) if self.node_energy.size else 0.0
 
-    def sorted_node_energy(self) -> np.ndarray:
+    def sorted_node_energy(self) -> NDArray[np.float64]:
         """Per-node energy, ascending (the paper's Fig. 5 presentation)."""
         return np.sort(self.node_energy)
 
@@ -178,10 +180,10 @@ class RunMetrics:
             f"ovh={self.normalized_overhead:.2f}"
         )
 
-    def to_dict(self) -> Dict:
+    def to_dict(self) -> Dict[str, Any]:
         """JSON-safe dict of this run (vectors as lists, inf as None)."""
 
-        def safe(value: float):
+        def safe(value: float) -> Optional[float]:
             """None for non-finite values (JSON has no inf)."""
             return None if not np.isfinite(value) else float(value)
 

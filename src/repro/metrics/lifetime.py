@@ -16,11 +16,15 @@ death), and the fraction of the population alive at a horizon.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Sequence
+from typing import TYPE_CHECKING, Sequence
 
 import numpy as np
+from numpy.typing import NDArray
 
 from repro.errors import ConfigurationError
+
+if TYPE_CHECKING:
+    from repro.metrics.collector import RunMetrics
 
 
 @dataclass(frozen=True)
@@ -30,7 +34,7 @@ class LifetimeReport:
     battery_joules: float
     sim_time: float
     #: per-node projected depletion times, seconds (node-indexed)
-    depletion_times: np.ndarray
+    depletion_times: NDArray[np.float64]
 
     @property
     def first_death(self) -> float:
@@ -91,7 +95,8 @@ def project_lifetime(
     )
 
 
-def lifetime_from_metrics(metrics, battery_joules: float) -> LifetimeReport:
+def lifetime_from_metrics(metrics: "RunMetrics",
+                          battery_joules: float) -> LifetimeReport:
     """Convenience: project from a :class:`~repro.metrics.collector.RunMetrics`."""
     return project_lifetime(metrics.node_energy, metrics.sim_time,
                             battery_joules)

@@ -13,9 +13,10 @@ salvage re-routes).
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import List, Sequence, Tuple
 
 import numpy as np
+from numpy.typing import NDArray
 
 
 class RoleTracker:
@@ -36,7 +37,7 @@ class RoleTracker:
         """Role number of one node."""
         return int(self._counts[node])
 
-    def counts(self) -> np.ndarray:
+    def counts(self) -> NDArray[np.int64]:
         """Copy of the per-node role-number vector."""
         return self._counts.copy()
 
@@ -44,7 +45,7 @@ class RoleTracker:
         """Largest role number in the network (paper Fig. 9 discussion)."""
         return int(self._counts.max()) if self.num_nodes else 0
 
-    def top_k(self, k: int) -> list:
+    def top_k(self, k: int) -> List[Tuple[int, int]]:
         """The ``k`` most-burdened nodes as (node, role) pairs."""
         order = np.argsort(self._counts)[::-1][:k]
         return [(int(n), int(self._counts[n])) for n in order]

@@ -6,6 +6,7 @@ from dataclasses import dataclass
 from typing import Tuple
 
 import numpy as np
+from numpy.typing import NDArray
 
 from repro.errors import ConfigurationError
 
@@ -52,7 +53,7 @@ class MobilityModel:
         self.num_nodes = num_nodes
         self.arena = arena
 
-    def positions_at(self, time: float) -> np.ndarray:
+    def positions_at(self, time: float) -> NDArray[np.float64]:
         """Return an ``(num_nodes, 2)`` float array of positions at ``time``."""
         raise NotImplementedError
 

@@ -18,9 +18,10 @@ the range.
 
 from __future__ import annotations
 
-from typing import FrozenSet, List, Set, Tuple
+from typing import FrozenSet, List, Optional, Set, Tuple
 
 import numpy as np
+from numpy.typing import NDArray
 
 from repro.constants import NEIGHBOR_REFRESH_S, TX_RANGE_M
 from repro.errors import ConfigurationError
@@ -36,7 +37,7 @@ class PositionService:
         sim: Simulator,
         model: MobilityModel,
         tx_range: float = TX_RANGE_M,
-        cs_range: float = None,
+        cs_range: Optional[float] = None,
         refresh: float = NEIGHBOR_REFRESH_S,
     ) -> None:
         if tx_range <= 0:
@@ -52,12 +53,13 @@ class PositionService:
         self.refresh = refresh
         self.num_nodes = model.num_nodes
         self._snapshot_time = -1.0
-        self._positions: np.ndarray = np.zeros((self.num_nodes, 2))
+        self._positions: NDArray[np.float64] = np.zeros((self.num_nodes, 2))
         self._neighbors: List[Set[int]] = [set() for _ in range(self.num_nodes)]
         self._cs_neighbors: List[Set[int]] = [set() for _ in range(self.num_nodes)]
         #: cumulative count of neighbor-set changes observed per node,
         #: feeding the mobility decision factor.
-        self.link_changes: np.ndarray = np.zeros(self.num_nodes, dtype=int)
+        self.link_changes: NDArray[np.int64] = np.zeros(self.num_nodes,
+                                                        dtype=np.int64)
         self._bootstrapped = False
         self._refresh_now(force=True)
 
@@ -92,7 +94,7 @@ class PositionService:
     # Queries
     # ------------------------------------------------------------------
 
-    def positions(self) -> np.ndarray:
+    def positions(self) -> NDArray[np.float64]:
         """Snapshot of all positions (refreshed if stale)."""
         self._refresh_now()
         return self._positions

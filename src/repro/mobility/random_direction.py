@@ -9,10 +9,12 @@ check that Rcast's gains are not an artifact of the mobility model.
 from __future__ import annotations
 
 import math
+import random
 from dataclasses import dataclass
-from typing import List
+from typing import List, Tuple
 
 import numpy as np
+from numpy.typing import NDArray
 
 from repro.errors import ConfigurationError
 from repro.mobility.base import Arena, MobilityModel
@@ -39,7 +41,7 @@ class _Segment:
         """Time at which the node departs for its next segment."""
         return self.start_time + self.travel_time + self.pause
 
-    def position_at(self, time: float) -> tuple:
+    def position_at(self, time: float) -> Tuple[float, float]:
         """Position on this segment at ``time``."""
         elapsed = time - self.start_time
         travel = self.travel_time
@@ -52,7 +54,8 @@ class _Segment:
         )
 
 
-def _ray_to_boundary(x: float, y: float, angle: float, arena: Arena) -> tuple:
+def _ray_to_boundary(x: float, y: float, angle: float,
+                     arena: Arena) -> Tuple[float, float]:
     """First intersection of the ray from (x, y) at ``angle`` with the walls."""
     dx, dy = math.cos(angle), math.sin(angle)
     best_t = float("inf")
@@ -76,7 +79,7 @@ class RandomDirection(MobilityModel):
         self,
         num_nodes: int,
         arena: Arena,
-        rng,
+        rng: random.Random,
         max_speed: float,
         min_speed: float = 0.1,
         pause_time: float = 0.0,
@@ -109,7 +112,7 @@ class RandomDirection(MobilityModel):
             self._segments[node] = seg
         return seg
 
-    def positions_at(self, time: float) -> np.ndarray:
+    def positions_at(self, time: float) -> NDArray[np.float64]:
         """All node positions at ``time`` (forward-only queries)."""
         if time < self._last_query - 1e-9:
             raise ConfigurationError("RandomDirection queried backwards in time")
@@ -120,7 +123,7 @@ class RandomDirection(MobilityModel):
             out[node, 0], out[node, 1] = seg.position_at(time)
         return out
 
-    def position_of(self, node: int, time: float) -> tuple:
+    def position_of(self, node: int, time: float) -> Tuple[float, float]:
         """Position of one node at ``time``."""
         return self._advance(node, time).position_at(time)
 

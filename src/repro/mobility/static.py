@@ -2,9 +2,11 @@
 
 from __future__ import annotations
 
+import random
 from typing import Optional, Sequence, Tuple
 
 import numpy as np
+from numpy.typing import NDArray
 
 from repro.errors import ConfigurationError
 from repro.mobility.base import Arena, MobilityModel
@@ -59,7 +61,8 @@ class StaticPlacement(MobilityModel):
         return cls(positions, arena)
 
     @classmethod
-    def uniform_random(cls, num_nodes: int, arena: Arena, rng) -> "StaticPlacement":
+    def uniform_random(cls, num_nodes: int, arena: Arena,
+                       rng: random.Random) -> "StaticPlacement":
         """Uniform random placement (the paper's static scenario start)."""
         positions = [
             (rng.uniform(0.0, arena.width), rng.uniform(0.0, arena.height))
@@ -69,7 +72,7 @@ class StaticPlacement(MobilityModel):
 
     # MobilityModel interface -------------------------------------------
 
-    def positions_at(self, time: float) -> np.ndarray:
+    def positions_at(self, time: float) -> NDArray[np.float64]:
         """The fixed coordinates (a defensive copy)."""
         return self._coords.copy()
 

@@ -13,10 +13,12 @@ first pause.
 
 from __future__ import annotations
 
+import random
 from dataclasses import dataclass
-from typing import List
+from typing import List, Tuple
 
 import numpy as np
+from numpy.typing import NDArray
 
 from repro.errors import ConfigurationError
 from repro.mobility.base import Arena, MobilityModel
@@ -48,7 +50,7 @@ class _Leg:
         """Time at which the node leaves for its *next* destination."""
         return self.start_time + self.travel_time + self.pause
 
-    def position_at(self, time: float) -> tuple:
+    def position_at(self, time: float) -> Tuple[float, float]:
         """Position during this leg (valid for start_time <= time <= end_time)."""
         elapsed = time - self.start_time
         travel = self.travel_time
@@ -83,7 +85,7 @@ class RandomWaypoint(MobilityModel):
         self,
         num_nodes: int,
         arena: Arena,
-        rng,
+        rng: random.Random,
         max_speed: float,
         min_speed: float = 0.1,
         pause_time: float = 0.0,
@@ -120,7 +122,7 @@ class RandomWaypoint(MobilityModel):
 
     # ------------------------------------------------------------------
 
-    def _random_point(self) -> tuple:
+    def _random_point(self) -> Tuple[float, float]:
         return (
             self._rng.uniform(0.0, self.arena.width),
             self._rng.uniform(0.0, self.arena.height),
@@ -151,7 +153,7 @@ class RandomWaypoint(MobilityModel):
 
     # ------------------------------------------------------------------
 
-    def positions_at(self, time: float) -> np.ndarray:
+    def positions_at(self, time: float) -> NDArray[np.float64]:
         """All node positions at ``time`` (forward-only queries)."""
         if time < self._last_query - 1e-9:
             raise ConfigurationError(
@@ -165,12 +167,12 @@ class RandomWaypoint(MobilityModel):
             out[node, 0], out[node, 1] = leg.position_at(time)
         return out
 
-    def position_of(self, node: int, time: float) -> tuple:
+    def position_of(self, node: int, time: float) -> Tuple[float, float]:
         """Position of one node at ``time``."""
         leg = self._advance(node, time)
         return leg.position_at(time)
 
-    def velocity_of(self, node: int, time: float) -> tuple:
+    def velocity_of(self, node: int, time: float) -> Tuple[float, float]:
         """Instantaneous velocity vector of ``node`` at ``time``."""
         leg = self._advance(node, time)
         if time - leg.start_time >= leg.travel_time:

@@ -23,22 +23,23 @@ key           MAC             power manager    overhearing
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple, Union
 
 from repro import constants
 from repro.core.policy import (
     NoOverhearing,
     RcastPolicy,
+    SenderPolicy,
     UnconditionalOverhearing,
 )
 from repro.core.rcast import RcastManager
 from repro.errors import ConfigurationError
-from repro.mac.base import AlwaysOnMac
+from repro.mac.base import AlwaysOnMac, MacBase
 from repro.mac.odpm import OdpmPowerManager
-from repro.mac.power import AlwaysPs
+from repro.mac.power import AlwaysPs, PowerManager
 from repro.mac.psm import PsmMac
 from repro.metrics.collector import MetricsCollector, RunMetrics
-from repro.mobility.base import Arena
+from repro.mobility.base import Arena, MobilityModel
 from repro.mobility.manager import PositionService
 from repro.mobility.random_direction import RandomDirection
 from repro.mobility.static import StaticPlacement
@@ -51,10 +52,15 @@ from repro.routing.dsr.config import DsrConfig
 from repro.routing.dsr.protocol import DsrProtocol
 from repro.sim.engine import Simulator
 from repro.sim.rng import RngRegistry
-from repro.sim.trace import NULL_TRACE
+from repro.sim.trace import NULL_TRACE, TraceSink
 from repro.traffic.cbr import CbrSource
 from repro.traffic.pairs import choose_connections
 from repro.traffic.poisson import PoissonSource
+
+if TYPE_CHECKING:
+    from repro.mac.span import SpanElection
+    from repro.routing.aodv.config import AodvConfig
+    from repro.routing.aodv.protocol import AodvProtocol
 
 #: All supported scheme keys.
 SCHEMES = ("ieee80211", "psm", "psm-nooh", "odpm", "rcast", "span")
@@ -107,7 +113,7 @@ class SimulationConfig:
     # Routing
     routing: str = "dsr"  # 'dsr' (paper) | 'aodv' (footnote-1 baseline)
     dsr: DsrConfig = field(default_factory=DsrConfig)
-    aodv: "AodvConfig" = None
+    aodv: Optional["AodvConfig"] = None
 
     # Rcast options
     rcast_factors: Tuple[str, ...] = ()
@@ -155,7 +161,7 @@ class Network:
         channel: Channel,
         nodes: List[Node],
         metrics: MetricsCollector,
-        trace=NULL_TRACE,
+        trace: TraceSink = NULL_TRACE,
     ) -> None:
         self.config = config
         self.sim = sim
@@ -165,6 +171,7 @@ class Network:
         self.nodes = nodes
         self.metrics = metrics
         self.trace = trace
+        self.span_election: Optional["SpanElection"] = None
         self._ran = False
 
     def run(self) -> RunMetrics:
@@ -185,7 +192,8 @@ class Network:
         )
 
 
-def build_mobility(config: SimulationConfig, rngs: RngRegistry, arena: Arena):
+def build_mobility(config: SimulationConfig, rngs: RngRegistry,
+                   arena: Arena) -> MobilityModel:
     """Construct the configured mobility model."""
     rng = rngs.stream("mobility")
     if config.mobility == "waypoint":
@@ -210,7 +218,7 @@ def build_mobility(config: SimulationConfig, rngs: RngRegistry, arena: Arena):
     raise ConfigurationError(f"unknown mobility model {config.mobility!r}")
 
 
-def _sender_policy(scheme: str):
+def _sender_policy(scheme: str) -> SenderPolicy:
     if scheme == "psm":
         return UnconditionalOverhearing()
     if scheme in ("psm-nooh", "odpm", "span"):
@@ -218,8 +226,17 @@ def _sender_policy(scheme: str):
     return RcastPolicy()  # rcast
 
 
-def _build_mac(config: SimulationConfig, sim, node_id, channel, radio,
-               positions, rngs: RngRegistry, trace, span_election=None):
+def _build_mac(
+    config: SimulationConfig,
+    sim: Simulator,
+    node_id: int,
+    channel: Channel,
+    radio: Radio,
+    positions: PositionService,
+    rngs: RngRegistry,
+    trace: TraceSink,
+    span_election: Optional["SpanElection"] = None,
+) -> Tuple[MacBase, Optional[RcastManager]]:
     mac_rng = rngs.stream(f"mac:{node_id}")
     if config.scheme == "ieee80211":
         return AlwaysOnMac(sim, node_id, channel, radio, positions,
@@ -233,12 +250,14 @@ def _build_mac(config: SimulationConfig, sim, node_id, channel, radio,
         energy_meter=radio.meter if "battery" in config.rcast_factors else None,
         randomized_broadcast=config.rreq_randomized,
     )
+    power: PowerManager
     if config.scheme == "odpm":
         power = OdpmPowerManager(config.odpm_rrep_timeout, config.odpm_data_timeout)
         tap_in_am = True
     elif config.scheme == "span":
         from repro.mac.span import SpanPowerManager
 
+        assert span_election is not None, "span scheme requires an election"
         power = SpanPowerManager(node_id, span_election)
         tap_in_am = True
     else:
@@ -260,7 +279,8 @@ def _build_mac(config: SimulationConfig, sim, node_id, channel, radio,
     return mac, rcast
 
 
-def build_network(config: SimulationConfig, trace=NULL_TRACE) -> Network:
+def build_network(config: SimulationConfig,
+                  trace: TraceSink = NULL_TRACE) -> Network:
     """Wire a complete network for ``config``."""
     sim = Simulator()
     rngs = RngRegistry(config.seed)
@@ -293,6 +313,7 @@ def build_network(config: SimulationConfig, trace=NULL_TRACE) -> Network:
         mac, rcast = _build_mac(config, sim, i, channel, radios[i],
                                 positions, rngs, trace,
                                 span_election=span_election)
+        agent: Union[DsrProtocol, "AodvProtocol"]
         if config.routing == "aodv":
             from repro.routing.aodv.config import AodvConfig
             from repro.routing.aodv.protocol import AodvProtocol
@@ -319,8 +340,8 @@ def build_network(config: SimulationConfig, trace=NULL_TRACE) -> Network:
     return network
 
 
-def _attach_traffic(config: SimulationConfig, sim, rngs: RngRegistry,
-                    nodes: List[Node]) -> None:
+def _attach_traffic(config: SimulationConfig, sim: Simulator,
+                    rngs: RngRegistry, nodes: List[Node]) -> None:
     if config.traffic == "none" or config.num_connections == 0:
         return
     pairs = choose_connections(
@@ -332,6 +353,7 @@ def _attach_traffic(config: SimulationConfig, sim, rngs: RngRegistry,
     stop = config.sim_time - min(config.traffic_stop_guard, window / 2)
     for index, (src, dst) in enumerate(pairs):
         rng = rngs.stream(f"traffic:{index}")
+        source: Union[CbrSource, PoissonSource]
         if config.traffic == "cbr":
             source = CbrSource(
                 sim, nodes[src].dsr, dst,
@@ -349,7 +371,8 @@ def _attach_traffic(config: SimulationConfig, sim, rngs: RngRegistry,
         nodes[src].sources.append(source)
 
 
-def run_simulation(config: SimulationConfig, trace=NULL_TRACE) -> RunMetrics:
+def run_simulation(config: SimulationConfig,
+                   trace: TraceSink = NULL_TRACE) -> RunMetrics:
     """Build and run one simulation; convenience one-liner."""
     return build_network(config, trace).run()
 

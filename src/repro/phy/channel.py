@@ -24,14 +24,17 @@ halves the event count and is energetically neutral under the paper's model
 from __future__ import annotations
 
 import itertools
-from typing import Callable, Dict, List, Optional, Set
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Set, Tuple
 
 from repro.constants import BITRATE_BPS, MAC_HEADER_BYTES
 from repro.errors import ChannelError
 from repro.mobility.manager import PositionService
 from repro.phy.radio import Radio
 from repro.sim.engine import Simulator
-from repro.sim.trace import NULL_TRACE
+from repro.sim.trace import NULL_TRACE, TraceSink
+
+if TYPE_CHECKING:
+    from repro.mac.frames import Frame
 
 _tx_ids = itertools.count()
 
@@ -44,14 +47,15 @@ class Transmission:
         "audible", "eligible_at_start", "overlaps", "corrupted_at",
     )
 
-    def __init__(self, sender: int, frame, start: float, end: float) -> None:
+    def __init__(self, sender: int, frame: Frame, start: float, end: float) -> None:
         self.tx_id = next(_tx_ids)
         self.sender = sender
         self.frame = frame
         self.start = start
         self.end = end
-        #: nodes within rx range at start (excluding sender)
-        self.audible: Set[int] = set()
+        #: nodes within rx range at start (excluding sender), in ascending
+        #: node order — iterated by delivery, so the order must be stable
+        self.audible: Tuple[int, ...] = ()
         #: audible nodes whose radio could decode at start
         self.eligible_at_start: Set[int] = set()
         #: transmissions that overlapped this one in time
@@ -75,7 +79,7 @@ class Channel:
         radios: Dict[int, Radio],
         bitrate: float = BITRATE_BPS,
         mac_overhead_bytes: int = MAC_HEADER_BYTES,
-        trace=NULL_TRACE,
+        trace: TraceSink = NULL_TRACE,
     ) -> None:
         if bitrate <= 0:
             raise ChannelError(f"bitrate must be positive, got {bitrate}")
@@ -86,8 +90,8 @@ class Channel:
         self.mac_overhead_bytes = mac_overhead_bytes
         self.trace = trace
         self._active: Dict[int, Transmission] = {}
-        self._receivers: Dict[int, Callable] = {}
-        self._tx_complete: Dict[int, Callable] = {}
+        self._receivers: Dict[int, Callable[[Frame, int], None]] = {}
+        self._tx_complete: Dict[int, Callable[[Frame, Set[int]], None]] = {}
         # Statistics
         self.frames_sent = 0
         self.frames_delivered = 0
@@ -101,8 +105,8 @@ class Channel:
     def attach(
         self,
         node_id: int,
-        on_receive: Callable,
-        on_tx_complete: Optional[Callable] = None,
+        on_receive: Callable[[Frame, int], None],
+        on_tx_complete: Optional[Callable[[Frame, Set[int]], None]] = None,
     ) -> None:
         """Register the MAC callbacks for ``node_id``.
 
@@ -136,7 +140,7 @@ class Channel:
     # Transmission
     # ------------------------------------------------------------------
 
-    def transmit(self, sender_id: int, frame) -> Transmission:
+    def transmit(self, sender_id: int, frame: Frame) -> Transmission:
         """Start transmitting ``frame`` from ``sender_id``.
 
         The caller (MAC) is responsible for carrier sensing first; starting
@@ -151,7 +155,7 @@ class Channel:
         duration = self.transmission_time(frame.size_bytes)
         now = self.sim.now
         tx = Transmission(sender_id, frame, now, now + duration)
-        tx.audible = set(self.positions.neighbors(sender_id))
+        tx.audible = tuple(sorted(self.positions.neighbors(sender_id)))
         for node in tx.audible:
             if self.radios[node].can_receive():
                 tx.eligible_at_start.add(node)
@@ -199,7 +203,9 @@ class Channel:
                 continue
             delivered.add(node)
 
-        for node in delivered:
+        # Receiver callbacks re-enter the MAC layer; fire them in node
+        # order so event scheduling cannot depend on set iteration order.
+        for node in sorted(delivered):
             self.frames_delivered += 1
             receiver = self._receivers.get(node)
             if receiver is not None:

@@ -11,15 +11,23 @@ level implies) but never feed the routing table.
 from __future__ import annotations
 
 import itertools
+import random
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Set, Tuple
+from typing import TYPE_CHECKING, Any, Callable, Dict, List, Optional, Set, Tuple
 
 from repro.mac.frames import BROADCAST
 from repro.routing.aodv.config import AodvConfig
 from repro.routing.aodv.packets import AodvData, AodvRerr, AodvRrep, AodvRreq
 from repro.routing.aodv.table import RoutingTable
 from repro.routing.packets import next_uid
-from repro.sim.trace import NULL_TRACE
+from repro.sim.trace import NULL_TRACE, TraceSink
+
+if TYPE_CHECKING:
+    from repro.mac.base import MacBase
+    from repro.metrics.collector import MetricsCollector
+    from repro.routing.aodv.table import AodvRoute
+    from repro.sim.engine import Simulator
+    from repro.sim.events import Event
 
 
 @dataclass
@@ -36,7 +44,7 @@ class _Discovery:
     target: int
     attempts: int = 0
     ttl: int = 0
-    timer: object = None
+    timer: Optional["Event"] = None
 
 
 class AodvProtocol:
@@ -44,13 +52,13 @@ class AodvProtocol:
 
     def __init__(
         self,
-        sim,
+        sim: "Simulator",
         node_id: int,
-        mac,
+        mac: "MacBase",
         config: Optional[AodvConfig] = None,
-        metrics=None,
-        rng=None,
-        trace=NULL_TRACE,
+        metrics: "Optional[MetricsCollector]" = None,
+        rng: Optional[random.Random] = None,
+        trace: TraceSink = NULL_TRACE,
     ) -> None:
         self.sim = sim
         self.node_id = node_id
@@ -64,7 +72,7 @@ class AodvProtocol:
         self._seen_rreqs: Set[Tuple[int, int]] = set()
         self._send_buffer: List[_BufferedSend] = []
         self._discoveries: Dict[int, _Discovery] = {}
-        self.delivery_callback = None
+        self.delivery_callback: Optional[Callable[[AodvData], None]] = None
         mac.set_upper(
             on_receive=self._on_receive,
             on_promiscuous=self._on_promiscuous,
@@ -109,7 +117,7 @@ class AodvProtocol:
     # Data plane
     # ------------------------------------------------------------------
 
-    def _forward_data(self, packet: AodvData, route) -> None:
+    def _forward_data(self, packet: AodvData, route: "AodvRoute") -> None:
         self.table.refresh(packet.dst, self.sim.now)
         if self.metrics is not None:
             self.metrics.transmission("data")
@@ -258,7 +266,7 @@ class AodvProtocol:
     # Route maintenance
     # ------------------------------------------------------------------
 
-    def _on_link_failure(self, packet, next_hop: int) -> None:
+    def _on_link_failure(self, packet: Any, next_hop: int) -> None:
         broken = self.table.invalidate_via(next_hop)
         if self.metrics is not None:
             self.metrics.link_break()
@@ -299,7 +307,7 @@ class AodvProtocol:
     # Receive dispatch / promiscuous
     # ------------------------------------------------------------------
 
-    def _on_receive(self, packet, prev_hop: int) -> None:
+    def _on_receive(self, packet: Any, prev_hop: int) -> None:
         kind = packet.kind
         if kind == "data":
             self._handle_data(packet, prev_hop)
@@ -310,13 +318,13 @@ class AodvProtocol:
         elif kind == "rerr":
             self._handle_rerr(packet, prev_hop)
 
-    def _on_promiscuous(self, packet, transmitter: int) -> None:
+    def _on_promiscuous(self, packet: Any, transmitter: int) -> None:
         # AODV does not learn from overheard traffic (the paper's point).
         self.overheard_packets += 1
         if self.metrics is not None:
             self.metrics.overheard(self.node_id)
 
-    def _on_ifq_drop(self, packet) -> None:
+    def _on_ifq_drop(self, packet: Any) -> None:
         if getattr(packet, "kind", None) == "data" and self.metrics is not None:
             self.metrics.data_dropped(packet.uid, "ifq_overflow")
 

@@ -24,7 +24,7 @@ classic DSR — the paper's stale-route discussion relies on this).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import Dict, Iterable, List, Optional, Set, Tuple
 
 from repro.errors import RoutingError
 
@@ -74,15 +74,15 @@ class RouteCache:
     def __len__(self) -> int:
         return len(self._primary) + len(self._secondary)
 
-    def __contains__(self, path) -> bool:
-        path = tuple(path)
-        return path in self._primary or path in self._secondary
+    def __contains__(self, path: Iterable[int]) -> bool:
+        key = tuple(path)
+        return key in self._primary or key in self._secondary
 
     def paths(self) -> List[CachedPath]:
         """All cached entries (primary first)."""
         return list(self._primary.values()) + list(self._secondary.values())
 
-    def _segments(self):
+    def _segments(self) -> Tuple[Dict[Tuple[int, ...], CachedPath], ...]:
         return (self._primary, self._secondary)
 
     # ------------------------------------------------------------------
@@ -185,10 +185,10 @@ class RouteCache:
             dst in c.path[1:] for seg in self._segments() for c in seg.values()
         )
 
-    def known_destinations(self, now: float) -> set:
+    def known_destinations(self, now: float) -> Set[int]:
         """All destinations reachable from cached paths."""
         self._expire(now)
-        out = set()
+        out: Set[int] = set()
         for segment in self._segments():
             for cached in segment.values():
                 out.update(cached.path[1:])

@@ -22,20 +22,29 @@ Implements the classic DSR feature set the paper builds on:
 from __future__ import annotations
 
 import itertools
+import random
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Set, Tuple
+from typing import TYPE_CHECKING, Any, Callable, Dict, List, Optional, Set, Tuple
 
 from repro.mac.frames import BROADCAST
 from repro.routing.dsr.cache import RouteCache
 from repro.routing.dsr.config import DsrConfig
 from repro.routing.packets import (
     DataPacket,
+    PacketBase,
     RouteError,
     RouteReply,
     RouteRequest,
     next_uid,
 )
-from repro.sim.trace import NULL_TRACE
+from repro.sim.rng import derived_stream
+from repro.sim.trace import NULL_TRACE, TraceSink
+
+if TYPE_CHECKING:
+    from repro.mac.base import MacBase
+    from repro.metrics.collector import MetricsCollector
+    from repro.sim.engine import Simulator
+    from repro.sim.events import Event
 
 
 @dataclass
@@ -56,7 +65,7 @@ class Discovery:
 
     target: int
     attempts: int = 0
-    timer: object = None
+    timer: Optional["Event"] = None
 
 
 class DsrProtocol:
@@ -64,20 +73,22 @@ class DsrProtocol:
 
     def __init__(
         self,
-        sim,
+        sim: "Simulator",
         node_id: int,
-        mac,
+        mac: "MacBase",
         config: Optional[DsrConfig] = None,
-        metrics=None,
-        rng=None,
-        trace=NULL_TRACE,
+        metrics: "Optional[MetricsCollector]" = None,
+        rng: Optional[random.Random] = None,
+        trace: TraceSink = NULL_TRACE,
     ) -> None:
-        import random as _random
-
         self.sim = sim
         self.node_id = node_id
         self.mac = mac
-        self._rng = rng if rng is not None else _random.Random(node_id)
+        # No injected stream: derive a node-scoped one from root seed 0.
+        # Never the global `random` module — cache-reply jitter draws must
+        # be seed-stable and isolated from every other subsystem's stream.
+        self._rng = (rng if rng is not None
+                     else derived_stream(0, f"dsr:{node_id}"))
         self.config = config if config is not None else DsrConfig()
         self.metrics = metrics
         self.trace = trace
@@ -94,7 +105,7 @@ class DsrProtocol:
         #: suppression, without which dense networks drown in RREPs.
         self._answered: Set[Tuple[int, int]] = set()
         self._request_ids = itertools.count()
-        self.delivery_callback: Optional[Callable] = None
+        self.delivery_callback: Optional[Callable[[DataPacket], None]] = None
         mac.set_upper(
             on_receive=self._on_receive,
             on_promiscuous=self._on_promiscuous,
@@ -151,7 +162,7 @@ class DsrProtocol:
             self.metrics.route_used(route)
         self._transmit(packet)
 
-    def _transmit(self, packet) -> None:
+    def _transmit(self, packet: PacketBase) -> None:
         """Hand a unicast packet to the MAC toward its next hop."""
         if self.metrics is not None:
             self.metrics.transmission(packet.kind)
@@ -169,7 +180,7 @@ class DsrProtocol:
     # Receive dispatch
     # ------------------------------------------------------------------
 
-    def _on_receive(self, packet, prev_hop: int) -> None:
+    def _on_receive(self, packet: Any, prev_hop: int) -> None:
         kind = packet.kind
         if kind == "rreq":
             self._handle_rreq(packet)
@@ -180,7 +191,7 @@ class DsrProtocol:
         elif kind == "rerr":
             self._handle_rerr(packet)
 
-    def _my_trip_index(self, packet) -> Optional[int]:
+    def _my_trip_index(self, packet: PacketBase) -> Optional[int]:
         """This node's position on the packet's trip, or None if misrouted."""
         idx = packet.trip_index + 1
         if idx < len(packet.trip_route) and packet.trip_route[idx] == self.node_id:
@@ -332,12 +343,12 @@ class DsrProtocol:
     # Route maintenance
     # ------------------------------------------------------------------
 
-    def _on_ifq_drop(self, packet) -> None:
+    def _on_ifq_drop(self, packet: PacketBase) -> None:
         """The MAC's queue overflowed: a congestion drop, not a link break."""
         if packet.kind == "data" and self.metrics is not None:
             self.metrics.data_dropped(packet.uid, "ifq_overflow")
 
-    def _on_link_failure(self, packet, next_hop: int) -> None:
+    def _on_link_failure(self, packet: PacketBase, next_hop: int) -> None:
         self.cache.remove_link(self.node_id, next_hop)
         if packet.kind == "data":
             self._maintain_data(packet, next_hop)
@@ -396,7 +407,7 @@ class DsrProtocol:
     # Promiscuous operation (overhearing)
     # ------------------------------------------------------------------
 
-    def _on_promiscuous(self, packet, transmitter: int) -> None:
+    def _on_promiscuous(self, packet: Any, transmitter: int) -> None:
         self.overheard_packets += 1
         if self.metrics is not None:
             self.metrics.overheard(self.node_id)

@@ -20,7 +20,7 @@ Design notes
 from __future__ import annotations
 
 import heapq
-from typing import Callable, Optional
+from typing import Any, Callable, Optional
 
 from repro.errors import SchedulingError
 from repro.sim.events import Event, PRIORITY_NORMAL
@@ -62,7 +62,7 @@ class Simulator:
         self,
         delay: float,
         callback: Callable[..., None],
-        *args,
+        *args: Any,
         priority: int = PRIORITY_NORMAL,
     ) -> Event:
         """Schedule ``callback(*args)`` to fire ``delay`` seconds from now."""
@@ -74,7 +74,7 @@ class Simulator:
         self,
         time: float,
         callback: Callable[..., None],
-        *args,
+        *args: Any,
         priority: int = PRIORITY_NORMAL,
     ) -> Event:
         """Schedule ``callback(*args)`` to fire at absolute time ``time``."""

@@ -13,7 +13,7 @@ callback.  Events compare by ``(time, priority, seq)`` so that
 from __future__ import annotations
 
 import itertools
-from typing import Callable
+from typing import Any, Callable, Tuple
 
 #: Priority for kernel housekeeping that must run before normal events at the
 #: same timestamp (e.g. beacon-interval boundaries).
@@ -44,7 +44,7 @@ class Event:
         self,
         time: float,
         callback: Callable[..., None],
-        args: tuple = (),
+        args: Tuple[Any, ...] = (),
         priority: int = PRIORITY_NORMAL,
     ) -> None:
         self.time = time
@@ -64,7 +64,7 @@ class Event:
 
     # Heap ordering -----------------------------------------------------
 
-    def sort_key(self) -> tuple:
+    def sort_key(self) -> Tuple[float, int, int]:
         """Heap ordering key: (time, priority, insertion sequence)."""
         return (self.time, self.priority, self.seq)
 

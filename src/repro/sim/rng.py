@@ -72,4 +72,15 @@ class RngRegistry:
         return RngRegistry(derive_seed(self._seed, "child:" + name))
 
 
-__all__ = ["RngRegistry", "derive_seed"]
+def derived_stream(root_seed: int, name: str) -> random.Random:
+    """One named stream without a registry.
+
+    For components that allow construction without an injected stream
+    (tests, ad-hoc tooling): the fallback stays seed-stable and
+    stream-isolated instead of silently coupling to the process-global
+    ``random`` state.
+    """
+    return random.Random(derive_seed(root_seed, name))
+
+
+__all__ = ["RngRegistry", "derive_seed", "derived_stream"]

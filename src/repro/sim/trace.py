@@ -10,7 +10,7 @@ single attribute lookup plus a no-op call per emission point.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, Iterator, List, Optional
+from typing import Iterable, Iterator, List, Optional, Protocol
 
 
 @dataclass(frozen=True)
@@ -24,6 +24,19 @@ class TraceRecord:
 
     def __str__(self) -> str:
         return f"{self.time:12.6f} [{self.category:>10}] n{self.node:<4} {self.detail}"
+
+
+class TraceSink(Protocol):
+    """Structural interface every trace sink provides.
+
+    Emission points check ``enabled`` before formatting the detail string so
+    a disabled sink costs one attribute lookup, not an f-string.
+    """
+
+    @property
+    def enabled(self) -> bool: ...  # noqa: D102
+
+    def emit(self, time: float, category: str, node: int, detail: str) -> None: ...  # noqa: D102
 
 
 class TraceLog:
@@ -77,10 +90,11 @@ class NullTrace:
     def __len__(self) -> int:
         return 0
 
-    def __iter__(self):
+    def __iter__(self) -> Iterator[TraceRecord]:
         return iter(())
 
-    def filter(self, category=None, node=None):
+    def filter(self, category: Optional[str] = None,
+               node: Optional[int] = None) -> List[TraceRecord]:
         """Always empty."""
         return []
 
@@ -92,4 +106,4 @@ class NullTrace:
 #: Shared singleton used as the default trace sink.
 NULL_TRACE = NullTrace()
 
-__all__ = ["TraceRecord", "TraceLog", "NullTrace", "NULL_TRACE"]
+__all__ = ["TraceRecord", "TraceSink", "TraceLog", "NullTrace", "NULL_TRACE"]

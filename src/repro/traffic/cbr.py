@@ -7,9 +7,14 @@ over the first inter-packet interval so sources do not fire in lockstep.
 
 from __future__ import annotations
 
-from typing import Optional
+import random
+from typing import TYPE_CHECKING, Optional
 
 from repro.errors import ConfigurationError
+from repro.traffic.base import RoutingAgent
+
+if TYPE_CHECKING:
+    from repro.sim.engine import Simulator
 
 
 class CbrSource:
@@ -17,14 +22,14 @@ class CbrSource:
 
     def __init__(
         self,
-        sim,
-        dsr,
+        sim: "Simulator",
+        dsr: RoutingAgent,
         dst: int,
         rate_pps: float,
         packet_bytes: int,
         start: float = 0.0,
         stop: Optional[float] = None,
-        rng=None,
+        rng: Optional[random.Random] = None,
     ) -> None:
         if rate_pps <= 0:
             raise ConfigurationError(f"rate must be positive, got {rate_pps}")

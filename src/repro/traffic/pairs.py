@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import random
 from typing import List, Tuple
 
 from repro.errors import ConfigurationError
@@ -10,7 +11,7 @@ from repro.errors import ConfigurationError
 def choose_connections(
     num_nodes: int,
     num_connections: int,
-    rng,
+    rng: random.Random,
     distinct_sources: bool = True,
 ) -> List[Tuple[int, int]]:
     """Pick ``num_connections`` (source, destination) pairs.

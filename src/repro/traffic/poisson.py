@@ -7,9 +7,14 @@ interact differently with ODPM's keep-alive timers.
 
 from __future__ import annotations
 
-from typing import Optional
+import random
+from typing import TYPE_CHECKING, Optional
 
 from repro.errors import ConfigurationError
+from repro.traffic.base import RoutingAgent
+
+if TYPE_CHECKING:
+    from repro.sim.engine import Simulator
 
 
 class PoissonSource:
@@ -17,12 +22,12 @@ class PoissonSource:
 
     def __init__(
         self,
-        sim,
-        dsr,
+        sim: "Simulator",
+        dsr: RoutingAgent,
         dst: int,
         rate_pps: float,
         packet_bytes: int,
-        rng,
+        rng: Optional[random.Random],
         start: float = 0.0,
         stop: Optional[float] = None,
     ) -> None:

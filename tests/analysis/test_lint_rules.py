@@ -1,0 +1,535 @@
+"""rcast-lint rule self-tests: each rule against a known-bad fixture.
+
+Every fixture asserts the rule id, the exact line, and that the inline /
+file-level suppression mechanism silences the finding.
+"""
+
+import textwrap
+
+import pytest
+
+from repro.analysis.lint import lint_source
+from repro.analysis.lint.diagnostics import Severity, SuppressionIndex
+
+
+def lint(source, rel="mac/fixture.py", rules=None):
+    """Lint a dedented snippet as though it lived at ``rel``."""
+    return lint_source(textwrap.dedent(source), path=rel, rel=rel,
+                       rules=rules)
+
+
+def rule_ids(diagnostics):
+    return [d.rule for d in diagnostics]
+
+
+# ----------------------------------------------------------------------
+# R001 — rng-discipline
+# ----------------------------------------------------------------------
+
+
+class TestR001:
+    def test_global_random_call(self):
+        diags = lint(
+            """\
+            import random
+
+            def jitter():
+                return random.uniform(0.0, 0.1)
+            """
+        )
+        assert rule_ids(diags) == ["R001"]
+        assert diags[0].line == 4
+        assert diags[0].name == "rng-discipline"
+        assert diags[0].severity is Severity.ERROR
+
+    def test_random_constructor_via_alias(self):
+        diags = lint(
+            """\
+            import random as _random
+
+            rng = _random.Random(42)
+            """
+        )
+        assert rule_ids(diags) == ["R001"]
+        assert diags[0].line == 3
+
+    def test_from_random_import(self):
+        diags = lint("from random import randint\n")
+        assert rule_ids(diags) == ["R001"]
+        assert diags[0].line == 1
+
+    def test_numpy_random(self):
+        diags = lint(
+            """\
+            import numpy as np
+
+            def draw():
+                return np.random.default_rng(1).random()
+            """
+        )
+        assert "R001" in rule_ids(diags)
+        assert diags[0].line == 4
+
+    def test_annotation_use_is_allowed(self):
+        diags = lint(
+            """\
+            import random
+
+            def seeded(rng: random.Random) -> float:
+                return rng.random()
+            """
+        )
+        assert diags == []
+
+    def test_allowed_in_rng_module(self):
+        source = """\
+            import random
+
+            def make(seed):
+                return random.Random(seed)
+            """
+        assert lint(source, rel="sim/rng.py") == []
+        assert rule_ids(lint(source, rel="sim/engine.py")) == ["R001"]
+
+    def test_inline_suppression(self):
+        diags = lint(
+            """\
+            import random
+
+            def jitter():
+                return random.uniform(0.0, 0.1)  # rcast-lint: disable=R001 -- fixture
+            """
+        )
+        assert diags == []
+
+    def test_file_level_suppression(self):
+        diags = lint(
+            """\
+            # rcast-lint: disable-file=R001 -- calibration script
+            import random
+
+            def a():
+                return random.random()
+
+            def b():
+                return random.random()
+            """
+        )
+        assert diags == []
+
+    def test_suppressing_other_rule_does_not_silence(self):
+        diags = lint(
+            """\
+            import random
+
+            def jitter():
+                return random.uniform(0.0, 0.1)  # rcast-lint: disable=R002
+            """
+        )
+        assert rule_ids(diags) == ["R001"]
+
+
+# ----------------------------------------------------------------------
+# R002 — wall-clock
+# ----------------------------------------------------------------------
+
+
+class TestR002:
+    def test_time_time(self):
+        diags = lint(
+            """\
+            import time
+
+            def stamp():
+                return time.time()
+            """
+        )
+        assert rule_ids(diags) == ["R002"]
+        assert diags[0].line == 4
+        assert diags[0].name == "wall-clock"
+
+    def test_perf_counter_is_allowed(self):
+        diags = lint(
+            """\
+            import time
+
+            def elapsed(start: float) -> float:
+                return time.perf_counter() - start
+            """
+        )
+        assert diags == []
+
+    def test_datetime_now(self):
+        diags = lint(
+            """\
+            import datetime
+
+            def stamp():
+                return datetime.datetime.now()
+            """
+        )
+        assert rule_ids(diags) == ["R002"]
+
+    def test_datetime_class_import(self):
+        diags = lint(
+            """\
+            from datetime import datetime
+
+            def stamp():
+                return datetime.utcnow()
+            """
+        )
+        assert rule_ids(diags) == ["R002"]
+        assert diags[0].line == 4
+
+    def test_from_time_import_time(self):
+        diags = lint("from time import time\n")
+        assert rule_ids(diags) == ["R002"]
+        assert diags[0].line == 1
+
+    def test_cli_is_allowlisted(self):
+        source = """\
+            import time
+
+            def stamp():
+                return time.time()
+            """
+        assert lint(source, rel="cli.py") == []
+
+    def test_suppression(self):
+        diags = lint(
+            """\
+            import time
+
+            def stamp():
+                return time.time()  # rcast-lint: disable=R002 -- log stamp
+            """
+        )
+        assert diags == []
+
+
+# ----------------------------------------------------------------------
+# R003 — unordered-iteration
+# ----------------------------------------------------------------------
+
+
+class TestR003:
+    def test_for_over_set_literal(self):
+        diags = lint(
+            """\
+            def fire(sim):
+                for node in {3, 1, 2}:
+                    sim.schedule(0.0, print, node)
+            """
+        )
+        assert rule_ids(diags) == ["R003"]
+        assert diags[0].line == 2
+        assert diags[0].name == "unordered-iteration"
+
+    def test_for_over_set_variable(self):
+        diags = lint(
+            """\
+            def fire(sim, nodes):
+                pending = set(nodes)
+                for node in pending:
+                    sim.schedule(0.0, print, node)
+            """
+        )
+        assert rule_ids(diags) == ["R003"]
+        assert diags[0].line == 3
+
+    def test_sorted_sanitizes(self):
+        diags = lint(
+            """\
+            def fire(sim, nodes):
+                pending = set(nodes)
+                for node in sorted(pending):
+                    sim.schedule(0.0, print, node)
+            """
+        )
+        assert diags == []
+
+    def test_list_does_not_sanitize(self):
+        diags = lint(
+            """\
+            def fire(sim, nodes):
+                pending = set(nodes)
+                for node in list(pending):
+                    sim.schedule(0.0, print, node)
+            """
+        )
+        assert rule_ids(diags) == ["R003"]
+
+    def test_annotated_attribute(self):
+        diags = lint(
+            """\
+            from typing import Set
+
+            class Mac:
+                def __init__(self):
+                    self._pending: Set[int] = set()
+
+                def flush(self):
+                    return [n for n in self._pending]
+            """
+        )
+        assert rule_ids(diags) == ["R003"]
+        assert diags[0].line == 8
+
+    def test_attribute_on_other_object(self):
+        diags = lint(
+            """\
+            def finish(tx):
+                tx.audible = set()
+                for node in tx.audible:
+                    print(node)
+            """
+        )
+        assert rule_ids(diags) == ["R003"]
+
+    def test_set_comprehension_output_is_exempt(self):
+        diags = lint(
+            """\
+            def project(coords):
+                coords = set(coords)
+                return {c + 1 for c in coords}
+            """
+        )
+        assert diags == []
+
+    def test_sorted_genexp_is_exempt(self):
+        diags = lint(
+            """\
+            def project(coords):
+                coords = set(coords)
+                return sorted(c + 1 for c in coords)
+            """
+        )
+        assert diags == []
+
+    def test_set_annotated_parameter(self):
+        diags = lint(
+            """\
+            from typing import Set
+
+            def fire(sim, pending: Set[int]):
+                for node in pending:
+                    sim.schedule(0.0, print, node)
+            """
+        )
+        assert rule_ids(diags) == ["R003"]
+
+    def test_out_of_scope_path_not_checked(self):
+        source = """\
+            def report(reasons):
+                for r in set(reasons):
+                    print(r)
+            """
+        assert lint(source, rel="metrics/report.py") == []
+        assert rule_ids(lint(source, rel="mac/psm.py")) == ["R003"]
+
+    def test_suppression(self):
+        diags = lint(
+            """\
+            def fire(sim, nodes):
+                pending = set(nodes)
+                for node in pending:  # rcast-lint: disable=R003 -- commutative
+                    sim.schedule(0.0, print, node)
+            """
+        )
+        assert diags == []
+
+
+# ----------------------------------------------------------------------
+# R004 — mutable-default
+# ----------------------------------------------------------------------
+
+
+class TestR004:
+    def test_list_default(self):
+        diags = lint("def f(acc=[]):\n    return acc\n")
+        assert rule_ids(diags) == ["R004"]
+        assert diags[0].line == 1
+        assert diags[0].name == "mutable-default"
+
+    def test_dict_and_set_defaults(self):
+        diags = lint("def f(a={}, b=set()):\n    return a, b\n")
+        assert rule_ids(diags) == ["R004", "R004"]
+
+    def test_keyword_only_default(self):
+        diags = lint("def f(*, acc=[]):\n    return acc\n")
+        assert rule_ids(diags) == ["R004"]
+
+    def test_none_default_is_fine(self):
+        assert lint("def f(acc=None):\n    return acc or []\n") == []
+
+    def test_tuple_default_is_fine(self):
+        assert lint("def f(acc=()):\n    return acc\n") == []
+
+    def test_suppression(self):
+        diags = lint(
+            "def f(acc=[]):  # rcast-lint: disable=R004 -- read-only sentinel\n"
+            "    return acc\n"
+        )
+        assert diags == []
+
+
+# ----------------------------------------------------------------------
+# R005 — handler-purity
+# ----------------------------------------------------------------------
+
+
+class TestR005:
+    def test_handler_reads_wall_clock(self):
+        diags = lint(
+            """\
+            import time
+
+            class Mac:
+                def _on_receive(self, frame, sender):
+                    self.last_seen = time.time()
+            """,
+            rules=["R005"],
+        )
+        assert rule_ids(diags) == ["R005"]
+        assert diags[0].line == 5
+        assert diags[0].name == "handler-purity"
+
+    def test_handler_draws_global_random(self):
+        diags = lint(
+            """\
+            import random
+
+            class Mac:
+                def _handle_beacon(self, frame):
+                    return random.random() < 0.5
+            """,
+            rules=["R005"],
+        )
+        assert rule_ids(diags) == ["R005"]
+
+    def test_scheduled_callback_is_a_handler(self):
+        diags = lint(
+            """\
+            import time
+
+            class Mac:
+                def start(self, sim):
+                    sim.schedule(1.0, self.tick)
+
+                def tick(self):
+                    self.last = time.time()
+            """,
+            rules=["R005"],
+        )
+        assert rule_ids(diags) == ["R005"]
+        assert diags[0].line == 8
+
+    def test_handler_mutating_module_global(self):
+        diags = lint(
+            """\
+            PENDING = []
+
+            class Mac:
+                def _on_receive(self, frame, sender):
+                    PENDING.append(frame)
+            """,
+            rules=["R005"],
+        )
+        assert rule_ids(diags) == ["R005"]
+
+    def test_handler_global_statement(self):
+        diags = lint(
+            """\
+            COUNT = 0
+
+            class Mac:
+                def _on_receive(self, frame, sender):
+                    global COUNT
+                    COUNT += 1
+            """,
+            rules=["R005"],
+        )
+        assert rule_ids(diags) == ["R005"]
+        assert diags[0].line == 5
+
+    def test_pure_handler_is_clean(self):
+        diags = lint(
+            """\
+            class Mac:
+                def _on_receive(self, frame, sender):
+                    self.received += 1
+                    self.sim.schedule(0.1, self._on_ack, frame)
+
+                def _on_ack(self, frame):
+                    self.acked += 1
+            """,
+            rules=["R005"],
+        )
+        assert diags == []
+
+    def test_injected_rng_is_fine(self):
+        diags = lint(
+            """\
+            class Mac:
+                def _on_beacon(self, frame):
+                    return self._rng.random() < 0.5
+            """,
+            rules=["R005"],
+        )
+        assert diags == []
+
+
+# ----------------------------------------------------------------------
+# Cross-cutting behaviour
+# ----------------------------------------------------------------------
+
+
+class TestInfrastructure:
+    def test_syntax_error_is_reported_not_raised(self):
+        diags = lint_source("def broken(:\n", path="x.py")
+        assert len(diags) == 1
+        assert diags[0].rule == "E001"
+
+    def test_unknown_rule_id_raises(self):
+        with pytest.raises(ValueError, match="unknown rule"):
+            lint_source("x = 1\n", rules=["R999"])
+
+    def test_findings_sorted_by_location(self):
+        diags = lint(
+            """\
+            import random
+
+            def b():
+                return random.random()
+
+            def a(acc=[]):
+                return random.random()
+            """
+        )
+        assert [(d.line, d.rule) for d in diags] == [
+            (4, "R001"), (6, "R004"), (7, "R001"),
+        ]
+
+    def test_disable_all(self):
+        diags = lint(
+            """\
+            # rcast-lint: disable-file=all -- generated fixture
+            import random
+
+            def f(acc=[]):
+                return random.random()
+            """
+        )
+        assert diags == []
+
+    def test_suppression_index_parsing(self):
+        index = SuppressionIndex(
+            "x = 1  # rcast-lint: disable=R001,R003\n"
+            "# rcast-lint: disable-file=R005\n"
+        )
+        assert index.is_suppressed("R001", 1)
+        assert index.is_suppressed("R003", 1)
+        assert not index.is_suppressed("R004", 1)
+        assert index.is_suppressed("R005", 99)
+        assert index.file_wide == frozenset({"R005"})

@@ -1,0 +1,131 @@
+"""rcast-lint runner tests: discovery, formats, exit codes, repo hygiene."""
+
+import json
+import subprocess
+import sys
+import textwrap
+from pathlib import Path
+
+from repro.analysis.lint import lint_paths
+from repro.analysis.lint.runner import (
+    default_target,
+    execute,
+    format_json,
+    format_text,
+    lint_source,
+    main,
+)
+
+BAD_CORPUS = textwrap.dedent(
+    """\
+    import random
+    import time
+
+
+    def jitter():
+        return random.uniform(0.0, 0.1)
+
+
+    def stamp():
+        return time.time()
+
+
+    def collect(acc=[]):
+        return acc
+    """
+)
+
+
+def write_bad_module(tmp_path: Path) -> Path:
+    # The file must look like it lives in a simulation path for the
+    # path-scoped rules; a plain name exercises the unscoped ones.
+    bad = tmp_path / "repro" / "mac" / "bad.py"
+    bad.parent.mkdir(parents=True)
+    bad.write_text(BAD_CORPUS)
+    return bad
+
+
+def test_repo_is_lint_clean():
+    """Acceptance criterion: the shipped package has zero findings."""
+    diagnostics = lint_paths([str(default_target())])
+    assert diagnostics == [], "\n" + format_text(diagnostics)
+
+
+def test_bad_corpus_produces_findings_and_exit_one(tmp_path, capsys):
+    bad = write_bad_module(tmp_path)
+    assert execute([str(bad)]) == 1
+    out = capsys.readouterr().out
+    assert "R001" in out and "R002" in out and "R004" in out
+
+
+def test_clean_file_exits_zero(tmp_path, capsys):
+    good = tmp_path / "good.py"
+    good.write_text("def f(x: int) -> int:\n    return x + 1\n")
+    assert execute([str(good)]) == 0
+    assert "clean" in capsys.readouterr().out
+
+
+def test_missing_path_exits_two(tmp_path, capsys):
+    assert execute([str(tmp_path / "nope.py")]) == 2
+    assert "rcast-lint" in capsys.readouterr().err
+
+
+def test_json_format_schema(tmp_path):
+    bad = write_bad_module(tmp_path)
+    report = json.loads(format_json(lint_paths([str(bad)])))
+    assert report["version"] == 1
+    assert report["count"] == len(report["findings"]) > 0
+    finding = report["findings"][0]
+    assert set(finding) == {
+        "rule", "name", "severity", "path", "line", "col", "message",
+    }
+
+
+def test_directory_discovery_recurses(tmp_path):
+    write_bad_module(tmp_path)
+    diagnostics = lint_paths([str(tmp_path)])
+    assert {d.rule for d in diagnostics} == {"R001", "R002", "R004"}
+
+
+def test_rule_filter(tmp_path):
+    bad = write_bad_module(tmp_path)
+    diagnostics = lint_paths([str(bad)], rules=["R004"])
+    assert {d.rule for d in diagnostics} == {"R004"}
+
+
+def test_main_list_rules(capsys):
+    assert main(["--list-rules"]) == 0
+    out = capsys.readouterr().out
+    for rule_id in ("R001", "R002", "R003", "R004", "R005"):
+        assert rule_id in out
+
+
+def test_python_dash_m_entry_point(tmp_path):
+    bad = write_bad_module(tmp_path)
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro.analysis", str(bad), "--format", "json"],
+        capture_output=True, text=True,
+    )
+    assert proc.returncode == 1
+    assert json.loads(proc.stdout)["count"] > 0
+
+
+def test_package_relative_scoping_from_discovery(tmp_path):
+    """Files under a `repro` directory get package-relative rule scoping."""
+    sim_file = tmp_path / "repro" / "metrics" / "report2.py"
+    sim_file.parent.mkdir(parents=True)
+    # R003 is scoped to simulation paths; metrics/ is out of scope.
+    sim_file.write_text(
+        "def f(xs):\n"
+        "    for x in set(xs):\n"
+        "        print(x)\n"
+    )
+    assert lint_paths([str(sim_file)]) == []
+
+
+def test_lint_source_defaults_rel_to_path():
+    diagnostics = lint_source(
+        "import time\n\ndef f():\n    return time.time()\n",
+        path="mac/psm.py",
+    )
+    assert [d.rule for d in diagnostics] == ["R002"]
