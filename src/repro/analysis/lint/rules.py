@@ -141,10 +141,11 @@ class WallClock(Rule):
 
     id = "R002"
     name = "wall-clock"
-    # The CLI reports elapsed wall time to humans; that read never feeds
-    # back into simulated behaviour, so the module is allowlisted (and uses
-    # perf_counter anyway).
-    allow = ("cli.py",)
+    # The CLI reports elapsed wall time to humans, and the opt-in profiler
+    # (repro.obs.profiler) times callbacks around the fire interceptor;
+    # neither read feeds back into simulated behaviour, so both modules are
+    # allowlisted (and use perf_counter anyway).
+    allow = ("cli.py", "obs/profiler.py")
 
     def run(self, ctx: FileContext) -> Iterator[Finding]:
         for node, bound_name in ctx.imports.from_time_wallclock:

@@ -2,7 +2,12 @@
 
 Subcommands:
 
-* ``run``      — one simulation, printing the run summary;
+* ``run``      — one simulation, printing the run summary; ``--trace-out``
+  streams a structured JSONL trace (``--trace-categories`` filters it) and
+  ``--json-out`` exports metrics + run manifest (+ ``--sample-interval``
+  timeline);
+* ``profile``  — run one simulation under the event-loop profiler and
+  print per-callback event counts, wall-time shares, and events/sec;
 * ``table1``   — the scheme-behaviour comparison (Table 1);
 * ``fig5`` .. ``fig9`` — regenerate one figure of the paper;
 * ``ablation`` — the extension studies (factors / tap / rreq);
@@ -50,7 +55,7 @@ from repro.experiments.scenarios import (
     SMOKE_SCALE,
     ExperimentScale,
 )
-from repro.network import SCHEMES, SimulationConfig, run_simulation
+from repro.network import SCHEMES, SimulationConfig
 
 if TYPE_CHECKING:
     from repro.experiments.parallel import ProgressEvent
@@ -90,15 +95,28 @@ def _build_parser() -> argparse.ArgumentParser:
     sub = parser.add_subparsers(dest="command", required=True)
 
     run_p = sub.add_parser("run", help="run one simulation")
-    run_p.add_argument("--scheme", choices=SCHEMES, default="rcast")
-    run_p.add_argument("--nodes", type=int, default=100)
-    run_p.add_argument("--rate", type=float, default=0.4)
-    run_p.add_argument("--sim-time", type=float, default=120.0)
-    run_p.add_argument("--connections", type=int, default=20)
-    run_p.add_argument("--pause", type=float, default=600.0)
-    run_p.add_argument("--speed", type=float, default=20.0)
-    run_p.add_argument("--static", action="store_true")
-    run_p.add_argument("--seed", type=int, default=1)
+    _add_sim_args(run_p)
+    run_p.add_argument("--trace-out", dest="trace_out", default=None,
+                       help="write a structured JSONL trace to this file")
+    run_p.add_argument("--trace-categories", dest="trace_categories",
+                       default=None,
+                       help="comma-separated trace categories to keep "
+                            "(e.g. atim,psm; default: all)")
+    run_p.add_argument("--sample-interval", dest="sample_interval",
+                       type=float, default=0.0,
+                       help="record a timeline snapshot every N sim seconds "
+                            "(0 = off; exported via --json-out)")
+    run_p.add_argument("--json-out", dest="json_out", default=None,
+                       help="write metrics + run manifest (+ timeline) JSON")
+
+    profile_p = sub.add_parser(
+        "profile", help="profile the event loop of one simulation"
+    )
+    _add_sim_args(profile_p)
+    profile_p.add_argument("--top", type=int, default=10,
+                           help="callback categories to show (default 10)")
+    profile_p.add_argument("--json-out", dest="json_out", default=None,
+                           help="write the profile report as JSON")
 
     for name in _FIGURES:
         fig_p = sub.add_parser(name, help=f"reproduce {name}")
@@ -158,8 +176,21 @@ def _add_parallel_args(parser: argparse.ArgumentParser) -> None:
                         help="write the result object as JSON")
 
 
-def _cmd_run(args: argparse.Namespace) -> int:
-    config = SimulationConfig(
+def _add_sim_args(parser: argparse.ArgumentParser) -> None:
+    """Single-simulation arguments shared by ``run`` and ``profile``."""
+    parser.add_argument("--scheme", choices=SCHEMES, default="rcast")
+    parser.add_argument("--nodes", type=int, default=100)
+    parser.add_argument("--rate", type=float, default=0.4)
+    parser.add_argument("--sim-time", type=float, default=120.0)
+    parser.add_argument("--connections", type=int, default=20)
+    parser.add_argument("--pause", type=float, default=600.0)
+    parser.add_argument("--speed", type=float, default=20.0)
+    parser.add_argument("--static", action="store_true")
+    parser.add_argument("--seed", type=int, default=1)
+
+
+def _config_from_args(args: argparse.Namespace) -> SimulationConfig:
+    return SimulationConfig(
         scheme=args.scheme,
         num_nodes=args.nodes,
         packet_rate=args.rate,
@@ -170,16 +201,89 @@ def _cmd_run(args: argparse.Namespace) -> int:
         pause_time=args.pause,
         seed=args.seed,
     )
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    import json as json_module
+    from pathlib import Path
+
+    from repro.network import build_network
+    from repro.obs.manifest import RunManifest, config_hash
+    from repro.obs.metrics import TimelineRecorder
+    from repro.obs.sinks import FilteredSink, JsonlSink
+    from repro.sim.trace import NULL_TRACE, TraceSink
+
+    config = _config_from_args(args)
     # perf_counter, not time.time(): monotonic, immune to NTP clock steps.
     # This module is on the rcast-lint R002 allowlist because reporting
     # elapsed wall time to a human is the one legitimate wall-clock use —
     # it never feeds back into simulated behaviour.
     started = time.perf_counter()
-    metrics = run_simulation(config)
+    jsonl: Optional[JsonlSink] = None
+    trace: TraceSink = NULL_TRACE
+    if args.trace_out:
+        jsonl = JsonlSink(args.trace_out)
+        categories = [c.strip() for c in
+                      (args.trace_categories or "").split(",") if c.strip()]
+        trace = (FilteredSink(jsonl, categories=categories)
+                 if categories else jsonl)
+    recorder = (TimelineRecorder(args.sample_interval)
+                if args.sample_interval > 0 else None)
+    try:
+        network = build_network(config, trace=trace)
+        if recorder is not None:
+            metrics = network.run(observer=recorder.observe,
+                                  observe_period=recorder.period)
+        else:
+            metrics = network.run()
+    finally:
+        if jsonl is not None:
+            jsonl.close()
+    wall_time = time.perf_counter() - started
     print(metrics.describe())
     print(f"transmissions: {metrics.transmissions}")
     print(f"drops: {metrics.drop_reasons}")
-    print(f"wall time: {time.perf_counter() - started:.1f}s")
+    print(f"wall time: {wall_time:.1f}s")
+    if jsonl is not None:
+        print(f"trace: {jsonl.written} records -> {jsonl.path}")
+    if args.json_out:
+        manifest = RunManifest(
+            scheme=config.scheme, seed=config.seed,
+            config_hash=config_hash(config), wall_time=wall_time,
+            events_processed=metrics.events_processed,
+        )
+        payload: Dict[str, Any] = {
+            "metrics": metrics.to_dict(),
+            "manifest": manifest.to_dict(),
+        }
+        if recorder is not None:
+            payload["timeline"] = recorder.to_dict()
+        Path(args.json_out).write_text(
+            json_module.dumps(payload, indent=2))
+        print(f"wrote {args.json_out}")
+    return 0
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    import json as json_module
+    from pathlib import Path
+
+    from repro.network import build_network
+    from repro.obs.profiler import SimulationProfiler
+
+    config = _config_from_args(args)
+    profiler = SimulationProfiler()
+    network = build_network(config)
+    profiler.install(network.sim)
+    metrics = network.run()
+    report = profiler.report()
+    print(metrics.describe())
+    print()
+    print(report.format(args.top))
+    if args.json_out:
+        Path(args.json_out).write_text(
+            json_module.dumps(report.to_dict(args.top), indent=2))
+        print(f"wrote {args.json_out}")
     return 0
 
 
@@ -237,6 +341,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     args = _build_parser().parse_args(argv)
     if args.command == "run":
         return _cmd_run(args)
+    if args.command == "profile":
+        return _cmd_profile(args)
     if args.command == "lint":
         from repro.analysis.lint.runner import run_from_args
 

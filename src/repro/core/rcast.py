@@ -18,6 +18,7 @@ from __future__ import annotations
 from typing import TYPE_CHECKING, Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.core.atim import subtype_for_level
+from repro.sim.trace import NULL_TRACE, TraceSink
 
 if TYPE_CHECKING:
     import random
@@ -58,10 +59,12 @@ class RcastManager:
         recency_horizon: float = 10.0,
         randomized_broadcast: bool = False,
         broadcast_floor: float = 0.5,
+        trace: TraceSink = NULL_TRACE,
     ) -> None:
         self.node_id = node_id
         self.sim = sim
         self.positions = positions
+        self.trace = trace
         self.sender_policy = sender_policy if sender_policy is not None else RcastPolicy()
         self.randomized_broadcast = randomized_broadcast
         self.broadcast_floor = broadcast_floor
@@ -118,10 +121,21 @@ class RcastManager:
         """
         level = announcement.level
         if level is OverhearingLevel.NONE:
-            return False
-        if level is OverhearingLevel.UNCONDITIONAL:
-            return True
-        return self.decider.decide(announcement)
+            decision = False
+        elif level is OverhearingLevel.UNCONDITIONAL:
+            decision = True
+        else:
+            decision = self.decider.decide(announcement)
+        if self.trace.enabled:
+            self.trace.emit(
+                self.sim.now, "atim", self.node_id, "overhear",
+                sender=announcement.sender,
+                level=level.name if level is not None else None,
+                decision=decision,
+                p=(self.decider.probability(announcement)
+                   if level is OverhearingLevel.RANDOMIZED else None),
+            )
+        return decision
 
     def should_receive_broadcast(self, announcement: "Announcement") -> bool:
         """Resolve a broadcast (e.g. RREQ) advertisement.
@@ -134,7 +148,13 @@ class RcastManager:
         if not self.randomized_broadcast:
             return True
         p = max(self.decider.probability(announcement), self.broadcast_floor)
-        return self._rng.random() < p
+        decision = self._rng.random() < p
+        if self.trace.enabled:
+            self.trace.emit(
+                self.sim.now, "atim", self.node_id, "broadcast_rx",
+                sender=announcement.sender, decision=decision, p=p,
+            )
+        return decision
 
     def overhearing_probability(self, announcement: "Announcement") -> float:
         """The P_R that :meth:`should_overhear` would use (diagnostics)."""

@@ -54,7 +54,14 @@ def aggregate_to_dict(agg: AggregateMetrics) -> Dict[str, Any]:
 
 
 def sweep_to_dict(result: SweepResult) -> Dict[str, Any]:
-    """JSON-safe dict of a full sweep grid."""
+    """JSON-safe dict of a full sweep grid.
+
+    ``replications`` carries one manifest per (cell, rep) — seed, config
+    hash, events processed, plus the measured wall time and events/sec —
+    so benchmark trajectories can be seeded from real runs.  Wall times
+    are measurements and differ run to run; everything else in the export
+    is deterministic.
+    """
     cells: List[Dict[str, Any]] = []
     for (scheme, rate, mobile), agg in sorted(
         result.cells.items(), key=lambda kv: (kv[0][2], kv[0][1], kv[0][0])
@@ -68,6 +75,7 @@ def sweep_to_dict(result: SweepResult) -> Dict[str, Any]:
         "rates": list(result.rates),
         "scenarios": ["mobile" if m else "static" for m in result.scenarios],
         "cells": cells,
+        "replications": [m.to_dict() for m in result.manifests],
     }
 
 

@@ -46,6 +46,7 @@ from typing import (
 
 from repro.metrics.collector import RunMetrics
 from repro.network import SimulationConfig, run_simulation
+from repro.obs.manifest import RunManifest, config_hash
 from repro.experiments.scenarios import replication_seed
 
 #: Grid cell key.  Generic (rather than plain ``Hashable``) so callers keep
@@ -115,6 +116,8 @@ class ProgressEvent:
 
     * ``"cell-start"`` — the first replication of ``cell`` was dispatched
       (serial mode: is about to run; pool mode: was submitted);
+    * ``"rep-finish"`` — one replication completed; ``manifest`` carries
+      its provenance (seed, config hash, wall time, events processed);
     * ``"cell-finish"`` — the last replication of ``cell`` completed;
     * ``"grid-finish"`` — every item completed; ``stats`` is populated.
     """
@@ -125,16 +128,29 @@ class ProgressEvent:
     total_items: int = 0
     elapsed: float = 0.0
     stats: Optional[RunnerStats] = None
+    manifest: Optional[RunManifest] = None
 
 
 ProgressCallback = Callable[[ProgressEvent], None]
 
 
-def _run_work_item(item: WorkItem) -> Tuple[Hashable, int, RunMetrics, float]:
-    """Worker entry point: run one replication, report its wall time."""
+def _run_work_item(
+    item: WorkItem,
+) -> Tuple[Hashable, int, RunMetrics, RunManifest]:
+    """Worker entry point: run one replication, report its manifest."""
     started = time.perf_counter()
-    metrics = run_simulation(replication_config(item.config, item.rep))
-    return item.cell, item.rep, metrics, time.perf_counter() - started
+    config = replication_config(item.config, item.rep)
+    metrics = run_simulation(config)
+    manifest = RunManifest(
+        scheme=config.scheme,
+        seed=config.seed,
+        config_hash=config_hash(config),
+        wall_time=time.perf_counter() - started,
+        events_processed=metrics.events_processed,
+        cell=str(item.cell),
+        rep=item.rep,
+    )
+    return item.cell, item.rep, metrics, manifest
 
 
 def _call_indexed(args: Tuple[Callable[[Any], Any], int, Any]) -> Tuple[int, Any]:
@@ -209,10 +225,12 @@ class ParallelRunner:
                 seen_cells.add(item.cell)
                 self._emit("cell-start", item.cell, completed, len(items),
                            started)
-            cell, rep, metrics, duration = _run_work_item(item)
-            busy += duration
+            cell, rep, metrics, manifest = _run_work_item(item)
+            busy += manifest.wall_time
             results[(cell, rep)] = metrics
             remaining[cell] -= 1
+            self._emit("rep-finish", cell, completed + 1, len(items),
+                       started, manifest=manifest)
             if remaining[cell] == 0:
                 self._emit("cell-finish", cell, completed + 1, len(items),
                            started)
@@ -229,7 +247,7 @@ class ParallelRunner:
         completed = 0
         with ProcessPoolExecutor(max_workers=self.max_workers) as pool:
             pending: Set[
-                "Future[Tuple[Hashable, int, RunMetrics, float]]"
+                "Future[Tuple[Hashable, int, RunMetrics, RunManifest]]"
             ] = set()
             seen_cells: Set[Hashable] = set()
             for item in items:
@@ -241,11 +259,13 @@ class ParallelRunner:
             while pending:
                 done, pending = wait(pending, return_when=FIRST_COMPLETED)
                 for future in done:
-                    cell, rep, metrics, duration = future.result()
-                    busy += duration
+                    cell, rep, metrics, manifest = future.result()
+                    busy += manifest.wall_time
                     completed += 1
                     results[(cell, rep)] = metrics
                     remaining[cell] -= 1
+                    self._emit("rep-finish", cell, completed, len(items),
+                               started, manifest=manifest)
                     if remaining[cell] == 0:
                         self._emit("cell-finish", cell, completed,
                                    len(items), started)
@@ -257,13 +277,14 @@ class ParallelRunner:
     # ------------------------------------------------------------------
 
     def _emit(self, kind: str, cell: Hashable, completed: int, total: int,
-              started: float, stats: Optional[RunnerStats] = None) -> None:
+              started: float, stats: Optional[RunnerStats] = None,
+              manifest: Optional[RunManifest] = None) -> None:
         if self.on_event is None:
             return
         self.on_event(ProgressEvent(
             kind=kind, cell=cell, completed_items=completed,
             total_items=total, elapsed=time.perf_counter() - started,
-            stats=stats,
+            stats=stats, manifest=manifest,
         ))
 
     def _finish(self, started: float, busy: float, items: int) -> None:

@@ -19,15 +19,12 @@ from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.experiments.parallel import (
     ProgressCallback,
-    resolve_workers,
+    ProgressEvent,
     run_grid,
 )
-from repro.experiments.runner import (
-    AggregateMetrics,
-    aggregate,
-    run_and_aggregate,
-)
+from repro.experiments.runner import AggregateMetrics, aggregate
 from repro.experiments.scenarios import ExperimentScale, make_config
+from repro.obs.manifest import RunManifest
 
 #: Result key: (scheme, rate, mobile?).
 SweepKey = Tuple[str, float, bool]
@@ -42,6 +39,9 @@ class SweepResult:
     rates: Tuple[float, ...]
     scenarios: Tuple[bool, ...]  # True = mobile, False = static
     cells: Dict[SweepKey, AggregateMetrics] = field(default_factory=dict)
+    #: per-replication provenance records, sorted by (cell, rep).  Wall
+    #: times are measurements, not simulation output: they vary run to run.
+    manifests: List[RunManifest] = field(default_factory=list)
 
     def get(self, scheme: str, rate: float, mobile: bool) -> AggregateMetrics:
         """Aggregate for one grid cell."""
@@ -66,12 +66,15 @@ def sweep(
 ) -> SweepResult:
     """Run the full grid; each cell is aggregated over the scale's reps.
 
-    ``workers=None`` (or 1) keeps the serial cell-by-cell path;
-    ``workers=N`` shards all (cell x repetition) items across ``N`` worker
-    processes (``workers=0`` = all cores).  ``progress`` receives one
-    human-readable line per finished cell in deterministic grid order;
-    ``on_event`` receives the structured
-    :class:`~repro.experiments.parallel.ProgressEvent` stream.
+    ``workers=None`` (or 1) executes serially in-process; ``workers=N``
+    shards all (cell x repetition) items across ``N`` worker processes
+    (``workers=0`` = all cores).  ``progress`` receives one human-readable
+    line per finished cell in deterministic grid order; ``on_event``
+    receives the structured
+    :class:`~repro.experiments.parallel.ProgressEvent` stream.  Every
+    replication's :class:`~repro.obs.manifest.RunManifest` is collected on
+    ``result.manifests`` (sorted by cell/rep, independent of completion
+    order).
     """
     rates = tuple(rates if rates is not None else scale.rates)
     result = SweepResult(
@@ -80,19 +83,6 @@ def sweep(
         rates=rates,
         scenarios=tuple(scenarios),
     )
-    if resolve_workers(workers) == 1 and on_event is None:
-        for mobile in scenarios:
-            for rate in rates:
-                for scheme in schemes:
-                    config = make_config(scale, scheme, rate, mobile,
-                                         seed=seed, **config_overrides)
-                    agg = run_and_aggregate(config, scale.repetitions)
-                    result.cells[(scheme, rate, mobile)] = agg
-                    if progress is not None:
-                        label = "mobile" if mobile else "static"
-                        progress(f"[{label} rate={rate}] {agg.describe()}")
-        return result
-
     configs = {
         (scheme, rate, mobile): make_config(scale, scheme, rate, mobile,
                                             seed=seed, **config_overrides)
@@ -100,8 +90,19 @@ def sweep(
         for rate in rates
         for scheme in schemes
     }
+    manifests: List[RunManifest] = []
+
+    def _collect(event: ProgressEvent) -> None:
+        if event.kind == "rep-finish" and event.manifest is not None:
+            manifests.append(event.manifest)
+        if on_event is not None:
+            on_event(event)
+
     runs = run_grid(configs, scale.repetitions, workers=workers,
-                    on_event=on_event)
+                    on_event=_collect)
+    result.manifests = sorted(
+        manifests, key=lambda m: (m.cell or "", m.rep or 0)
+    )
     for key in configs:
         agg = aggregate(runs[key])
         result.cells[key] = agg

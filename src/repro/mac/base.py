@@ -93,6 +93,15 @@ class MacBase:
     def power_hint(self, kind: str) -> None:
         """Power-relevant event hint from upper layers (ODPM consumes it)."""
 
+    @property
+    def queue_depth(self) -> int:
+        """Frames buffered at this MAC (observability gauge).
+
+        For the always-on MAC that is the DCF pipeline; PSM MACs add their
+        beacon-interval transmit queue on top.
+        """
+        return self.dcf.queue_depth
+
     # ------------------------------------------------------------------
 
     def _on_channel_receive(self, frame: Frame, sender: int) -> None:

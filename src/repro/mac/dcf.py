@@ -91,6 +91,11 @@ class DcfTransmitter:
         """True when nothing is queued or in flight."""
         return self._current is None and not self._pending
 
+    @property
+    def queue_depth(self) -> int:
+        """Submissions waiting or in flight (observability gauge)."""
+        return len(self._pending) + (0 if self._current is None else 1)
+
     def submit(
         self,
         frame: Frame,
@@ -174,16 +179,18 @@ class DcfTransmitter:
             return  # stale completion after cancel_all()
         if frame.is_broadcast or frame.dst in delivered:
             if self.trace.enabled:
-                self.trace.emit(self.sim.now, "dcf.ok", self.node_id,
-                                frame.describe())
+                self.trace.emit(self.sim.now, "dcf", self.node_id, "tx_ok",
+                                frame=frame.describe(),
+                                attempts=sub.attempts + 1)
             self._finish(TxOutcome.DELIVERED, delivered)
             return
         sub.attempts += 1
         self.retries += 1
         if sub.attempts >= self.retry_limit:
             if self.trace.enabled:
-                self.trace.emit(self.sim.now, "dcf.fail", self.node_id,
-                                frame.describe())
+                self.trace.emit(self.sim.now, "dcf", self.node_id, "tx_fail",
+                                frame=frame.describe(),
+                                attempts=sub.attempts)
             self._finish(TxOutcome.FAILED, delivered)
             return
         self._schedule_attempt(self._backoff(sub.attempts))

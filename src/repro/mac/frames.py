@@ -23,6 +23,12 @@ BROADCAST = -1
 _frame_ids = itertools.count()
 
 
+def reset_frame_ids() -> None:
+    """Restart frame ids at 0 (per-build; keeps traces byte-identical)."""
+    global _frame_ids
+    _frame_ids = itertools.count()
+
+
 class FrameKind(Enum):
     """MAC-level frame classes."""
 
@@ -89,4 +95,5 @@ class Announcement:
         return self.dst == BROADCAST
 
 
-__all__ = ["BROADCAST", "Frame", "FrameKind", "Announcement"]
+__all__ = ["BROADCAST", "Frame", "FrameKind", "Announcement",
+           "reset_frame_ids"]

@@ -20,6 +20,7 @@ from __future__ import annotations
 from repro.constants import ODPM_DATA_TIMEOUT_S, ODPM_RREP_TIMEOUT_S
 from repro.errors import ConfigurationError
 from repro.mac.power import PowerManager, PowerMode
+from repro.sim.trace import NULL_TRACE, TraceSink
 
 
 class OdpmPowerManager(PowerManager):
@@ -29,11 +30,15 @@ class OdpmPowerManager(PowerManager):
         self,
         rrep_timeout: float = ODPM_RREP_TIMEOUT_S,
         data_timeout: float = ODPM_DATA_TIMEOUT_S,
+        node_id: int = -1,
+        trace: TraceSink = NULL_TRACE,
     ) -> None:
         if rrep_timeout <= 0 or data_timeout <= 0:
             raise ConfigurationError("ODPM timeouts must be positive")
         self.rrep_timeout = rrep_timeout
         self.data_timeout = data_timeout
+        self.node_id = node_id
+        self.trace = trace
         self._am_until = 0.0
         #: number of PS->AM transitions (mode-switch overhead diagnostics)
         self.switches_to_am = 0
@@ -61,6 +66,9 @@ class OdpmPowerManager(PowerManager):
             self._am_until = deadline
         if was_ps:
             self.switches_to_am += 1
+            if self.trace.enabled:
+                self.trace.emit(now, "odpm", self.node_id, "am_enter",
+                                cause=kind, until=self._am_until)
 
     def describe(self) -> str:
         """Label with the configured timeouts."""

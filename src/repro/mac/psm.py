@@ -146,6 +146,11 @@ class PsmMac(MacBase):
         """Absolute time of the next beacon boundary."""
         return self._interval_start + self.beacon_interval
 
+    @property
+    def queue_depth(self) -> int:
+        """Beacon-interval queue plus the DCF pipeline (gauge)."""
+        return len(self._queue) + self.dcf.queue_depth
+
     def _on_beacon(self) -> None:
         now = self.sim.now
         self._interval_start = now
@@ -200,6 +205,13 @@ class PsmMac(MacBase):
                 sender_mode=mode,
             )
             self.announcements_made += 1
+            if self.trace.enabled:
+                assert best_level is not None
+                self.trace.emit(
+                    self.sim.now, "atim", self.node_id, "advertise",
+                    dst=dst, level=best_level.name, subtype=best_subtype,
+                    kind=best_kind, frames=len(entries),
+                )
             for neighbor in neighbors:
                 peer = self._peers.get(neighbor)
                 if peer is not None and peer is not self:
@@ -254,9 +266,16 @@ class PsmMac(MacBase):
             self._reasons.add("tx")
         if not self._reasons:
             self.intervals_slept += 1
+            if self.trace.enabled:
+                self.trace.emit(now, "psm", self.node_id, "sleep",
+                                until=self.next_boundary)
             self.radio.sleep()
             return
         self.intervals_awake += 1
+        if self.trace.enabled:
+            self.trace.emit(now, "psm", self.node_id, "awake",
+                            reasons=",".join(sorted(self._reasons)),
+                            queued=len(announced))
         deadline = self.next_boundary
         for entry in announced:
             self.dcf.submit(entry.frame, partial(self._on_queue_done, entry),

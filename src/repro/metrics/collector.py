@@ -97,6 +97,7 @@ class MetricsCollector:
         sim_time: float,
         node_energy: Sequence[float],
         node_awake_time: Sequence[float],
+        events_processed: int = 0,
     ) -> "RunMetrics":
         """Combine collected events with energy meters into a summary."""
         records = list(self._data.values())
@@ -134,6 +135,7 @@ class MetricsCollector:
             link_breaks=self.link_breaks,
             overheard_by_node=self.overheard_by_node.copy(),
             drop_reasons=drop_reasons,
+            events_processed=events_processed,
         )
 
 
@@ -160,6 +162,9 @@ class RunMetrics:
     link_breaks: int
     overheard_by_node: NDArray[np.int64]
     drop_reasons: Dict[str, int] = field(default_factory=dict)
+    #: engine events fired during the run — deterministic for a given
+    #: (config, seed), unlike wall time, so it is safe in bit-identity tests
+    events_processed: int = 0
 
     @property
     def mean_node_energy(self) -> float:
@@ -203,6 +208,7 @@ class RunMetrics:
             "normalized_overhead": safe(self.normalized_overhead),
             "link_breaks": self.link_breaks,
             "drop_reasons": dict(self.drop_reasons),
+            "events_processed": self.events_processed,
             "node_energy": [float(v) for v in self.node_energy],
             "node_awake_time": [float(v) for v in self.node_awake_time],
             "role_numbers": [int(v) for v in self.role_numbers],

@@ -23,7 +23,7 @@ key           MAC             power manager    overhearing
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import TYPE_CHECKING, Dict, List, Optional, Tuple, Union
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Tuple, Union
 
 from repro import constants
 from repro.core.policy import (
@@ -35,6 +35,7 @@ from repro.core.policy import (
 from repro.core.rcast import RcastManager
 from repro.errors import ConfigurationError
 from repro.mac.base import AlwaysOnMac, MacBase
+from repro.mac.frames import reset_frame_ids
 from repro.mac.odpm import OdpmPowerManager
 from repro.mac.power import AlwaysPs, PowerManager
 from repro.mac.psm import PsmMac
@@ -45,11 +46,12 @@ from repro.mobility.random_direction import RandomDirection
 from repro.mobility.static import StaticPlacement
 from repro.mobility.waypoint import RandomWaypoint
 from repro.node import Node
-from repro.phy.channel import Channel
+from repro.phy.channel import Channel, reset_tx_ids
 from repro.phy.energy import EnergyMeter
 from repro.phy.radio import Radio
 from repro.routing.dsr.config import DsrConfig
 from repro.routing.dsr.protocol import DsrProtocol
+from repro.routing.packets import reset_uid_counter
 from repro.sim.engine import Simulator
 from repro.sim.rng import RngRegistry
 from repro.sim.trace import NULL_TRACE, TraceSink
@@ -174,14 +176,37 @@ class Network:
         self.span_election: Optional["SpanElection"] = None
         self._ran = False
 
-    def run(self) -> RunMetrics:
-        """Execute the configured run and return its metrics."""
+    def run(
+        self,
+        observer: Optional[Callable[["Network"], None]] = None,
+        observe_period: Optional[float] = None,
+    ) -> RunMetrics:
+        """Execute the configured run and return its metrics.
+
+        When ``observer`` is given it is called with this network after
+        every ``observe_period`` seconds of virtual time (default: one
+        beacon interval), using the engine's restartable ``run()`` — this
+        is how :class:`repro.obs.metrics.TimelineRecorder` samples
+        per-node state without any hook inside the event loop.
+        """
         if self._ran:
             raise ConfigurationError("Network.run() may only be called once")
         self._ran = True
         for node in self.nodes:
             node.start()
-        self.sim.run(until=self.config.sim_time)
+        horizon = self.config.sim_time
+        if observer is None:
+            self.sim.run(until=horizon)
+        else:
+            period = (observe_period if observe_period
+                      else self.config.beacon_interval)
+            if period <= 0:
+                raise ConfigurationError("observe_period must be positive")
+            t = 0.0
+            while t < horizon:
+                t = min(t + period, horizon)
+                self.sim.run(until=t)
+                observer(self)
         for node in self.nodes:
             node.finalize()
         return self.metrics.finalize(
@@ -189,6 +214,7 @@ class Network:
             sim_time=self.config.sim_time,
             node_energy=[n.radio.meter.energy_joules() for n in self.nodes],
             node_awake_time=[n.radio.meter.awake_time for n in self.nodes],
+            events_processed=self.sim.processed_events,
         )
 
 
@@ -249,10 +275,13 @@ def _build_mac(
         use_battery="battery" in config.rcast_factors,
         energy_meter=radio.meter if "battery" in config.rcast_factors else None,
         randomized_broadcast=config.rreq_randomized,
+        trace=trace,
     )
     power: PowerManager
     if config.scheme == "odpm":
-        power = OdpmPowerManager(config.odpm_rrep_timeout, config.odpm_data_timeout)
+        power = OdpmPowerManager(config.odpm_rrep_timeout,
+                                 config.odpm_data_timeout,
+                                 node_id=node_id, trace=trace)
         tap_in_am = True
     elif config.scheme == "span":
         from repro.mac.span import SpanPowerManager
@@ -282,6 +311,12 @@ def _build_mac(
 def build_network(config: SimulationConfig,
                   trace: TraceSink = NULL_TRACE) -> Network:
     """Wire a complete network for ``config``."""
+    # Absolute packet/frame/transmission ids appear in trace output;
+    # restarting the process-global counters per build keeps same-seed
+    # trace streams byte-identical no matter what ran earlier in-process.
+    reset_uid_counter()
+    reset_frame_ids()
+    reset_tx_ids()
     sim = Simulator()
     rngs = RngRegistry(config.seed)
     arena = Arena(config.arena_w, config.arena_h)
@@ -292,7 +327,8 @@ def build_network(config: SimulationConfig,
         refresh=config.neighbor_refresh,
     )
     radios: Dict[int, Radio] = {
-        i: Radio(sim, i, EnergyMeter(battery_joules=config.battery_joules))
+        i: Radio(sim, i, EnergyMeter(battery_joules=config.battery_joules,
+                                     node_id=i, trace=trace))
         for i in range(config.num_nodes)
     }
     channel = Channel(sim, positions, radios, bitrate=config.bitrate, trace=trace)

@@ -1,0 +1,52 @@
+"""Observability layer: structured trace sinks, runtime metrics, profiling.
+
+This package is strictly *optional* at run time: simulations built without
+it attach :data:`repro.sim.trace.NULL_TRACE` and pay one attribute lookup
+per emission point.  Everything here consumes the structured trace stream
+or the engine's public counters; nothing in :mod:`repro.sim` imports back.
+
+Modules
+-------
+``sinks``
+    Trace sinks beyond the in-memory :class:`~repro.sim.trace.TraceLog`:
+    bounded ring buffer, JSONL file writer, and a category/node/time-window
+    filtering decorator that composes with any sink.
+``metrics``
+    Counter/gauge registry plus a :class:`TimelineRecorder` that samples
+    per-node residual energy, awake fraction, MAC queue depth and engine
+    queue gauges on a fixed virtual-time period.
+``profiler``
+    Opt-in event-loop profiler: per-callback wall time and event counts,
+    events/sec, heap depth — the one legitimate wall-clock consumer in the
+    simulation path (see the rcast-lint allowlist).
+``manifest``
+    Per-replication run manifests (seed, config hash, wall time, events
+    processed) surfaced through progress events and ``--json-out``.
+"""
+
+from repro.obs.manifest import RunManifest, config_hash
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    MetricsRegistry,
+    TimelineRecorder,
+    TimelineSample,
+)
+from repro.obs.profiler import CallbackStats, ProfileReport, SimulationProfiler
+from repro.obs.sinks import FilteredSink, JsonlSink, RingBufferSink
+
+__all__ = [
+    "CallbackStats",
+    "Counter",
+    "FilteredSink",
+    "Gauge",
+    "JsonlSink",
+    "MetricsRegistry",
+    "ProfileReport",
+    "RingBufferSink",
+    "RunManifest",
+    "SimulationProfiler",
+    "TimelineRecorder",
+    "TimelineSample",
+    "config_hash",
+]

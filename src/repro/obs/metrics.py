@@ -1,0 +1,173 @@
+"""Runtime metrics: counters, gauges, and periodic timeline snapshots.
+
+:class:`MetricsRegistry` is a tiny name-spaced counter/gauge store for
+ad-hoc instrumentation.  :class:`TimelineRecorder` is the load-bearing
+piece: handed to :meth:`repro.network.Network.run` as an observer, it is
+called on a fixed virtual-time period (the engine's restartable ``run()``
+makes this free) and snapshots per-node residual energy, the awake
+fraction, total MAC queue depth and the engine's queue gauges.  The
+timeline is exported alongside ``RunMetrics.to_dict()`` by the CLI's
+``--json-out``.
+
+Everything sampled here is a function of virtual time and simulation
+state, so timelines are deterministic and safe to diff across same-seed
+runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict, List, Tuple
+
+if TYPE_CHECKING:
+    from repro.network import Network
+
+
+class Counter:
+    """Monotonically increasing named counter."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        """Add ``amount`` (must be non-negative)."""
+        if amount < 0:
+            raise ValueError(f"counter increment must be >= 0, got {amount!r}")
+        self.value += amount
+
+
+class Gauge:
+    """Named point-in-time value."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        """Replace the gauge value."""
+        self.value = value
+
+
+class MetricsRegistry:
+    """Get-or-create registry of named counters and gauges."""
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+
+    def counter(self, name: str) -> Counter:
+        """The counter named ``name``, created on first use."""
+        if name not in self._counters:
+            self._counters[name] = Counter(name)
+        return self._counters[name]
+
+    def gauge(self, name: str) -> Gauge:
+        """The gauge named ``name``, created on first use."""
+        if name not in self._gauges:
+            self._gauges[name] = Gauge(name)
+        return self._gauges[name]
+
+    def to_dict(self) -> Dict[str, Dict[str, float]]:
+        """JSON-safe snapshot, names sorted for stable output."""
+        return {
+            "counters": {name: float(c.value) for name, c
+                         in sorted(self._counters.items())},
+            "gauges": {name: g.value for name, g
+                       in sorted(self._gauges.items())},
+        }
+
+
+@dataclass(frozen=True)
+class TimelineSample:
+    """One periodic snapshot of simulation state."""
+
+    time: float
+    #: energy consumed per node so far (J)
+    node_energy: Tuple[float, ...]
+    #: remaining battery fraction per node (1.0 when unbounded)
+    node_residual: Tuple[float, ...]
+    #: nodes whose radio is currently awake
+    awake_nodes: int
+    #: awake_nodes / num_nodes
+    awake_fraction: float
+    #: summed MAC-layer queue depth across nodes
+    queue_depth: int
+    #: live (non-cancelled) events in the engine heap
+    pending_events: int
+    #: events fired so far
+    processed_events: int
+    #: events cancelled before firing so far
+    cancelled_events: int
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-safe dict."""
+        return {
+            "time": self.time,
+            "node_energy": list(self.node_energy),
+            "node_residual": list(self.node_residual),
+            "awake_nodes": self.awake_nodes,
+            "awake_fraction": self.awake_fraction,
+            "queue_depth": self.queue_depth,
+            "pending_events": self.pending_events,
+            "processed_events": self.processed_events,
+            "cancelled_events": self.cancelled_events,
+        }
+
+
+class TimelineRecorder:
+    """Collect :class:`TimelineSample` snapshots on a fixed period.
+
+    Use as the ``observer`` of :meth:`repro.network.Network.run`::
+
+        recorder = TimelineRecorder()
+        network.run(observer=recorder.observe,
+                    observe_period=recorder.period or None)
+    """
+
+    def __init__(self, period: float = 0.0) -> None:
+        if period < 0:
+            raise ValueError(f"period must be >= 0, got {period!r}")
+        #: requested sampling period (0 = caller picks the default)
+        self.period = period
+        self.samples: List[TimelineSample] = []
+
+    def observe(self, network: "Network") -> None:
+        """Snapshot ``network`` now and append the sample."""
+        sim = network.sim
+        now = sim.now
+        energy = tuple(n.radio.meter.energy_joules(now) for n in network.nodes)
+        residual = tuple(n.radio.meter.remaining_fraction(now)
+                         for n in network.nodes)
+        awake = sum(1 for n in network.nodes if n.radio.is_awake)
+        total = len(network.nodes)
+        self.samples.append(TimelineSample(
+            time=now,
+            node_energy=energy,
+            node_residual=residual,
+            awake_nodes=awake,
+            awake_fraction=awake / total if total else 0.0,
+            queue_depth=sum(n.mac.queue_depth for n in network.nodes),
+            pending_events=sim.pending_events,
+            processed_events=sim.processed_events,
+            cancelled_events=sim.cancelled_events,
+        ))
+
+    def __len__(self) -> int:
+        return len(self.samples)
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-safe dict of the recorded timeline."""
+        return {
+            "period": self.period,
+            "samples": [s.to_dict() for s in self.samples],
+        }
+
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "MetricsRegistry",
+    "TimelineSample",
+    "TimelineRecorder",
+]

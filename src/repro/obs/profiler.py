@@ -1,0 +1,204 @@
+"""Opt-in event-loop profiler for the discrete-event kernel.
+
+:class:`SimulationProfiler` installs itself as the engine's fire
+interceptor (see :meth:`repro.sim.engine.Simulator.set_fire_interceptor`)
+and attributes wall-clock time and event counts to callback categories —
+the callback's qualified name, with ``functools.partial`` wrappers
+unwrapped.  One ``perf_counter`` pair per event keeps overhead to tens of
+nanoseconds.
+
+Determinism caveat: the profiler reads the wall clock, so its *report* is
+not reproducible across runs — but it never influences event order,
+virtual time, or any RNG stream, so profiling a run cannot change its
+results.  This module is the one sanctioned wall-clock consumer inside the
+simulation path and is allowlisted as such in rcast-lint's R002 rule
+(``repro.analysis.lint.rules.WallClock``); everything else must go through
+virtual time.
+"""
+
+from __future__ import annotations
+
+import functools
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.sim.engine import Simulator
+from repro.sim.events import Event
+
+
+def callback_name(callback: object) -> str:
+    """Human-readable category for an event callback.
+
+    ``functools.partial`` layers are unwrapped so MAC completion handlers
+    bound with ``partial(self._on_queue_done, entry)`` all aggregate under
+    the method name.
+    """
+    while isinstance(callback, functools.partial):
+        callback = callback.func
+    name = getattr(callback, "__qualname__", None)
+    if isinstance(name, str):
+        return name
+    return type(callback).__name__
+
+
+@dataclass
+class CallbackStats:
+    """Accumulated cost of one callback category."""
+
+    name: str
+    count: int = 0
+    total_time: float = 0.0
+
+    @property
+    def mean_time(self) -> float:
+        """Average seconds per event (0 when never fired)."""
+        return self.total_time / self.count if self.count else 0.0
+
+
+@dataclass
+class ProfileReport:
+    """Summary of one profiled run."""
+
+    events: int
+    wall_time: float
+    max_heap_depth: int
+    pending_events: int
+    cancelled_events: int
+    callbacks: List[CallbackStats] = field(default_factory=list)
+
+    @property
+    def events_per_sec(self) -> float:
+        """Fired events per wall-clock second (0 when nothing measured)."""
+        return self.events / self.wall_time if self.wall_time > 0 else 0.0
+
+    def top(self, n: int = 10) -> List[CallbackStats]:
+        """The ``n`` most expensive categories by total wall time."""
+        ranked = sorted(self.callbacks,
+                        key=lambda s: (-s.total_time, -s.count, s.name))
+        return ranked[:n]
+
+    def to_dict(self, top_n: Optional[int] = None) -> Dict[str, object]:
+        """JSON-safe dict (optionally truncated to the top ``top_n``)."""
+        rows = self.top(top_n) if top_n is not None else self.top(
+            len(self.callbacks))
+        return {
+            "events": self.events,
+            "wall_time": self.wall_time,
+            "events_per_sec": self.events_per_sec,
+            "max_heap_depth": self.max_heap_depth,
+            "pending_events": self.pending_events,
+            "cancelled_events": self.cancelled_events,
+            "callbacks": [
+                {
+                    "name": s.name,
+                    "count": s.count,
+                    "total_time": s.total_time,
+                    "mean_time": s.mean_time,
+                    "share": (s.total_time / self.wall_time
+                              if self.wall_time > 0 else 0.0),
+                }
+                for s in rows
+            ],
+        }
+
+    def format(self, top_n: int = 10) -> str:
+        """Render a fixed-width text report."""
+        lines = [
+            f"events fired     : {self.events}",
+            f"wall time        : {self.wall_time:.3f} s",
+            f"events/sec       : {self.events_per_sec:,.0f}",
+            f"max heap depth   : {self.max_heap_depth}",
+            f"pending at end   : {self.pending_events}",
+            f"cancelled events : {self.cancelled_events}",
+            "",
+            f"{'callback':<44} {'count':>9} {'total ms':>10} "
+            f"{'mean us':>9} {'share':>7}",
+        ]
+        for stats in self.top(top_n):
+            share = (stats.total_time / self.wall_time * 100.0
+                     if self.wall_time > 0 else 0.0)
+            lines.append(
+                f"{stats.name:<44} {stats.count:>9} "
+                f"{stats.total_time * 1e3:>10.3f} "
+                f"{stats.mean_time * 1e6:>9.2f} {share:>6.1f}%"
+            )
+        return "\n".join(lines)
+
+
+class SimulationProfiler:
+    """Per-callback wall-time and event-count attribution.
+
+    Usage::
+
+        profiler = SimulationProfiler()
+        profiler.install(network.sim)
+        metrics = network.run()
+        print(profiler.report().format())
+    """
+
+    def __init__(self) -> None:
+        self._sim: Optional[Simulator] = None
+        self._stats: Dict[str, CallbackStats] = {}
+        self._events = 0
+        self._wall_time = 0.0
+        self._max_heap_depth = 0
+
+    @property
+    def installed(self) -> bool:
+        """True while attached to a simulator."""
+        return self._sim is not None
+
+    def install(self, sim: Simulator) -> None:
+        """Attach to ``sim``'s event loop."""
+        if self._sim is not None:
+            raise RuntimeError("profiler already installed")
+        self._sim = sim
+        sim.set_fire_interceptor(self._fire)
+
+    def uninstall(self) -> None:
+        """Detach from the simulator (idempotent)."""
+        if self._sim is not None:
+            self._sim.set_fire_interceptor(None)
+            self._sim = None
+
+    def _fire(self, event: Event) -> None:
+        """Fire interceptor: time one event and attribute it."""
+        sim = self._sim
+        assert sim is not None
+        depth = sim.heap_depth
+        if depth > self._max_heap_depth:
+            self._max_heap_depth = depth
+        start = time.perf_counter()
+        try:
+            event.fire()
+        finally:
+            elapsed = time.perf_counter() - start
+            self._events += 1
+            self._wall_time += elapsed
+            name = callback_name(event.callback)
+            stats = self._stats.get(name)
+            if stats is None:
+                stats = self._stats[name] = CallbackStats(name)
+            stats.count += 1
+            stats.total_time += elapsed
+
+    def report(self) -> ProfileReport:
+        """Snapshot the accumulated profile."""
+        sim = self._sim
+        return ProfileReport(
+            events=self._events,
+            wall_time=self._wall_time,
+            max_heap_depth=self._max_heap_depth,
+            pending_events=sim.pending_events if sim is not None else 0,
+            cancelled_events=sim.cancelled_events if sim is not None else 0,
+            callbacks=list(self._stats.values()),
+        )
+
+
+__all__ = [
+    "CallbackStats",
+    "ProfileReport",
+    "SimulationProfiler",
+    "callback_name",
+]

@@ -1,0 +1,219 @@
+"""Pluggable trace sinks for the structured trace stream.
+
+All sinks implement the :class:`~repro.sim.trace.TraceSink` protocol —
+``enabled`` plus ``emit(time, category, node, event, **fields)`` — so any of
+them can be handed to :func:`repro.network.build_network` (or composed via
+:class:`FilteredSink`) wherever a :class:`~repro.sim.trace.TraceLog` is
+accepted today.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import deque
+from pathlib import Path
+from types import TracebackType
+from typing import (
+    Deque,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    TextIO,
+    Type,
+    Union,
+)
+
+from repro.sim.trace import TraceRecord, TraceSink, matches
+
+PathLike = Union[str, Path]
+
+
+class RingBufferSink:
+    """Keep the most recent ``capacity`` records in memory.
+
+    Useful for long runs where only the tail matters (e.g. inspecting the
+    window around a failure) without TraceLog's unbounded growth.
+    """
+
+    def __init__(self, capacity: int = 10_000) -> None:
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity!r}")
+        self._records: Deque[TraceRecord] = deque(maxlen=capacity)
+        self._emitted = 0
+
+    @property
+    def enabled(self) -> bool:
+        """Ring buffers always record."""
+        return True
+
+    @property
+    def capacity(self) -> int:
+        """Maximum number of retained records."""
+        maxlen = self._records.maxlen
+        assert maxlen is not None
+        return maxlen
+
+    @property
+    def emitted(self) -> int:
+        """Total records ever emitted (retained or evicted)."""
+        return self._emitted
+
+    @property
+    def dropped(self) -> int:
+        """Records evicted because the buffer wrapped."""
+        return self._emitted - len(self._records)
+
+    def emit(self, time: float, category: str, node: int, event: str,
+             **fields: object) -> None:
+        """Append a record, evicting the oldest once at capacity."""
+        self._emitted += 1
+        self._records.append(
+            TraceRecord(time, category, node, event, tuple(fields.items()))
+        )
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self) -> Iterator[TraceRecord]:
+        return iter(self._records)
+
+    def filter(
+        self,
+        category: Optional[str] = None,
+        node: Optional[int] = None,
+        t_min: Optional[float] = None,
+        t_max: Optional[float] = None,
+    ) -> List[TraceRecord]:
+        """Retained records matching the constraints (TraceLog-compatible)."""
+        return [rec for rec in self._records
+                if matches(rec, category, node, t_min, t_max)]
+
+
+class JsonlSink:
+    """Stream trace records to a JSONL file, one record per line.
+
+    Lines are written through :meth:`TraceRecord.to_json`, which is
+    deterministic: the same run with the same seed produces byte-identical
+    output (the trace-determinism regression tests rely on this).  Use as a
+    context manager, or call :meth:`close` explicitly.
+    """
+
+    def __init__(self, path: PathLike) -> None:
+        self._path = Path(path)
+        self._handle: Optional[TextIO] = self._path.open("w")
+        self._written = 0
+
+    @property
+    def enabled(self) -> bool:
+        """True while the underlying file is open."""
+        return self._handle is not None
+
+    @property
+    def path(self) -> Path:
+        """Destination file."""
+        return self._path
+
+    @property
+    def written(self) -> int:
+        """Number of records written so far."""
+        return self._written
+
+    def emit(self, time: float, category: str, node: int, event: str,
+             **fields: object) -> None:
+        """Serialize one record as a JSON line."""
+        if self._handle is None:
+            return
+        record = TraceRecord(time, category, node, event,
+                             tuple(fields.items()))
+        self._handle.write(record.to_json())
+        self._handle.write("\n")
+        self._written += 1
+
+    def close(self) -> None:
+        """Flush and close the file (idempotent)."""
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    def __enter__(self) -> "JsonlSink":
+        return self
+
+    def __exit__(
+        self,
+        exc_type: Optional[Type[BaseException]],
+        exc: Optional[BaseException],
+        tb: Optional[TracebackType],
+    ) -> None:
+        self.close()
+
+
+def read_jsonl(path: PathLike) -> List[TraceRecord]:
+    """Load a JSONL trace file back into :class:`TraceRecord` objects."""
+    records: List[TraceRecord] = []
+    for line in Path(path).read_text().splitlines():
+        if not line.strip():
+            continue
+        data = json.loads(line)
+        records.append(TraceRecord(
+            time=float(data["time"]),
+            category=str(data["category"]),
+            node=int(data["node"]),
+            event=str(data["event"]),
+            fields=tuple(dict(data.get("fields", {})).items()),
+        ))
+    return records
+
+
+class FilteredSink:
+    """Forward only matching records to an inner sink.
+
+    Filters compose: ``categories`` / ``nodes`` restrict to membership,
+    ``t_min`` / ``t_max`` bound the (inclusive) virtual-time window.  Any
+    constraint left ``None`` passes everything.
+    """
+
+    def __init__(
+        self,
+        inner: TraceSink,
+        categories: Optional[Iterable[str]] = None,
+        nodes: Optional[Iterable[int]] = None,
+        t_min: Optional[float] = None,
+        t_max: Optional[float] = None,
+    ) -> None:
+        self._inner = inner
+        self._categories = set(categories) if categories is not None else None
+        self._nodes = set(nodes) if nodes is not None else None
+        self._t_min = t_min
+        self._t_max = t_max
+
+    @property
+    def enabled(self) -> bool:
+        """Enabled iff the wrapped sink is."""
+        return self._inner.enabled
+
+    @property
+    def inner(self) -> TraceSink:
+        """The wrapped sink."""
+        return self._inner
+
+    def emit(self, time: float, category: str, node: int, event: str,
+             **fields: object) -> None:
+        """Forward the record iff every active constraint matches."""
+        if self._categories is not None and category not in self._categories:
+            return
+        if self._nodes is not None and node not in self._nodes:
+            return
+        if self._t_min is not None and time < self._t_min:
+            return
+        if self._t_max is not None and time > self._t_max:
+            return
+        self._inner.emit(time, category, node, event, **fields)
+
+
+__all__ = [
+    "RingBufferSink",
+    "JsonlSink",
+    "FilteredSink",
+    "read_jsonl",
+]

@@ -39,6 +39,12 @@ if TYPE_CHECKING:
 _tx_ids = itertools.count()
 
 
+def reset_tx_ids() -> None:
+    """Restart transmission ids at 0 (per-build; keeps traces stable)."""
+    global _tx_ids
+    _tx_ids = itertools.count()
+
+
 class Transmission:
     """One frame in flight."""
 
@@ -171,8 +177,8 @@ class Channel:
         radio.note_tx(duration)
         self.frames_sent += 1
         if self.trace.enabled:
-            self.trace.emit(now, "chan.tx", sender_id,
-                            f"{frame.describe()} dur={duration * 1e3:.3f}ms")
+            self.trace.emit(now, "chan", sender_id, "tx",
+                            frame=frame.describe(), duration=duration)
         self.sim.schedule(duration, self._finish, tx)
         return tx
 
@@ -216,4 +222,4 @@ class Channel:
             on_complete(tx.frame, delivered)
 
 
-__all__ = ["Channel", "Transmission"]
+__all__ = ["Channel", "Transmission", "reset_tx_ids"]

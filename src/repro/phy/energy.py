@@ -15,6 +15,7 @@ from typing import Dict, Optional
 
 from repro.constants import POWER_AWAKE_W, POWER_SLEEP_W
 from repro.errors import ConfigurationError, SimulationError
+from repro.sim.trace import NULL_TRACE, TraceSink
 
 
 class RadioState(enum.Enum):
@@ -54,6 +55,8 @@ class EnergyMeter:
         initial_state: RadioState = RadioState.IDLE,
         initial_time: float = 0.0,
         battery_joules: Optional[float] = None,
+        node_id: int = -1,
+        trace: TraceSink = NULL_TRACE,
     ) -> None:
         self._power = dict(PAPER_POWER_TABLE if power_table is None else power_table)
         missing = [s for s in RadioState if s not in self._power]
@@ -64,6 +67,8 @@ class EnergyMeter:
         self._state_time: Dict[RadioState, float] = {s: 0.0 for s in RadioState}
         self._energy = 0.0
         self.battery_joules = battery_joules
+        self.node_id = node_id
+        self.trace = trace
         self._finalized = False
 
     # ------------------------------------------------------------------
@@ -77,8 +82,13 @@ class EnergyMeter:
         """Move to ``new_state`` at virtual time ``time``."""
         if self._finalized:
             raise SimulationError("EnergyMeter already finalized")
+        prev = self._state
         self._accumulate(time)
         self._state = new_state
+        if new_state is not prev and self.trace.enabled:
+            self.trace.emit(time, "energy", self.node_id, "state",
+                            prev=prev.value, state=new_state.value,
+                            energy=self._energy)
 
     def _accumulate(self, time: float) -> None:
         if time < self._last_time - 1e-12:

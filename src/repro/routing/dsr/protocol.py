@@ -167,8 +167,9 @@ class DsrProtocol:
         if self.metrics is not None:
             self.metrics.transmission(packet.kind)
         if self.trace.enabled:
-            self.trace.emit(self.sim.now, "dsr.tx", self.node_id,
-                            f"{packet.kind} uid={packet.uid} -> {packet.next_hop}")
+            self.trace.emit(self.sim.now, "dsr", self.node_id, "tx",
+                            kind=packet.kind, uid=packet.uid,
+                            next_hop=packet.next_hop)
         self.mac.send(packet, packet.next_hop)
 
     def _broadcast(self, rreq: RouteRequest) -> None:
@@ -236,6 +237,10 @@ class DsrProtocol:
             ttl=ttl, route_record=(self.node_id,),
         )
         self.rreq_sent += 1
+        if self.trace.enabled:
+            self.trace.emit(self.sim.now, "dsr", self.node_id, "rreq",
+                            target=state.target, attempt=state.attempts,
+                            ttl=ttl, request_id=rreq.request_id)
         self._broadcast(rreq)
         if use_ring:
             timeout = cfg.nonprop_timeout
@@ -255,6 +260,10 @@ class DsrProtocol:
             return
         if state.attempts >= self.config.discovery_max_retries:
             del self._discoveries[state.target]
+            if self.trace.enabled:
+                self.trace.emit(self.sim.now, "dsr", self.node_id,
+                                "discovery_failed", target=state.target,
+                                attempts=state.attempts)
             self._drop_buffered(state.target, "no_route")
             return
         self._send_rreq(state)
@@ -320,6 +329,10 @@ class DsrProtocol:
             trip_route=back, trip_index=0, path=path, request_key=request_key,
         )
         self.rrep_sent += 1
+        if self.trace.enabled:
+            self.trace.emit(self.sim.now, "dsr", self.node_id, "rrep",
+                            origin=origin, reply_from=reply_from,
+                            hops=len(path) - 1)
         self._transmit(rrep)
 
     def _note_answered(self, rrep: RouteReply) -> None:
@@ -376,6 +389,10 @@ class DsrProtocol:
                 self.data_salvaged += 1
                 if self.metrics is not None:
                     self.metrics.route_used(alt)
+                if self.trace.enabled:
+                    self.trace.emit(self.sim.now, "dsr", self.node_id,
+                                    "salvage", uid=packet.uid,
+                                    dst=packet.dst, hops=len(alt) - 1)
                 self._transmit(packet.salvaged(alt))
                 return
         if self.metrics is not None:
@@ -392,6 +409,10 @@ class DsrProtocol:
             broken=broken,
         )
         self.rerr_sent += 1
+        if self.trace.enabled:
+            self.trace.emit(self.sim.now, "dsr", self.node_id, "rerr",
+                            broken_from=broken[0], broken_to=broken[1],
+                            source=packet.src)
         self._transmit(rerr)
 
     def _handle_rerr(self, rerr: RouteError) -> None:
@@ -449,6 +470,9 @@ class DsrProtocol:
         if len(path) < 2 or len(set(path)) != len(path):
             return
         self.cache.add_path(path, self.sim.now, source)
+        if self.trace.enabled:
+            self.trace.emit(self.sim.now, "dsr", self.node_id, "cache_add",
+                            dst=path[-1], hops=len(path) - 1, source=source)
 
     def _learn_along(self, route: Tuple[int, ...], my_idx: int,
                      source: str = "forward") -> None:

@@ -34,6 +34,17 @@ def next_uid() -> int:
     return next(_uid_counter)
 
 
+def reset_uid_counter() -> None:
+    """Restart packet uids at 0.
+
+    Absolute uids appear in trace output, so
+    :func:`repro.network.build_network` resets the counter per build to
+    keep same-seed trace streams byte-identical within one process.
+    """
+    global _uid_counter
+    _uid_counter = itertools.count()
+
+
 def _check_trip(trip_route: Tuple[int, ...], trip_index: int) -> None:
     if len(trip_route) < 2:
         raise RoutingError(f"trip route too short: {trip_route}")
@@ -227,4 +238,5 @@ __all__ = [
     "RouteReply",
     "RouteRequest",
     "next_uid",
+    "reset_uid_counter",
 ]

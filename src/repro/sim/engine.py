@@ -34,6 +34,9 @@ class Simulator:
         self._heap: list[Event] = []
         self._running = False
         self._processed = 0
+        self._cancelled_pending = 0
+        self._cancelled_total = 0
+        self._fire_hook: Optional[Callable[[Event], None]] = None
 
     # ------------------------------------------------------------------
     # Clock
@@ -51,8 +54,43 @@ class Simulator:
 
     @property
     def pending_events(self) -> int:
-        """Number of queue entries not yet popped (includes cancelled)."""
+        """Number of *live* (not cancelled) events still queued.
+
+        Lazy cancellation leaves cancelled entries in the heap until they
+        are popped; this gauge subtracts them so observability consumers
+        see the true pending count.
+        """
+        return len(self._heap) - self._cancelled_pending
+
+    @property
+    def cancelled_events(self) -> int:
+        """Total events cancelled before firing (profiler diagnostics)."""
+        return self._cancelled_total
+
+    @property
+    def heap_depth(self) -> int:
+        """Raw heap length, cancelled entries included (profiler gauge)."""
         return len(self._heap)
+
+    # ------------------------------------------------------------------
+    # Instrumentation
+    # ------------------------------------------------------------------
+
+    def set_fire_interceptor(
+        self, hook: Optional[Callable[[Event], None]]
+    ) -> None:
+        """Install ``hook`` to dispatch events instead of ``event.fire()``.
+
+        The hook receives each popped live event and MUST call
+        ``event.fire()`` exactly once (the profiler wraps the call with
+        wall-clock timing).  Pass ``None`` to restore direct dispatch.
+        """
+        self._fire_hook = hook
+
+    def _note_cancel(self) -> None:
+        """Event ``on_cancel`` hook: account one lazily-cancelled entry."""
+        self._cancelled_pending += 1
+        self._cancelled_total += 1
 
     # ------------------------------------------------------------------
     # Scheduling
@@ -83,6 +121,7 @@ class Simulator:
                 f"cannot schedule at t={time!r}, clock already at t={self._now!r}"
             )
         event = Event(time, callback, args, priority)
+        event.on_cancel = self._note_cancel
         heapq.heappush(self._heap, event)
         return event
 
@@ -106,10 +145,14 @@ class Simulator:
                     break
                 heapq.heappop(self._heap)
                 if event.cancelled:
+                    self._cancelled_pending -= 1
                     continue
                 self._now = event.time
                 self._processed += 1
-                event.fire()
+                if self._fire_hook is None:
+                    event.fire()
+                else:
+                    self._fire_hook(event)
             if until is not None and until > self._now:
                 self._now = until
         finally:
@@ -123,16 +166,21 @@ class Simulator:
         while self._heap:
             event = heapq.heappop(self._heap)
             if event.cancelled:
+                self._cancelled_pending -= 1
                 continue
             self._now = event.time
             self._processed += 1
-            event.fire()
+            if self._fire_hook is None:
+                event.fire()
+            else:
+                self._fire_hook(event)
             return True
         return False
 
     def clear(self) -> None:
         """Drop all pending events (the clock is left untouched)."""
         self._heap.clear()
+        self._cancelled_pending = 0
 
 
 __all__ = ["Simulator"]

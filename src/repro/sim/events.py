@@ -13,7 +13,7 @@ callback.  Events compare by ``(time, priority, seq)`` so that
 from __future__ import annotations
 
 import itertools
-from typing import Any, Callable, Tuple
+from typing import Any, Callable, Optional, Tuple
 
 #: Priority for kernel housekeeping that must run before normal events at the
 #: same timestamp (e.g. beacon-interval boundaries).
@@ -38,7 +38,8 @@ class Event:
     they fire.
     """
 
-    __slots__ = ("time", "priority", "seq", "callback", "args", "cancelled")
+    __slots__ = ("time", "priority", "seq", "callback", "args", "cancelled",
+                 "fired", "on_cancel")
 
     def __init__(
         self,
@@ -53,13 +54,26 @@ class Event:
         self.callback = callback
         self.args = args
         self.cancelled = False
+        self.fired = False
+        self.on_cancel: Optional[Callable[[], None]] = None
 
     def cancel(self) -> None:
-        """Mark the event so the kernel skips it when popped."""
+        """Mark the event so the kernel skips it when popped.
+
+        Cancelling an event that already fired, or cancelling twice, is a
+        no-op — protocol code routinely cancels timers defensively (e.g.
+        DSR cancels a discovery timer that may have just fired), and only
+        genuine cancellations may reach ``on_cancel``.
+        """
+        if self.cancelled or self.fired:
+            return
         self.cancelled = True
+        if self.on_cancel is not None:
+            self.on_cancel()
 
     def fire(self) -> None:
         """Invoke the callback (kernel use only)."""
+        self.fired = True
         self.callback(*self.args)
 
     # Heap ordering -----------------------------------------------------

@@ -106,6 +106,7 @@ def test_progress_events_and_stats():
     pool.run_grid(configs, 2)
     kinds = [e.kind for e in events]
     assert kinds.count("cell-start") == 2
+    assert kinds.count("rep-finish") == 4
     assert kinds.count("cell-finish") == 2
     assert kinds[-1] == "grid-finish"
     finish = events[-1]
@@ -115,12 +116,22 @@ def test_progress_events_and_stats():
     assert stats.items == 4 and stats.workers == 2
     assert stats.elapsed > 0 and stats.busy > 0
     assert stats.utilization >= 0.0
+    # Every rep-finish carries a provenance manifest.
+    for event in events:
+        if event.kind == "rep-finish":
+            assert event.manifest is not None
+            assert event.manifest.scheme == "rcast"
+            assert event.manifest.wall_time > 0
+            assert event.manifest.events_processed > 0
+        else:
+            assert event.manifest is None
     # Serial mode emits the same event structure.
     serial_events = []
     ParallelRunner(max_workers=1,
                    on_event=serial_events.append).run_grid(configs, 1)
     assert [e.kind for e in serial_events] == [
-        "cell-start", "cell-finish", "cell-start", "cell-finish",
+        "cell-start", "rep-finish", "cell-finish",
+        "cell-start", "rep-finish", "cell-finish",
         "grid-finish",
     ]
 

@@ -1,0 +1,46 @@
+"""Tests for run manifests and config hashing."""
+
+from dataclasses import replace
+
+from repro.obs.manifest import RunManifest, config_hash
+
+from tests.conftest import line_config
+
+
+class TestConfigHash:
+    def test_stable_for_equal_configs(self):
+        a = line_config("rcast", n=5)
+        b = line_config("rcast", n=5)
+        assert config_hash(a) == config_hash(b)
+        assert len(config_hash(a)) == 16
+
+    def test_differs_on_any_field(self):
+        base = line_config("rcast", n=5)
+        assert config_hash(base) != config_hash(replace(base, seed=99))
+        assert config_hash(base) != config_hash(replace(base, sim_time=21.0))
+        assert config_hash(base) != config_hash(replace(base, scheme="psm"))
+
+
+class TestRunManifest:
+    def test_events_per_sec(self):
+        m = RunManifest(scheme="rcast", seed=1, config_hash="ab",
+                        wall_time=2.0, events_processed=1000)
+        assert m.events_per_sec == 500.0
+        zero = RunManifest(scheme="rcast", seed=1, config_hash="ab",
+                           wall_time=0.0, events_processed=1000)
+        assert zero.events_per_sec == 0.0
+
+    def test_to_dict_omits_grid_coords_when_standalone(self):
+        m = RunManifest(scheme="rcast", seed=1, config_hash="ab",
+                        wall_time=1.0, events_processed=10)
+        out = m.to_dict()
+        assert "cell" not in out and "rep" not in out
+        assert out["events_per_sec"] == 10.0
+
+    def test_to_dict_includes_grid_coords_under_sweep(self):
+        m = RunManifest(scheme="rcast", seed=1, config_hash="ab",
+                        wall_time=1.0, events_processed=10,
+                        cell="('rcast', 0.5, False)", rep=3)
+        out = m.to_dict()
+        assert out["cell"] == "('rcast', 0.5, False)"
+        assert out["rep"] == 3

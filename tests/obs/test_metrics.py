@@ -1,0 +1,88 @@
+"""Tests for the metrics registry and timeline recorder."""
+
+import pytest
+
+from repro.network import build_network
+from repro.obs.metrics import MetricsRegistry, TimelineRecorder
+
+from tests.conftest import line_config
+
+
+class TestRegistry:
+    def test_counter_get_or_create(self):
+        reg = MetricsRegistry()
+        reg.counter("tx").inc()
+        reg.counter("tx").inc(2)
+        assert reg.counter("tx").value == 3
+
+    def test_counter_rejects_negative(self):
+        reg = MetricsRegistry()
+        with pytest.raises(ValueError):
+            reg.counter("tx").inc(-1)
+
+    def test_gauge_set(self):
+        reg = MetricsRegistry()
+        reg.gauge("depth").set(4.5)
+        assert reg.gauge("depth").value == 4.5
+
+    def test_to_dict_sorted(self):
+        reg = MetricsRegistry()
+        reg.counter("zulu").inc()
+        reg.counter("alpha").inc(5)
+        reg.gauge("g").set(1.0)
+        out = reg.to_dict()
+        assert list(out["counters"]) == ["alpha", "zulu"]
+        assert out["counters"]["alpha"] == 5.0
+        assert out["gauges"] == {"g": 1.0}
+
+
+class TestTimelineRecorder:
+    def test_rejects_negative_period(self):
+        with pytest.raises(ValueError):
+            TimelineRecorder(period=-1.0)
+
+    def test_records_samples_during_run(self):
+        config = line_config("psm", n=3, sim_time=5.0)
+        network = build_network(config)
+        recorder = TimelineRecorder(period=1.0)
+        network.run(observer=recorder.observe, observe_period=recorder.period)
+        assert len(recorder) == 5
+        times = [s.time for s in recorder.samples]
+        assert times == [1.0, 2.0, 3.0, 4.0, 5.0]
+        for sample in recorder.samples:
+            assert len(sample.node_energy) == 3
+            assert len(sample.node_residual) == 3
+            assert 0 <= sample.awake_nodes <= 3
+            assert sample.awake_fraction == sample.awake_nodes / 3
+            assert sample.queue_depth >= 0
+            assert sample.pending_events >= 0
+        # energy is cumulative, so samples are non-decreasing
+        totals = [sum(s.node_energy) for s in recorder.samples]
+        assert totals == sorted(totals)
+        processed = [s.processed_events for s in recorder.samples]
+        assert processed == sorted(processed)
+
+    def test_timeline_is_deterministic(self):
+        config = line_config("rcast", n=3, sim_time=5.0)
+        dicts = []
+        for _ in range(2):
+            network = build_network(config)
+            recorder = TimelineRecorder(period=0.5)
+            network.run(observer=recorder.observe,
+                        observe_period=recorder.period)
+            dicts.append(recorder.to_dict())
+        assert dicts[0] == dicts[1]
+
+    def test_observer_does_not_change_metrics(self):
+        config = line_config("psm", n=3, sim_time=10.0)
+        plain = build_network(config).run()
+        observed_net = build_network(config)
+        recorder = TimelineRecorder(period=0.25)
+        observed = observed_net.run(observer=recorder.observe,
+                                    observe_period=recorder.period)
+        assert plain.to_dict() == observed.to_dict()
+
+    def test_to_dict_shape(self):
+        recorder = TimelineRecorder(period=2.0)
+        out = recorder.to_dict()
+        assert out == {"period": 2.0, "samples": []}

@@ -1,0 +1,133 @@
+"""Tests for the simulation profiler."""
+
+import functools
+
+import pytest
+
+from repro.network import build_network
+from repro.obs.profiler import (
+    CallbackStats,
+    ProfileReport,
+    SimulationProfiler,
+    callback_name,
+)
+from repro.sim.engine import Simulator
+
+from tests.conftest import line_config
+
+
+def _named():
+    pass
+
+
+class TestCallbackName:
+    def test_plain_function(self):
+        assert callback_name(_named) == "_named"
+
+    def test_unwraps_partial(self):
+        bound = functools.partial(functools.partial(_named))
+        assert callback_name(bound) == "_named"
+
+    def test_method_qualname(self):
+        class Widget:
+            def handler(self):
+                pass
+
+        assert callback_name(Widget().handler).endswith("Widget.handler")
+
+    def test_fallback_to_type_name(self):
+        # builtin instances have no __qualname__; fall back to the type
+        assert callback_name(object()) == "object"
+
+
+class TestProfiler:
+    def test_attributes_events_to_callbacks(self):
+        sim = Simulator()
+        fired = []
+        for t in (1.0, 2.0, 3.0):
+            sim.schedule(t, fired.append, t)
+        profiler = SimulationProfiler()
+        profiler.install(sim)
+        sim.run()
+        report = profiler.report()
+        assert fired == [1.0, 2.0, 3.0]
+        assert report.events == 3
+        assert report.wall_time >= 0.0
+        # depth is sampled at fire time, after the event was popped
+        assert report.max_heap_depth == 2
+        (stats,) = report.callbacks
+        assert stats.count == 3
+        assert stats.total_time >= 0.0
+
+    def test_double_install_raises(self):
+        sim = Simulator()
+        profiler = SimulationProfiler()
+        profiler.install(sim)
+        with pytest.raises(RuntimeError):
+            profiler.install(sim)
+        profiler.uninstall()
+        profiler.uninstall()  # idempotent
+        assert not profiler.installed
+
+    def test_profiling_does_not_change_results(self):
+        config = line_config("rcast", n=3, sim_time=10.0)
+        plain = build_network(config).run()
+        profiled_net = build_network(config)
+        profiler = SimulationProfiler()
+        profiler.install(profiled_net.sim)
+        profiled = profiled_net.run()
+        assert plain.to_dict() == profiled.to_dict()
+        report = profiler.report()
+        assert report.events == profiled.events_processed
+        assert report.events > 0
+
+    def test_exception_in_callback_still_recorded(self):
+        sim = Simulator()
+
+        def boom():
+            raise RuntimeError("bang")
+
+        sim.schedule(1.0, boom)
+        profiler = SimulationProfiler()
+        profiler.install(sim)
+        with pytest.raises(RuntimeError):
+            sim.run()
+        report = profiler.report()
+        assert report.events == 1
+        assert report.callbacks[0].count == 1
+
+
+class TestProfileReport:
+    def _report(self):
+        return ProfileReport(
+            events=30, wall_time=1.0, max_heap_depth=8,
+            pending_events=2, cancelled_events=1,
+            callbacks=[
+                CallbackStats("slow", count=10, total_time=0.6),
+                CallbackStats("fast", count=20, total_time=0.4),
+            ],
+        )
+
+    def test_top_ranks_by_total_time(self):
+        report = self._report()
+        assert [s.name for s in report.top(2)] == ["slow", "fast"]
+        assert [s.name for s in report.top(1)] == ["slow"]
+
+    def test_events_per_sec(self):
+        assert self._report().events_per_sec == 30.0
+        empty = ProfileReport(events=0, wall_time=0.0, max_heap_depth=0,
+                              pending_events=0, cancelled_events=0)
+        assert empty.events_per_sec == 0.0
+
+    def test_to_dict_shares_sum_to_one(self):
+        out = self._report().to_dict()
+        shares = [c["share"] for c in out["callbacks"]]
+        assert abs(sum(shares) - 1.0) < 1e-12
+        assert out["events"] == 30
+        assert out["callbacks"][0]["mean_time"] == pytest.approx(0.06)
+
+    def test_format_renders_rows(self):
+        text = self._report().format()
+        assert "events fired     : 30" in text
+        assert "slow" in text and "fast" in text
+        assert "60.0%" in text

@@ -1,0 +1,105 @@
+"""Tests for the pluggable trace sinks."""
+
+import json
+
+import pytest
+
+from repro.obs.sinks import FilteredSink, JsonlSink, RingBufferSink, read_jsonl
+from repro.sim.trace import TraceLog
+
+
+class TestRingBufferSink:
+    def test_records_and_iterates(self):
+        sink = RingBufferSink(capacity=5)
+        assert sink.enabled
+        sink.emit(1.0, "mac", 0, "a", depth=2)
+        sink.emit(2.0, "dsr", 1, "b")
+        assert len(sink) == 2
+        records = list(sink)
+        assert records[0].get("depth") == 2
+        assert records[1].category == "dsr"
+
+    def test_wraps_at_capacity(self):
+        sink = RingBufferSink(capacity=3)
+        for i in range(10):
+            sink.emit(float(i), "mac", 0, f"e{i}")
+        assert len(sink) == 3
+        assert sink.capacity == 3
+        assert sink.emitted == 10
+        assert sink.dropped == 7
+        assert [r.event for r in sink] == ["e7", "e8", "e9"]
+
+    def test_filter_compatible_with_tracelog(self):
+        sink = RingBufferSink()
+        sink.emit(1.0, "mac", 1, "a")
+        sink.emit(2.0, "dsr", 1, "b")
+        sink.emit(3.0, "mac", 2, "c")
+        assert [r.event for r in sink.filter(category="mac")] == ["a", "c"]
+        assert [r.event for r in sink.filter(node=1)] == ["a", "b"]
+        assert [r.event for r in sink.filter(t_min=2.0, t_max=3.0)] == ["b", "c"]
+
+    def test_rejects_nonpositive_capacity(self):
+        with pytest.raises(ValueError):
+            RingBufferSink(capacity=0)
+
+
+class TestJsonlSink:
+    def test_writes_one_json_line_per_record(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        with JsonlSink(path) as sink:
+            assert sink.enabled
+            sink.emit(0.05, "psm", 0, "sleep", until=0.25)
+            sink.emit(0.25, "psm", 0, "awake", reasons="beacon")
+            assert sink.written == 2
+        lines = path.read_text().splitlines()
+        assert len(lines) == 2
+        first = json.loads(lines[0])
+        assert first == {"time": 0.05, "category": "psm", "node": 0,
+                         "event": "sleep", "fields": {"until": 0.25}}
+
+    def test_close_idempotent_and_disables(self, tmp_path):
+        sink = JsonlSink(tmp_path / "t.jsonl")
+        sink.close()
+        sink.close()
+        assert not sink.enabled
+        sink.emit(1.0, "mac", 0, "dropped")  # no-op after close
+        assert sink.written == 0
+
+    def test_read_jsonl_round_trip(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        with JsonlSink(path) as sink:
+            sink.emit(1.5, "atim", 3, "advertise", dst=7, level="LOW")
+        (rec,) = read_jsonl(path)
+        assert rec.time == 1.5
+        assert rec.category == "atim"
+        assert rec.node == 3
+        assert rec.event == "advertise"
+        assert rec.get("dst") == 7
+        assert rec.get("level") == "LOW"
+
+
+class TestFilteredSink:
+    def test_category_filter(self):
+        log = TraceLog()
+        sink = FilteredSink(log, categories=["atim"])
+        assert sink.enabled
+        assert sink.inner is log
+        sink.emit(1.0, "atim", 0, "kept")
+        sink.emit(1.0, "psm", 0, "dropped")
+        assert [r.event for r in log] == ["kept"]
+
+    def test_node_and_window_filters(self):
+        log = TraceLog()
+        sink = FilteredSink(log, nodes=[1, 2], t_min=1.0, t_max=2.0)
+        sink.emit(1.5, "mac", 1, "kept")
+        sink.emit(1.5, "mac", 3, "wrong-node")
+        sink.emit(0.5, "mac", 1, "too-early")
+        sink.emit(2.5, "mac", 2, "too-late")
+        assert [r.event for r in log] == ["kept"]
+
+    def test_enabled_delegates_to_inner(self, tmp_path):
+        inner = JsonlSink(tmp_path / "t.jsonl")
+        sink = FilteredSink(inner)
+        assert sink.enabled
+        inner.close()
+        assert not sink.enabled

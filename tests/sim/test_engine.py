@@ -192,11 +192,58 @@ def test_event_rescheduling_pattern(sim):
     assert fired == ["new"]
 
 
-def test_pending_events_counts_cancelled(sim):
+def test_pending_events_excludes_cancelled(sim):
     a = sim.schedule(1.0, lambda: None)
     sim.schedule(2.0, lambda: None)
     a.cancel()
-    assert sim.pending_events == 2  # lazy cancellation keeps the entry
+    # Lazy cancellation keeps the heap entry, but the live count and the
+    # cancellation tally both see through it.
+    assert sim.pending_events == 1
+    assert sim.heap_depth == 2
+    assert sim.cancelled_events == 1
     sim.run()
     assert sim.pending_events == 0
+    assert sim.heap_depth == 0
+    assert sim.cancelled_events == 1
     assert sim.processed_events == 1
+
+
+def test_double_cancel_counted_once(sim):
+    a = sim.schedule(1.0, lambda: None)
+    a.cancel()
+    a.cancel()
+    assert sim.cancelled_events == 1
+    assert sim.pending_events == 0
+
+
+def test_cancel_after_fire_is_noop(sim):
+    a = sim.schedule(1.0, lambda: None)
+    sim.run()
+    a.cancel()  # DSR cancels already-fired timers defensively
+    assert sim.cancelled_events == 0
+    assert sim.processed_events == 1
+
+
+def test_clear_resets_cancel_accounting(sim):
+    a = sim.schedule(1.0, lambda: None)
+    a.cancel()
+    sim.clear()
+    assert sim.pending_events == 0
+    assert sim.heap_depth == 0
+
+
+def test_fire_interceptor_wraps_dispatch(sim):
+    fired = []
+    seen = []
+    sim.schedule(1.0, fired.append, "a")
+    sim.schedule(2.0, fired.append, "b")
+
+    def hook(event):
+        seen.append(event.time)
+        event.fire()
+
+    sim.set_fire_interceptor(hook)
+    sim.run()
+    assert fired == ["a", "b"]
+    assert seen == [1.0, 2.0]
+    sim.set_fire_interceptor(None)

@@ -122,3 +122,91 @@ def test_figure_command_workers_and_json_out(tmp_path, capsys, monkeypatch):
     data = json.loads(json_path.read_text())
     assert data["scale_name"] == "smoke"
     assert "variance" in data
+
+
+def test_run_command_trace_out(tmp_path, capsys):
+    import json
+
+    trace_path = tmp_path / "trace.jsonl"
+    code = main([
+        "run", "--scheme", "rcast", "--nodes", "10", "--sim-time", "5",
+        "--connections", "2", "--static", "--seed", "3",
+        "--trace-out", str(trace_path), "--trace-categories", "atim,psm",
+    ])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "trace:" in out
+    lines = trace_path.read_text().splitlines()
+    assert lines
+    for line in lines:
+        record = json.loads(line)
+        assert set(record) == {"time", "category", "node", "event", "fields"}
+        assert record["category"] in ("atim", "psm")
+
+
+def test_run_command_json_out_with_timeline(tmp_path):
+    import json
+
+    json_path = tmp_path / "run.json"
+    code = main([
+        "run", "--scheme", "psm", "--nodes", "10", "--sim-time", "5",
+        "--connections", "2", "--static", "--seed", "3",
+        "--sample-interval", "1", "--json-out", str(json_path),
+    ])
+    assert code == 0
+    data = json.loads(json_path.read_text())
+    assert set(data) == {"metrics", "manifest", "timeline"}
+    assert data["metrics"]["scheme"] == "psm"
+    assert data["manifest"]["events_processed"] > 0
+    assert data["manifest"]["wall_time"] > 0
+    assert len(data["timeline"]["samples"]) == 5
+
+
+def test_profile_command(tmp_path, capsys):
+    import json
+
+    json_path = tmp_path / "profile.json"
+    code = main([
+        "profile", "--scheme", "rcast", "--nodes", "10", "--sim-time", "5",
+        "--connections", "2", "--static", "--seed", "3",
+        "--top", "5", "--json-out", str(json_path),
+    ])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "events fired" in out
+    assert "events/sec" in out
+    assert "callback" in out
+    data = json.loads(json_path.read_text())
+    assert data["events"] > 0
+    assert len(data["callbacks"]) <= 5
+    for row in data["callbacks"]:
+        assert set(row) == {"name", "count", "total_time", "mean_time",
+                            "share"}
+
+
+def test_sweep_json_out_carries_replication_manifests(tmp_path, monkeypatch):
+    import dataclasses
+    import json
+
+    import repro.cli as cli
+    from repro.experiments.scenarios import SMOKE_SCALE
+
+    tiny = dataclasses.replace(SMOKE_SCALE, num_nodes=12, sim_time=8.0,
+                               num_connections=2, repetitions=2)
+    monkeypatch.setitem(cli._SCALES, "smoke", tiny)
+    json_path = tmp_path / "sweep.json"
+    code = main([
+        "sweep", "--schemes", "rcast", "--rates", "0.5",
+        "--scenarios", "static", "--scale", "smoke",
+        "--json-out", str(json_path),
+    ])
+    assert code == 0
+    data = json.loads(json_path.read_text())
+    manifests = data["replications"]
+    assert len(manifests) == 2
+    assert [m["rep"] for m in manifests] == [0, 1]
+    for manifest in manifests:
+        assert manifest["scheme"] == "rcast"
+        assert manifest["events_processed"] > 0
+        assert manifest["wall_time"] > 0
+        assert manifest["events_per_sec"] > 0
