@@ -1,0 +1,46 @@
+"""Benchmark: hot-path microbenchmarks behind ``rcast-repro bench``.
+
+Unlike the figure benchmarks, these do not reproduce a paper result — they
+time the simulator layers the hot-path overhaul targets (snapshot refresh,
+neighbor queries, transmit/finish cycles, raw event dispatch) so that
+pytest-benchmark's history machinery can track them alongside the figures.
+The CI regression gate lives in the ``rcast-repro bench --baseline`` CLI
+(see ``benchmarks/baseline_hotpath.json``); these tests only assert that
+each stage completes and reports a positive rate.
+"""
+
+from repro.obs import bench
+
+from benchmarks.conftest import run_once
+
+# Keep pytest runs quick: one timed pass per stage; best-of-N belongs to
+# the CLI harness.
+_REPEAT = 1
+
+
+def test_hotpath_snapshot_refresh(benchmark):
+    result = run_once(benchmark, bench.bench_snapshot_refresh, repeat=_REPEAT)
+    assert result["refreshes_per_sec"] > 0
+
+
+def test_hotpath_neighbor_query(benchmark):
+    result = run_once(benchmark, bench.bench_neighbor_query, repeat=_REPEAT)
+    assert result["queries_per_sec"] > 0
+
+
+def test_hotpath_transmit_finish(benchmark):
+    result = run_once(benchmark, bench.bench_transmit_finish, repeat=_REPEAT)
+    assert result["cycles_per_sec"] > 0
+
+
+def test_hotpath_engine_drain(benchmark):
+    result = run_once(benchmark, bench.bench_engine_drain, repeat=_REPEAT)
+    assert result["events_per_sec"] > 0
+
+
+def test_hotpath_workload_smoke(benchmark):
+    """End-to-end smoke workload; bench scale is the CLI's job."""
+    result = run_once(benchmark, bench.bench_workload, "smoke", repeat=_REPEAT)
+    assert result["events"] > 0
+    assert result["events_per_sec"] > 0
+    assert result["profiler_top"], "profiled pass produced no callbacks"

@@ -141,11 +141,12 @@ class WallClock(Rule):
 
     id = "R002"
     name = "wall-clock"
-    # The CLI reports elapsed wall time to humans, and the opt-in profiler
-    # (repro.obs.profiler) times callbacks around the fire interceptor;
-    # neither read feeds back into simulated behaviour, so both modules are
-    # allowlisted (and use perf_counter anyway).
-    allow = ("cli.py", "obs/profiler.py")
+    # The CLI reports elapsed wall time to humans, the opt-in profiler
+    # (repro.obs.profiler) times callbacks around the fire interceptor, and
+    # the hot-path bench harness (repro.obs.bench) times whole runs; none of
+    # these reads feeds back into simulated behaviour, so all three modules
+    # are allowlisted (and use perf_counter anyway).
+    allow = ("cli.py", "obs/profiler.py", "obs/bench.py")
 
     def run(self, ctx: FileContext) -> Iterator[Finding]:
         for node, bound_name in ctx.imports.from_time_wallclock:

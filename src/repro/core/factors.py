@@ -138,7 +138,9 @@ class CompositeProbability:
         p = self._base(announcement)
         for factor in self._factors:
             p *= factor(announcement)
-        return min(max(p, 0.0), 1.0)
+        if p <= 0.0:
+            return 0.0
+        return p if p < 1.0 else 1.0
 
 
 __all__ = [

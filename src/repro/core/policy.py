@@ -147,7 +147,9 @@ class RandomizedOverhearing:
     def probability(self, announcement: "Announcement") -> float:
         """The P_R that would be used for this announcement, clamped to [0, 1]."""
         p = self._probability_fn(announcement)
-        return min(max(p, 0.0), 1.0)
+        if p <= 0.0:
+            return 0.0
+        return p if p < 1.0 else 1.0
 
     def decide(self, announcement: "Announcement") -> bool:
         """True when the node should stay awake and overhear."""

@@ -25,6 +25,7 @@ import random
 from collections import deque
 from dataclasses import dataclass
 from enum import Enum
+from math import log
 from typing import Callable, Deque, Optional, Set
 
 from repro.constants import (
@@ -35,9 +36,15 @@ from repro.constants import (
 )
 from repro.mac.frames import Frame
 from repro.phy.channel import Channel
+from repro.phy.energy import RadioState
 from repro.sim.events import Event
 from repro.sim.engine import Simulator
 from repro.sim.trace import NULL_TRACE, TraceSink
+
+
+#: ``MAC_BACKOFF_GROWTH ** min(attempts, 6)``, precomputed — the backoff
+#: runs on every busy deferral and retry, and the float power dominated it.
+_BACKOFF_GROWTH_POW = tuple(MAC_BACKOFF_GROWTH ** i for i in range(7))
 
 
 class TxOutcome(Enum):
@@ -53,6 +60,10 @@ class _Submission:
     frame: Frame
     on_done: Callable[[Frame, TxOutcome, Set[int]], None]
     deadline: Optional[float]
+    #: channel airtime for this frame, computed once at submission —
+    #: busy deferrals re-run the deadline check on every attempt, and the
+    #: frame's size does not change while it is queued.
+    airtime: float = 0.0
     attempts: int = 0
 
 
@@ -75,10 +86,23 @@ class DcfTransmitter:
         self.rng = rng
         self.retry_limit = retry_limit
         self.backoff_mean = backoff_mean
+        #: per-retry-level exponential rates, precomputed exactly as the
+        #: inline expression (``1.0 / (mean * growth**i)``) so the inlined
+        #: draw below stays bit-identical to ``rng.expovariate``.
+        self._backoff_lambd = tuple(
+            1.0 / (backoff_mean * g) for g in _BACKOFF_GROWTH_POW)
         self.trace = trace
         self._pending: Deque[_Submission] = deque()
         self._current: Optional[_Submission] = None
+        #: our Radio, resolved lazily on the first attempt (radios may be
+        #: registered with the channel after the MAC stack is built)
+        self._radio = None
         self._attempt_event: Optional[Event] = None
+        #: hot-loop callables bound once — attempts fire over a million
+        #: times per bench run, and each ``self.channel.is_busy`` /
+        #: ``self._attempt`` access would allocate a bound method.
+        self._is_busy = channel.is_busy
+        self._attempt_cb = self._attempt
         # Statistics
         self.busy_deferrals = 0
         self.retries = 0
@@ -103,7 +127,8 @@ class DcfTransmitter:
         deadline: Optional[float] = None,
     ) -> None:
         """Queue ``frame`` for CSMA/CA transmission."""
-        self._pending.append(_Submission(frame, on_done, deadline))
+        airtime = self.channel.transmission_time(frame.size_bytes)
+        self._pending.append(_Submission(frame, on_done, deadline, airtime))
         if self._current is None:
             self._next()
 
@@ -123,8 +148,10 @@ class DcfTransmitter:
         Mirrors the 802.11 contention-window doubling: retransmissions
         spread out in time, de-correlating repeated interference.
         """
-        mean = self.backoff_mean * (MAC_BACKOFF_GROWTH ** min(attempts, 6))
-        return self.rng.expovariate(1.0 / mean)
+        # Inlined ``rng.expovariate(lambd)`` — same float operations in the
+        # same order, minus a method call that fires on every deferral.
+        lambd = self._backoff_lambd[attempts if attempts < 6 else 6]
+        return -log(1.0 - self.rng.random()) / lambd
 
     def _next(self) -> None:
         if self._current is not None:
@@ -137,7 +164,7 @@ class DcfTransmitter:
         self._schedule_attempt(DIFS_S + self._backoff())
 
     def _schedule_attempt(self, delay: float) -> None:
-        self._attempt_event = self.sim.schedule(delay, self._attempt)
+        self._attempt_event = self.sim.schedule(delay, self._attempt_cb)
 
     def _finish(self, outcome: TxOutcome, delivered: Set[int]) -> None:
         sub = self._current
@@ -153,18 +180,20 @@ class DcfTransmitter:
         sub = self._current
         if sub is None:  # cancelled between scheduling and firing
             return
-        now = self.sim.now
-        airtime = self.channel.transmission_time(sub.frame.size_bytes)
-        if sub.deadline is not None and now + airtime > sub.deadline:
+        deadline = sub.deadline
+        if deadline is not None and self.sim.now + sub.airtime > deadline:
             self._finish(TxOutcome.DEFERRED, set())
             return
-        radio = self.channel.radios[self.node_id]
-        if not radio.is_awake:
+        radio = self._radio
+        if radio is None:
+            radio = self._radio = self.channel.radios[self.node_id]
+        if radio.meter._state is RadioState.SLEEP:
+            # (Radio.is_awake, inlined — this check runs per attempt.)
             # The PSM MAC keeps senders awake; reaching this means the node
             # went to sleep with work queued — defer to the next interval.
             self._finish(TxOutcome.DEFERRED, set())
             return
-        if self.channel.is_busy(self.node_id):
+        if self._is_busy(self.node_id):
             self.busy_deferrals += 1
             self._schedule_attempt(self._backoff(sub.attempts))
             return

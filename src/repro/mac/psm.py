@@ -81,6 +81,9 @@ class PsmMac(MacBase):
                 f"{atim_window} / {beacon_interval}"
             )
         self.rcast = rcast
+        #: bound once — called for every delivered frame and every
+        #: processed announcement (millions of times at bench scale).
+        self._note_heard = rcast.note_heard
         self.power = power_manager if power_manager is not None else AlwaysPs()
         self.beacon_interval = beacon_interval
         self.atim_window = atim_window
@@ -172,7 +175,10 @@ class PsmMac(MacBase):
         if not self._queue:
             return
         mode = self.power.mode(self.sim.now)
-        neighbors = self.positions.neighbors(self.node_id)
+        # Ascending per-snapshot tuple: iteration order is deterministic by
+        # construction (ATIM delivery schedules events), and no frozenset
+        # is materialized per announce call.
+        neighbors = self.positions.sorted_neighbors(self.node_id)
         # One ATIM per destination, as in the 802.11 PSM: a single
         # advertisement covers every frame buffered for that receiver, and
         # the strongest overhearing level among them is the one encoded.
@@ -246,7 +252,7 @@ class PsmMac(MacBase):
             self._mode_beliefs[announcement.sender] = (
                 announcement.sender_mode, self.sim.now,
             )
-        self.rcast.note_heard(announcement.sender)
+        self._note_heard(announcement.sender)
         if announcement.dst == self.node_id:
             self._reasons.add("addressed")
         elif announcement.is_broadcast:
@@ -357,7 +363,7 @@ class PsmMac(MacBase):
     # ------------------------------------------------------------------
 
     def _on_channel_receive(self, frame: Frame, sender: int) -> None:
-        self.rcast.note_heard(sender)
+        self._note_heard(sender)
         if frame.sender_mode is not None:
             self._mode_beliefs[sender] = (frame.sender_mode, self.sim.now)
         packet = frame.packet

@@ -119,7 +119,7 @@ class SpanElection:
         return False
 
     def _should_volunteer(self, node: int) -> bool:
-        neighbors = sorted(self.positions.neighbors(node))
+        neighbors = self.positions.sorted_neighbors(node)
         for i, u in enumerate(neighbors):
             for w in neighbors[i + 1:]:
                 if not self._pair_connected(u, w, self.coordinators):
@@ -129,7 +129,7 @@ class SpanElection:
     def _can_withdraw(self, node: int) -> bool:
         if self.sim.now - self._since.get(node, 0.0) < self.withdraw_grace:
             return False
-        neighbors = sorted(self.positions.neighbors(node))
+        neighbors = self.positions.sorted_neighbors(node)
         for i, u in enumerate(neighbors):
             for w in neighbors[i + 1:]:
                 if not self._pair_connected(u, w, self.coordinators,

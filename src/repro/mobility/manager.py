@@ -4,9 +4,11 @@ Protocol layers never talk to mobility models directly; they ask the
 :class:`PositionService`, which
 
 * snapshots all node positions at most once per ``refresh`` seconds of
-  virtual time (vectorized via numpy),
+  virtual time,
 * derives the symmetric neighbor relation ``dist <= tx_range`` from each
-  snapshot, and
+  snapshot using a uniform spatial grid (cell size = carrier-sense range),
+  so only nodes in adjacent cells are ever compared — sub-quadratic for
+  arenas larger than a few cells, never worse than the dense product, and
 * exposes the per-node neighbor count that Rcast's ``P_R = 1/n`` uses and a
   link-change rate estimate used by the mobility decision factor.
 
@@ -14,11 +16,29 @@ The refresh period (default 1 s) trades fidelity for speed: a node moving at
 the paper's maximum 20 m/s covers 20 m between snapshots, well under the
 250 m radio range, so the neighbor relation is accurate to a few percent of
 the range.
+
+Snapshot caching contract (the simulator hot path depends on it):
+
+* :meth:`neighbors` / :meth:`cs_neighbors` return **interned frozensets**
+  built once per refresh — repeated queries between refreshes return the
+  *same object*, and a refresh that leaves a node's neighborhood unchanged
+  keeps the old object too (static topologies never re-allocate).
+* :meth:`sorted_neighbors` returns the same relation as an ascending
+  tuple, precomputed per refresh — callers that need deterministic
+  iteration order (the channel's audible snapshot, SPAN's pair scans) get
+  it without a per-call ``tuple(sorted(...))``.
+* Link-change accounting walks the old and new sorted index tuples with a
+  two-pointer merge instead of ``set.symmetric_difference``.
+
+Determinism note: membership is decided on squared distances
+(``d² <= range²``) computed with identical elementwise operations in every
+grid block, so the relation is a pure function of the snapshot positions —
+independent of cell shape, block iteration order, or node numbering.
 """
 
 from __future__ import annotations
 
-from typing import FrozenSet, List, Optional, Set, Tuple
+from typing import Dict, FrozenSet, List, Optional, Tuple
 
 import numpy as np
 from numpy.typing import NDArray
@@ -29,8 +49,25 @@ from repro.mobility.base import MobilityModel
 from repro.sim.engine import Simulator
 
 
+def _count_changes(old: Tuple[int, ...], new: Tuple[int, ...]) -> int:
+    """Size of the symmetric difference of two ascending index tuples."""
+    i = j = common = 0
+    len_old, len_new = len(old), len(new)
+    while i < len_old and j < len_new:
+        a, b = old[i], new[j]
+        if a == b:
+            common += 1
+            i += 1
+            j += 1
+        elif a < b:
+            i += 1
+        else:
+            j += 1
+    return len_old + len_new - 2 * common
+
+
 class PositionService:
-    """Time-cached positions and O(1)-amortized neighbor lookups."""
+    """Time-cached positions and allocation-free neighbor lookups."""
 
     def __init__(
         self,
@@ -53,9 +90,16 @@ class PositionService:
         self.refresh = refresh
         self.num_nodes = model.num_nodes
         self._snapshot_time = -1.0
+        #: first virtual time at which the current snapshot is stale
+        self._valid_until = -1.0
         self._positions: NDArray[np.float64] = np.zeros((self.num_nodes, 2))
-        self._neighbors: List[Set[int]] = [set() for _ in range(self.num_nodes)]
-        self._cs_neighbors: List[Set[int]] = [set() for _ in range(self.num_nodes)]
+        empty_tuple: Tuple[int, ...] = ()
+        empty_set: FrozenSet[int] = frozenset()
+        self._neighbor_tuples: List[Tuple[int, ...]] = (
+            [empty_tuple] * self.num_nodes)
+        self._cs_tuples: List[Tuple[int, ...]] = [empty_tuple] * self.num_nodes
+        self._neighbor_sets: List[FrozenSet[int]] = [empty_set] * self.num_nodes
+        self._cs_sets: List[FrozenSet[int]] = [empty_set] * self.num_nodes
         #: cumulative count of neighbor-set changes observed per node,
         #: feeding the mobility decision factor.
         self.link_changes: NDArray[np.int64] = np.zeros(self.num_nodes,
@@ -69,25 +113,76 @@ class PositionService:
 
     def _refresh_now(self, force: bool = False) -> None:
         now = self._sim.now
-        if not force and now - self._snapshot_time < self.refresh:
+        if not force and now < self._valid_until:
             return
         self._snapshot_time = now
-        self._positions = self._model.positions_at(now)
-        diff = self._positions[:, None, :] - self._positions[None, :, :]
-        dist = np.sqrt(np.einsum("ijk,ijk->ij", diff, diff))
-        np.fill_diagonal(dist, np.inf)
-        in_tx = dist <= self.tx_range
-        in_cs = dist <= self.cs_range
-        for node in range(self.num_nodes):
-            new_neighbors = set(np.nonzero(in_tx[node])[0].tolist())
-            if self._bootstrapped:
-                changed = len(
-                    new_neighbors.symmetric_difference(self._neighbors[node])
-                )
-                if changed:
-                    self.link_changes[node] += changed
-            self._neighbors[node] = new_neighbors
-            self._cs_neighbors[node] = set(np.nonzero(in_cs[node])[0].tolist())
+        self._valid_until = now + self.refresh
+        positions = self._model.positions_at(now)
+        self._positions = positions
+        num_nodes = self.num_nodes
+
+        # Bin nodes into a uniform grid of cs_range-sized cells.  A node's
+        # carrier-sense disc is then fully covered by its own cell plus the
+        # eight adjacent ones, so those are the only candidates compared.
+        cells = np.floor(positions * (1.0 / self.cs_range)).astype(np.int64)
+        col = cells[:, 0].tolist()
+        row = cells[:, 1].tolist()
+        buckets: Dict[Tuple[int, int], List[int]] = {}
+        for node in range(num_nodes):
+            buckets.setdefault((col[node], row[node]), []).append(node)
+
+        tx_sq = self.tx_range * self.tx_range
+        cs_sq = self.cs_range * self.cs_range
+        new_tx: List[Tuple[int, ...]] = [()] * num_nodes
+        new_cs: List[Tuple[int, ...]] = [()] * num_nodes
+        for (cx, cy), members in buckets.items():
+            candidates: List[int] = []
+            for dx in (-1, 0, 1):
+                for dy in (-1, 0, 1):
+                    block = buckets.get((cx + dx, cy + dy))
+                    if block is not None:
+                        candidates.extend(block)
+            # Ascending candidate ids make every derived neighbor tuple
+            # ascending too (a load-bearing invariant: delivery iterates
+            # these tuples directly).
+            candidates.sort()
+            cand = np.asarray(candidates, dtype=np.int64)
+            rows = np.asarray(members, dtype=np.int64)
+            diff = positions[rows][:, None, :] - positions[cand][None, :, :]
+            dist_sq = np.einsum("ijk,ijk->ij", diff, diff)
+            in_tx = dist_sq <= tx_sq
+            in_cs = dist_sq <= cs_sq
+            for local, node in enumerate(members):
+                not_self = cand != node
+                new_tx[node] = tuple(cand[in_tx[local] & not_self].tolist())
+                new_cs[node] = tuple(cand[in_cs[local] & not_self].tolist())
+
+        # Interning + link-change accounting.  Only nodes whose membership
+        # actually changed get fresh tuple/frozenset objects; everyone else
+        # keeps the previous snapshot's objects (zero allocation when the
+        # topology is static).
+        bootstrapped = self._bootstrapped
+        nbr_tuples = self._neighbor_tuples
+        nbr_sets = self._neighbor_sets
+        cs_tuples = self._cs_tuples
+        cs_sets = self._cs_sets
+        link_changes = self.link_changes
+        for node in range(num_nodes):
+            fresh = new_tx[node]
+            old = nbr_tuples[node]
+            if fresh != old:
+                if bootstrapped:
+                    link_changes[node] += _count_changes(old, fresh)
+                nbr_tuples[node] = fresh
+                nbr_sets[node] = frozenset(fresh)
+            elif not bootstrapped:
+                nbr_sets[node] = frozenset(fresh)
+            fresh_cs = new_cs[node]
+            if fresh_cs != cs_tuples[node]:
+                cs_tuples[node] = fresh_cs
+                cs_sets[node] = frozenset(fresh_cs)
+            elif not bootstrapped:
+                cs_sets[node] = frozenset(fresh_cs)
         self._bootstrapped = True
 
     # ------------------------------------------------------------------
@@ -96,43 +191,69 @@ class PositionService:
 
     def positions(self) -> NDArray[np.float64]:
         """Snapshot of all positions (refreshed if stale)."""
-        self._refresh_now()
+        if self._sim.now >= self._valid_until:
+            self._refresh_now()
         return self._positions
 
     def position_of(self, node: int) -> Tuple[float, float]:
         """Current (cached) position of one node."""
-        self._refresh_now()
+        if self._sim.now >= self._valid_until:
+            self._refresh_now()
         return (float(self._positions[node, 0]), float(self._positions[node, 1]))
 
     def neighbors(self, node: int) -> FrozenSet[int]:
-        """Nodes within transmission range of ``node``."""
-        self._refresh_now()
-        return frozenset(self._neighbors[node])
+        """Nodes within transmission range of ``node`` (interned)."""
+        if self._sim.now >= self._valid_until:
+            self._refresh_now()
+        return self._neighbor_sets[node]
 
     def cs_neighbors(self, node: int) -> FrozenSet[int]:
-        """Nodes within carrier-sense range of ``node``."""
-        self._refresh_now()
-        return frozenset(self._cs_neighbors[node])
+        """Nodes within carrier-sense range of ``node`` (interned)."""
+        if self._sim.now >= self._valid_until:
+            self._refresh_now()
+        return self._cs_sets[node]
+
+    def sorted_neighbors(self, node: int) -> Tuple[int, ...]:
+        """Ascending tuple of nodes within transmission range of ``node``.
+
+        The tuple is built once per refresh and shared between callers, so
+        iterating it is allocation-free and its order is a stable function
+        of the snapshot (node ids ascending) — safe to drive event
+        scheduling from.
+        """
+        if self._sim.now >= self._valid_until:
+            self._refresh_now()
+        return self._neighbor_tuples[node]
 
     def neighbor_count(self, node: int) -> int:
         """Number of radio neighbors (Rcast's ``P_R`` denominator)."""
-        self._refresh_now()
-        return len(self._neighbors[node])
+        if self._sim.now >= self._valid_until:
+            self._refresh_now()
+        return len(self._neighbor_tuples[node])
 
     def in_range(self, a: int, b: int) -> bool:
         """True when ``a`` and ``b`` are within transmission range."""
-        self._refresh_now()
-        return b in self._neighbors[a]
+        if self._sim.now >= self._valid_until:
+            self._refresh_now()
+        return b in self._neighbor_sets[a]
+
+    def in_cs_range(self, a: int, b: int) -> bool:
+        """True when ``b`` is within carrier-sense range of ``a``."""
+        if self._sim.now >= self._valid_until:
+            self._refresh_now()
+        return b in self._cs_sets[a]
 
     def distance(self, a: int, b: int) -> float:
         """Distance between the cached positions of two nodes."""
-        self._refresh_now()
+        if self._sim.now >= self._valid_until:
+            self._refresh_now()
         diff = self._positions[a] - self._positions[b]
         return float(np.hypot(diff[0], diff[1]))
 
     def link_change_rate(self, node: int) -> float:
         """Neighbor-set changes per second observed so far at ``node``."""
-        self._refresh_now()
+        if self._sim.now >= self._valid_until:
+            self._refresh_now()
         elapsed = max(self._sim.now, self.refresh)
         return float(self.link_changes[node]) / elapsed
 

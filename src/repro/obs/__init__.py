@@ -22,6 +22,13 @@ Modules
 ``manifest``
     Per-replication run manifests (seed, config hash, wall time, events
     processed) surfaced through progress events and ``--json-out``.
+``bench``
+    Hot-path benchmark harness behind ``rcast-repro bench``: stage
+    microbenchmarks (snapshot refresh, neighbor query, transmit/finish,
+    engine drain) plus fig7-workload events/sec, emitted as
+    ``BENCH_hotpath.json`` with a committed-baseline regression gate.
+    Imported lazily (``from repro.obs import bench``) because it pulls in
+    the full network build stack.
 """
 
 from repro.obs.manifest import RunManifest, config_hash

@@ -29,6 +29,7 @@ from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Set, Tuple
 from repro.constants import BITRATE_BPS, MAC_HEADER_BYTES
 from repro.errors import ChannelError
 from repro.mobility.manager import PositionService
+from repro.phy.energy import RadioState
 from repro.phy.radio import Radio
 from repro.sim.engine import Simulator
 from repro.sim.trace import NULL_TRACE, TraceSink
@@ -37,6 +38,9 @@ if TYPE_CHECKING:
     from repro.mac.frames import Frame
 
 _tx_ids = itertools.count()
+
+#: Hoisted for the inlined ``can_receive`` checks in transmit/_finish.
+_SLEEP = RadioState.SLEEP
 
 
 def reset_tx_ids() -> None:
@@ -98,6 +102,10 @@ class Channel:
         self._active: Dict[int, Transmission] = {}
         self._receivers: Dict[int, Callable[[Frame, int], None]] = {}
         self._tx_complete: Dict[int, Callable[[Frame, Set[int]], None]] = {}
+        #: payload size -> airtime memo; the DCF recomputes the airtime on
+        #: every attempt and payload sizes come from a handful of frame
+        #: shapes, so the memo stays tiny and hits almost always.
+        self._airtime: Dict[int, float] = {}
         # Statistics
         self.frames_sent = 0
         self.frames_delivered = 0
@@ -129,18 +137,35 @@ class Channel:
     # ------------------------------------------------------------------
 
     def is_busy(self, node_id: int) -> bool:
-        """Would ``node_id`` sense the medium busy right now?"""
-        if node_id in self._active:
-            return True
-        if not self._active:
+        """Would ``node_id`` sense the medium busy right now?
+
+        The common case is zero, one or two active transmissions, so the
+        scan short-circuits: no set is ever constructed (the position
+        service hands out its interned per-snapshot frozensets), a single
+        active transmission is answered with one membership probe, and the
+        multi-transmission loop returns at the first sender in cs-range.
+        """
+        active = self._active
+        if not active:
             return False
+        if node_id in active:
+            return True
         cs = self.positions.cs_neighbors(node_id)
-        return any(tx.sender in cs for tx in self._active.values())
+        if len(active) == 1:
+            (tx,) = active.values()
+            return tx.sender in cs
+        for tx in active.values():
+            if tx.sender in cs:
+                return True
+        return False
 
     def transmission_time(self, payload_bytes: int) -> float:
         """Airtime for a frame carrying ``payload_bytes`` of payload."""
-        bits = (payload_bytes + self.mac_overhead_bytes) * 8
-        return bits / self.bitrate
+        airtime = self._airtime.get(payload_bytes)
+        if airtime is None:
+            bits = (payload_bytes + self.mac_overhead_bytes) * 8
+            airtime = self._airtime[payload_bytes] = bits / self.bitrate
+        return airtime
 
     # ------------------------------------------------------------------
     # Transmission
@@ -161,10 +186,17 @@ class Channel:
         duration = self.transmission_time(frame.size_bytes)
         now = self.sim.now
         tx = Transmission(sender_id, frame, now, now + duration)
-        tx.audible = tuple(sorted(self.positions.neighbors(sender_id)))
+        # The position service's per-snapshot ascending tuple, shared — not
+        # a per-transmission `tuple(sorted(...))` allocation.
+        tx.audible = self.positions.sorted_neighbors(sender_id)
+        radios = self.radios
+        eligible = tx.eligible_at_start
+        # Radio.can_receive(), inlined: one call per audible node per
+        # transmission adds up to millions of frames at bench scale.
         for node in tx.audible:
-            if self.radios[node].can_receive():
-                tx.eligible_at_start.add(node)
+            r = radios[node]
+            if r.meter._state is not _SLEEP and now >= r._tx_until:
+                eligible.add(node)
 
         # Record mutual overlap with every currently active transmission and
         # mark collisions eagerly where interference domains intersect.
@@ -183,43 +215,67 @@ class Channel:
         return tx
 
     def _mark_mutual_corruption(self, a: Transmission, b: Transmission) -> None:
-        """Corrupt each transmission at receivers that can hear both senders."""
+        """Corrupt each transmission at receivers that can hear both senders.
+
+        Uses the position service's interned cs frozensets directly — no
+        per-overlap-pair set construction.
+        """
+        positions = self.positions
         for tx, other in ((a, b), (b, a)):
-            other_cs = self.positions.cs_neighbors(other.sender)
+            other_sender = other.sender
+            other_cs = positions.cs_neighbors(other_sender)
+            corrupted = tx.corrupted_at
             for node in tx.audible:
-                if node in other_cs or node == other.sender:
-                    tx.corrupted_at.add(node)
+                if node in other_cs or node == other_sender:
+                    corrupted.add(node)
 
     def _finish(self, tx: Transmission) -> None:
-        del self._active[tx.sender]
-        self.radios[tx.sender].end_tx()
+        sender = tx.sender
+        del self._active[sender]
+        radios = self.radios
+        radios[sender].end_tx()
 
+        # ``audible`` is ascending, so collecting survivors in audible
+        # order yields the sorted delivery order directly — receiver
+        # callbacks re-enter the MAC layer, and firing them in node order
+        # keeps event scheduling independent of set iteration order.
+        eligible = tx.eligible_at_start
+        corrupted = tx.corrupted_at
         delivered: Set[int] = set()
+        delivery_order: List[int] = []
+        now = self.sim.now
+        # Stats counted in locals: per-node instance-attribute updates in
+        # this loop were measurable at bench scale.
+        missed = collided = 0
         for node in tx.audible:
-            if node not in tx.eligible_at_start:
-                self.frames_missed_asleep += 1
+            if node not in eligible:
+                missed += 1
                 continue
-            if node in tx.corrupted_at:
-                self.frames_collided += 1
+            if node in corrupted:
+                collided += 1
                 continue
-            radio = self.radios[node]
-            if not radio.can_receive():
+            r = radios[node]
+            # Radio.can_receive(), inlined (see transmit).
+            if r.meter._state is _SLEEP or now < r._tx_until:
                 # Fell asleep or started transmitting mid-frame.
-                self.frames_missed_asleep += 1
+                missed += 1
                 continue
             delivered.add(node)
+            delivery_order.append(node)
+        self.frames_missed_asleep += missed
+        self.frames_collided += collided
+        self.frames_delivered += len(delivery_order)
 
-        # Receiver callbacks re-enter the MAC layer; fire them in node
-        # order so event scheduling cannot depend on set iteration order.
-        for node in sorted(delivered):
-            self.frames_delivered += 1
-            receiver = self._receivers.get(node)
+        frame = tx.frame
+        receivers = self._receivers
+        for node in delivery_order:
+            receiver = receivers.get(node)
             if receiver is not None:
-                receiver(tx.frame, tx.sender)
+                receiver(frame, sender)
 
-        on_complete = self._tx_complete.get(tx.sender)
+        on_complete = self._tx_complete.get(sender)
         if on_complete is not None:
-            on_complete(tx.frame, delivered)
+            on_complete(frame, delivered)
 
 
 __all__ = ["Channel", "Transmission", "reset_tx_ids"]

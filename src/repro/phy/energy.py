@@ -78,6 +78,11 @@ class EnergyMeter:
         """Current radio state."""
         return self._state
 
+    @property
+    def awake(self) -> bool:
+        """True in any state except SLEEP (hot-path single-hop check)."""
+        return self._state is not RadioState.SLEEP
+
     def transition(self, new_state: RadioState, time: float) -> None:
         """Move to ``new_state`` at virtual time ``time``."""
         if self._finalized:

@@ -34,8 +34,13 @@ class Radio:
 
     @property
     def is_awake(self) -> bool:
-        """True unless the radio is in the doze state."""
-        return self.meter.state.awake
+        """True unless the radio is in the doze state.
+
+        Reads the meter's state attribute directly (rather than the
+        ``EnergyMeter.awake`` property) — this check runs millions of times
+        per run from the channel delivery and DCF attempt paths.
+        """
+        return self.meter._state is not RadioState.SLEEP
 
     @property
     def is_transmitting(self) -> bool:
@@ -45,9 +50,13 @@ class Radio:
     def can_receive(self) -> bool:
         """True when the radio could decode an incoming frame right now.
 
-        A half-duplex radio cannot receive while transmitting.
+        A half-duplex radio cannot receive while transmitting.  The channel
+        calls this once per audible node per transmission, so the awake and
+        transmitting checks are inlined rather than routed through the
+        ``is_awake`` / ``is_transmitting`` properties.
         """
-        return self.is_awake and not self.is_transmitting
+        return (self.meter._state is not RadioState.SLEEP
+                and self.sim.now >= self._tx_until)
 
     # ------------------------------------------------------------------
     # State transitions (driven by MAC)

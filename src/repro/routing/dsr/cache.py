@@ -19,17 +19,32 @@ primary the first time it is actually used.
 
 An optional ``timeout`` expires entries by age (off by default, as in
 classic DSR — the paper's stale-route discussion relies on this).
+
+Hot-path note: ``add_path`` runs on every overheard path, every RREQ
+reverse path and every forwarded source route — at dense-network rates it
+is one of the busiest functions in the whole simulator.  Each segment
+therefore keeps a prefix index (every length-``>=2`` prefix of every cached
+path, in insertion order) so the "is this path already covered by a cached
+extension?" test is a single dict lookup instead of an O(segment) scan with
+a tuple slice per entry.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from operator import attrgetter
 from typing import Dict, Iterable, List, Optional, Set, Tuple
 
 from repro.errors import RoutingError
 
 #: sources that go to the primary segment
 PRIMARY_SOURCES = frozenset({"rrep", "forward", "local"})
+
+#: LRU eviction order: least recently used, oldest-inserted tie-break.
+#: attrgetter runs at C speed; eviction scans whole segments on every
+#: insertion into a full cache, which is the steady state under dense
+#: overhearing, so the key function is genuinely hot.
+_LRU_KEY = attrgetter("last_used", "added_at")
 
 
 @dataclass
@@ -41,6 +56,77 @@ class CachedPath:
     last_used: float
     source: str = "unknown"  # 'rrep' | 'forward' | 'overhear' | 'rreq' | ...
     uses: int = 0
+
+
+class _Segment:
+    """One LRU-bounded cache segment plus its prefix index.
+
+    ``entries`` maps the full path to its entry (insertion-ordered, as all
+    dicts are); ``prefixes`` maps every prefix of length >= 2 of every
+    cached path to the entries carrying it, in insertion order — so "the
+    first entry in segment order extending path P" is ``prefixes[P][0]``.
+    ``links`` maps each undirected hop ``(min, max)`` to the entries whose
+    path traverses it (loop-free paths cross a link at most once), again in
+    insertion order, so link invalidation only visits affected entries.
+    """
+
+    __slots__ = ("entries", "prefixes", "links")
+
+    def __init__(self) -> None:
+        self.entries: Dict[Tuple[int, ...], CachedPath] = {}
+        self.prefixes: Dict[Tuple[int, ...], List[CachedPath]] = {}
+        self.links: Dict[Tuple[int, int], List[CachedPath]] = {}
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def insert(self, entry: CachedPath) -> None:
+        path = entry.path
+        self.entries[path] = entry
+        prefixes = self.prefixes
+        for i in range(2, len(path) + 1):
+            prefixes.setdefault(path[:i], []).append(entry)
+        links = self.links
+        prev = path[0]
+        for node in path[1:]:
+            key = (prev, node) if prev < node else (node, prev)
+            links.setdefault(key, []).append(entry)
+            prev = node
+
+    def remove(self, entry: CachedPath) -> None:
+        path = entry.path
+        del self.entries[path]
+        prefixes = self.prefixes
+        for i in range(2, len(path) + 1):
+            key = path[:i]
+            bucket = prefixes[key]
+            bucket.remove(entry)
+            if not bucket:
+                del prefixes[key]
+        links = self.links
+        prev = path[0]
+        for node in path[1:]:
+            lkey = (prev, node) if prev < node else (node, prev)
+            lbucket = links[lkey]
+            lbucket.remove(entry)
+            if not lbucket:
+                del links[lkey]
+            prev = node
+
+    def extension_of(self, path: Tuple[int, ...]) -> Optional[CachedPath]:
+        """Earliest-inserted entry having ``path`` as a prefix (or equal)."""
+        bucket = self.prefixes.get(path)
+        return bucket[0] if bucket else None
+
+    def using_link(self, a: int, b: int) -> List[CachedPath]:
+        """Entries traversing undirected link ``a-b``, in insertion order."""
+        key = (a, b) if a < b else (b, a)
+        return self.links.get(key, [])
+
+    def clear(self) -> None:
+        self.entries.clear()
+        self.prefixes.clear()
+        self.links.clear()
 
 
 class RouteCache:
@@ -59,8 +145,8 @@ class RouteCache:
         self.capacity = capacity              # secondary segment bound
         self.primary_capacity = primary_capacity
         self.timeout = timeout
-        self._primary: Dict[Tuple[int, ...], CachedPath] = {}
-        self._secondary: Dict[Tuple[int, ...], CachedPath] = {}
+        self._primary = _Segment()
+        self._secondary = _Segment()
         # Statistics
         self.hits = 0
         self.misses = 0
@@ -76,65 +162,73 @@ class RouteCache:
 
     def __contains__(self, path: Iterable[int]) -> bool:
         key = tuple(path)
-        return key in self._primary or key in self._secondary
+        return key in self._primary.entries or key in self._secondary.entries
 
     def paths(self) -> List[CachedPath]:
         """All cached entries (primary first)."""
-        return list(self._primary.values()) + list(self._secondary.values())
+        return (list(self._primary.entries.values())
+                + list(self._secondary.entries.values()))
 
-    def _segments(self) -> Tuple[Dict[Tuple[int, ...], CachedPath], ...]:
+    def _segments(self) -> Tuple[_Segment, ...]:
         return (self._primary, self._secondary)
 
     # ------------------------------------------------------------------
     # Insertion
     # ------------------------------------------------------------------
 
-    def add_path(self, path: Iterable[int], now: float, source: str = "unknown") -> bool:
+    def add_path(self, path: Iterable[int], now: float, source: str = "unknown",
+                 validate: bool = True) -> bool:
         """Cache ``path`` (must start at the owner, be loop-free, len >= 2).
 
         Returns True when a new entry was stored, False when it duplicated
-        existing knowledge (whose recency is refreshed instead).
+        existing knowledge (whose recency is refreshed instead).  Callers
+        that already guarantee the path invariants (the DSR learning paths
+        pre-filter loops and short paths) may pass ``validate=False`` to
+        skip re-checking them.
         """
         path = tuple(path)
-        if len(path) < 2:
-            raise RoutingError(f"path too short: {path}")
-        if path[0] != self.owner:
-            raise RoutingError(f"path {path} does not start at owner {self.owner}")
-        if len(set(path)) != len(path):
-            raise RoutingError(f"path has a loop: {path}")
-        self._expire(now)
+        if validate:
+            if len(path) < 2:
+                raise RoutingError(f"path too short: {path}")
+            if path[0] != self.owner:
+                raise RoutingError(
+                    f"path {path} does not start at owner {self.owner}")
+            if len(set(path)) != len(path):
+                raise RoutingError(f"path has a loop: {path}")
+        if self.timeout is not None:
+            self._expire(now)
         for segment in self._segments():
-            existing = segment.get(path)
+            existing = segment.entries.get(path)
             if existing is not None:
                 existing.last_used = now
                 return False
             # A strict prefix of an existing path adds no information.
-            for cached in segment.values():
-                if len(cached.path) >= len(path) and cached.path[: len(path)] == path:
-                    cached.last_used = now
-                    return False
+            covering = segment.extension_of(path)
+            if covering is not None:
+                covering.last_used = now
+                return False
         segment = self._primary if source in PRIMARY_SOURCES else self._secondary
         bound = (self.primary_capacity if segment is self._primary
                  else self.capacity)
         if len(segment) >= bound:
             self._evict_lru(segment)
-        segment[path] = CachedPath(path, now, now, source)
+        segment.insert(CachedPath(path, now, now, source))
         self.insertions += 1
         return True
 
-    def _evict_lru(self, segment: Dict[Tuple[int, ...], CachedPath]) -> None:
-        victim = min(segment.values(), key=lambda c: (c.last_used, c.added_at))
-        del segment[victim.path]
+    def _evict_lru(self, segment: _Segment) -> None:
+        victim = min(segment.entries.values(), key=_LRU_KEY)
+        segment.remove(victim)
         self.evictions += 1
 
     def _expire(self, now: float) -> None:
         if self.timeout is None:
             return
         for segment in self._segments():
-            dead = [p for p, c in segment.items()
+            dead = [c for c in segment.entries.values()
                     if now - c.added_at > self.timeout]
-            for path in dead:
-                del segment[path]
+            for entry in dead:
+                segment.remove(entry)
                 self.invalidations += 1
 
     # ------------------------------------------------------------------
@@ -153,7 +247,7 @@ class RouteCache:
         best_len = None
         best_segment = None
         for segment in self._segments():
-            for cached in segment.values():
+            for cached in segment.entries.values():
                 try:
                     idx = cached.path.index(dst)
                 except ValueError:
@@ -171,10 +265,10 @@ class RouteCache:
         best.uses += 1
         self.hits += 1
         if best_segment is self._secondary:
-            del self._secondary[best.path]
+            self._secondary.remove(best)
             if len(self._primary) >= self.primary_capacity:
                 self._evict_lru(self._primary)
-            self._primary[best.path] = best
+            self._primary.insert(best)
             self.promotions += 1
         return best.path[:best_len]
 
@@ -182,7 +276,8 @@ class RouteCache:
         """True when a route to ``dst`` is cached (does not count hit/miss)."""
         self._expire(now)
         return any(
-            dst in c.path[1:] for seg in self._segments() for c in seg.values()
+            dst in c.path[1:]
+            for seg in self._segments() for c in seg.entries.values()
         )
 
     def known_destinations(self, now: float) -> Set[int]:
@@ -190,7 +285,7 @@ class RouteCache:
         self._expire(now)
         out: Set[int] = set()
         for segment in self._segments():
-            for cached in segment.values():
+            for cached in segment.entries.values():
                 out.update(cached.path[1:])
         return out
 
@@ -207,25 +302,26 @@ class RouteCache:
         """
         affected = 0
         for segment in self._segments():
-            replacements: Dict[Tuple[int, ...], Optional[CachedPath]] = {}
-            for path, cached in segment.items():
-                cut = self._link_position(path, a, b)
-                if cut is None:
+            replacements: List[Tuple[CachedPath, Optional[CachedPath]]] = []
+            for cached in segment.using_link(a, b):
+                cut = self._link_position(cached.path, a, b)
+                if cut is None:  # pragma: no cover - index guarantees a hit
                     continue
                 affected += 1
-                prefix = path[: cut + 1]
+                prefix = cached.path[: cut + 1]
                 if len(prefix) >= 2:
-                    replacements[path] = CachedPath(
+                    replacements.append((cached, CachedPath(
                         prefix, cached.added_at, cached.last_used,
                         cached.source, cached.uses,
-                    )
+                    )))
                 else:
-                    replacements[path] = None
-            for path, replacement in replacements.items():
-                del segment[path]
+                    replacements.append((cached, None))
+            for cached, replacement in replacements:
+                segment.remove(cached)
                 self.invalidations += 1
-                if replacement is not None and replacement.path not in segment:
-                    segment[replacement.path] = replacement
+                if (replacement is not None
+                        and replacement.path not in segment.entries):
+                    segment.insert(replacement)
         return affected
 
     @staticmethod

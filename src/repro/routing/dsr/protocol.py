@@ -469,7 +469,9 @@ class DsrProtocol:
     def _safe_add(self, path: Tuple[int, ...], source: str) -> None:
         if len(path) < 2 or len(set(path)) != len(path):
             return
-        self.cache.add_path(path, self.sim.now, source)
+        # Every caller builds ``path`` starting at this node, and the loop
+        # check just ran — skip the cache's own (re-)validation.
+        self.cache.add_path(path, self.sim.now, source, validate=False)
         if self.trace.enabled:
             self.trace.emit(self.sim.now, "dsr", self.node_id, "cache_add",
                             dst=path[-1], hops=len(path) - 1, source=source)

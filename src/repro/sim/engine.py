@@ -7,7 +7,12 @@ drains the heap until the horizon (or until the queue empties).
 
 Design notes
 ------------
-* The heap stores :class:`~repro.sim.events.Event` objects directly; lazy
+* The heap stores ``(sort_key, Event)`` tuples rather than bare events:
+  every sift comparison then resolves on the ``(time, priority, seq)``
+  key tuple entirely in C (``seq`` is unique, so the comparison never
+  falls through to the Event object).  A drained run performs ~10 heap
+  comparisons per event, so routing them through a Python ``__lt__``
+  was one of the largest single overheads in the dispatch loop.  Lazy
   cancellation avoids O(n) heap surgery.
 * Time never moves backwards.  Scheduling strictly in the past raises
   :class:`~repro.errors.SchedulingError`; scheduling *at* the current time is
@@ -30,22 +35,24 @@ class Simulator:
     """Event-driven virtual-time scheduler."""
 
     def __init__(self) -> None:
-        self._now = 0.0
-        self._heap: list[Event] = []
+        #: Current virtual time in seconds.  A plain attribute, not a
+        #: property: protocol code reads ``sim.now`` over a million times
+        #: per bench-scale run and the descriptor call was pure overhead.
+        #: It is written only by the dispatch loop — treat it as read-only.
+        self.now = 0.0
+        self._heap: list[tuple[tuple[float, int, int], Event]] = []
         self._running = False
         self._processed = 0
         self._cancelled_pending = 0
         self._cancelled_total = 0
         self._fire_hook: Optional[Callable[[Event], None]] = None
+        #: ``_note_cancel`` bound once — attaching it to every scheduled
+        #: event would otherwise allocate a fresh bound method per event.
+        self._note_cancel_cb = self._note_cancel
 
     # ------------------------------------------------------------------
     # Clock
     # ------------------------------------------------------------------
-
-    @property
-    def now(self) -> float:
-        """Current virtual time in seconds."""
-        return self._now
 
     @property
     def processed_events(self) -> int:
@@ -103,10 +110,18 @@ class Simulator:
         *args: Any,
         priority: int = PRIORITY_NORMAL,
     ) -> Event:
-        """Schedule ``callback(*args)`` to fire ``delay`` seconds from now."""
+        """Schedule ``callback(*args)`` to fire ``delay`` seconds from now.
+
+        The body duplicates :meth:`schedule_at` rather than delegating: this
+        is the single most-called scheduling entry point and the extra call
+        frame is measurable in the dispatch-bound profiles.
+        """
         if delay < 0:
             raise SchedulingError(f"negative delay {delay!r}")
-        return self.schedule_at(self._now + delay, callback, *args, priority=priority)
+        event = Event(self.now + delay, callback, args, priority,
+                      self._note_cancel_cb)
+        heapq.heappush(self._heap, (event._key, event))
+        return event
 
     def schedule_at(
         self,
@@ -116,13 +131,12 @@ class Simulator:
         priority: int = PRIORITY_NORMAL,
     ) -> Event:
         """Schedule ``callback(*args)`` to fire at absolute time ``time``."""
-        if time < self._now:
+        if time < self.now:
             raise SchedulingError(
-                f"cannot schedule at t={time!r}, clock already at t={self._now!r}"
+                f"cannot schedule at t={time!r}, clock already at t={self.now!r}"
             )
-        event = Event(time, callback, args, priority)
-        event.on_cancel = self._note_cancel
-        heapq.heappush(self._heap, event)
+        event = Event(time, callback, args, priority, self._note_cancel_cb)
+        heapq.heappush(self._heap, (event._key, event))
         return event
 
     # ------------------------------------------------------------------
@@ -139,22 +153,34 @@ class Simulator:
             raise SchedulingError("Simulator.run() is not reentrant")
         self._running = True
         try:
-            while self._heap:
-                event = self._heap[0]
-                if until is not None and event.time > until:
+            # Local bindings: this loop dispatches every event of a run, so
+            # repeated attribute/global lookups are measurable overhead.
+            heap = self._heap
+            heappop = heapq.heappop
+            # One float compare per event instead of a None test + compare.
+            horizon = until if until is not None else float("inf")
+            while heap:
+                key, event = heap[0]
+                if key[0] > horizon:
                     break
-                heapq.heappop(self._heap)
+                heappop(heap)
                 if event.cancelled:
                     self._cancelled_pending -= 1
                     continue
-                self._now = event.time
+                self.now = key[0]
+                # Not counted in a loop-local: the timeline recorder samples
+                # ``processed_events`` from scheduled callbacks mid-run.
                 self._processed += 1
-                if self._fire_hook is None:
-                    event.fire()
+                hook = self._fire_hook
+                if hook is None:
+                    # Inlined Event.fire(): one fewer function call on the
+                    # hottest line in the system.
+                    event.fired = True
+                    event.callback(*event.args)
                 else:
-                    self._fire_hook(event)
-            if until is not None and until > self._now:
-                self._now = until
+                    hook(event)
+            if until is not None and until > self.now:
+                self.now = until
         finally:
             self._running = False
 
@@ -164,11 +190,11 @@ class Simulator:
         Returns ``True`` if an event fired, ``False`` if the queue is empty.
         """
         while self._heap:
-            event = heapq.heappop(self._heap)
+            _, event = heapq.heappop(self._heap)
             if event.cancelled:
                 self._cancelled_pending -= 1
                 continue
-            self._now = event.time
+            self.now = event.time
             self._processed += 1
             if self._fire_hook is None:
                 event.fire()
@@ -178,9 +204,20 @@ class Simulator:
         return False
 
     def clear(self) -> None:
-        """Drop all pending events (the clock is left untouched)."""
+        """Drop all pending events and reset cancellation bookkeeping.
+
+        Retained across a clear: the clock (``now``) and ``processed_events``
+        — both describe history that really happened.  Reset: the heap,
+        ``pending_events`` (trivially, the heap is empty) and the cancelled
+        counters (``cancelled_events`` and the internal pending-cancelled
+        balance).  The cancelled counters describe *queue* state, and after
+        a clear the old queue no longer exists — leaving ``cancelled_events``
+        at its pre-clear value made profiler gauges after a mid-run clear
+        look like the fresh queue had already churned through cancellations.
+        """
         self._heap.clear()
         self._cancelled_pending = 0
+        self._cancelled_total = 0
 
 
 __all__ = ["Simulator"]

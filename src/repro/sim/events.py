@@ -36,10 +36,16 @@ class Event:
     when popped.  This keeps cancellation O(1), which matters because MAC
     retry timers and DSR discovery timers are cancelled far more often than
     they fire.
+
+    The ``(time, priority, seq)`` ordering key is frozen at construction
+    (``_key``): ``__lt__`` runs on every heap sift and was measurably the
+    single hottest comparison in large runs when it rebuilt two tuples per
+    call.  All three components are immutable after construction, so the
+    precomputed key can never go stale.
     """
 
     __slots__ = ("time", "priority", "seq", "callback", "args", "cancelled",
-                 "fired", "on_cancel")
+                 "fired", "on_cancel", "_key")
 
     def __init__(
         self,
@@ -47,15 +53,18 @@ class Event:
         callback: Callable[..., None],
         args: Tuple[Any, ...] = (),
         priority: int = PRIORITY_NORMAL,
+        on_cancel: Optional[Callable[[], None]] = None,
     ) -> None:
+        seq = next(_seq_counter)
         self.time = time
         self.priority = priority
-        self.seq = next(_seq_counter)
+        self.seq = seq
         self.callback = callback
         self.args = args
         self.cancelled = False
         self.fired = False
-        self.on_cancel: Optional[Callable[[], None]] = None
+        self.on_cancel = on_cancel
+        self._key = (time, priority, seq)
 
     def cancel(self) -> None:
         """Mark the event so the kernel skips it when popped.
@@ -80,10 +89,10 @@ class Event:
 
     def sort_key(self) -> Tuple[float, int, int]:
         """Heap ordering key: (time, priority, insertion sequence)."""
-        return (self.time, self.priority, self.seq)
+        return self._key
 
     def __lt__(self, other: "Event") -> bool:
-        return self.sort_key() < other.sort_key()
+        return self._key < other._key
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         state = "cancelled" if self.cancelled else "pending"

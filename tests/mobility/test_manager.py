@@ -112,3 +112,71 @@ def test_invalid_parameters(sim, kwargs):
     model = StaticPlacement([(1.0, 1.0), (2.0, 2.0)], arena)
     with pytest.raises(ConfigurationError):
         PositionService(sim, model, **kwargs)
+
+
+# --- Interned snapshot identity (hot-path contract) ------------------------
+
+class _StepModel(StaticPlacement):
+    """Static until ``switch_at``; node 0 jumps far away afterwards."""
+
+    def __init__(self, positions, arena, switch_at):
+        super().__init__(positions, arena)
+        self.switch_at = switch_at
+
+    def positions_at(self, time):
+        pos = super().positions_at(time).copy()
+        if time >= self.switch_at:
+            pos[0] = (self.arena.width - 1.0, self.arena.height - 1.0)
+        return pos
+
+
+def _step_service(sim, switch_at=5.0):
+    arena = Arena(1000.0, 200.0)
+    # 110 m spacing: adjacent nodes are tx neighbors (150 m), and
+    # node 0 is outside node 3's cs range (330 m > 300 m).
+    positions = [(10.0 + i * 110.0, 50.0) for i in range(4)]
+    model = _StepModel(positions, arena, switch_at)
+    return PositionService(sim, model, tx_range=150.0, cs_range=300.0,
+                           refresh=1.0)
+
+
+def test_neighbor_objects_interned_between_refreshes(sim):
+    service = _step_service(sim)
+    nbr = service.neighbors(1)
+    cs = service.cs_neighbors(1)
+    tup = service.sorted_neighbors(1)
+    # Repeated queries within the refresh period: the same objects.
+    assert service.neighbors(1) is nbr
+    assert service.cs_neighbors(1) is cs
+    assert service.sorted_neighbors(1) is tup
+
+
+def test_neighbor_objects_survive_unchanged_refresh(sim):
+    service = _step_service(sim, switch_at=100.0)
+    nbr = service.neighbors(1)
+    cs = service.cs_neighbors(1)
+    tup = service.sorted_neighbors(1)
+    # Cross several refresh periods with an unchanged topology: a refresh
+    # that leaves membership identical must keep the interned objects.
+    sim.schedule(3.5, lambda: None)
+    sim.run()
+    assert service.neighbors(1) is nbr
+    assert service.cs_neighbors(1) is cs
+    assert service.sorted_neighbors(1) is tup
+
+
+def test_neighbor_objects_replaced_after_topology_change(sim):
+    service = _step_service(sim, switch_at=5.0)
+    nbr = service.neighbors(1)
+    tup = service.sorted_neighbors(1)
+    cs_far = service.cs_neighbors(3)
+    before_changes = int(service.link_changes.sum())
+    # Node 0 jumps across the arena at t=5: node 1 loses a tx neighbor.
+    sim.schedule(6.0, lambda: None)
+    sim.run()
+    assert service.neighbors(1) is not nbr
+    assert service.sorted_neighbors(1) is not tup
+    assert 0 not in service.neighbors(1)
+    assert int(service.link_changes.sum()) > before_changes
+    # Node 3 never had node 0 in cs range; its interned set is untouched.
+    assert service.cs_neighbors(3) is cs_far

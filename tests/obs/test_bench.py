@@ -1,0 +1,74 @@
+"""Tests for the hot-path benchmark harness (repro.obs.bench)."""
+
+import json
+
+import pytest
+
+from repro.obs import bench
+
+
+def test_stage_benchmarks_report_rates():
+    refresh = bench.bench_snapshot_refresh(num_nodes=10, iterations=3,
+                                           repeat=1)
+    assert refresh["refreshes_per_sec"] > 0
+    query = bench.bench_neighbor_query(num_nodes=10, iterations=5, repeat=1)
+    assert query["queries_per_sec"] > 0
+    assert query["iterations"] == 5 * 10 * 3
+    cycle = bench.bench_transmit_finish(num_nodes=10, iterations=5, repeat=1)
+    assert cycle["cycles_per_sec"] > 0
+    drain = bench.bench_engine_drain(events=500, repeat=1)
+    assert drain["events_per_sec"] > 0
+
+
+def test_run_hotpath_bench_smoke_payload():
+    result = bench.run_hotpath_bench("smoke", repeat=1, top_n=3)
+    assert result["schema"] == bench.SCHEMA
+    assert result["scale"] == "smoke"
+    assert set(result["stages"]) == {
+        "snapshot_refresh", "neighbor_query", "transmit_finish",
+        "engine_drain",
+    }
+    assert result["events_per_sec"] > 0
+    assert result["workload"]["events"] > 0
+    assert result["workload"]["profiler_top"]
+    # The pre-PR reference is recorded for provenance even off-scale; the
+    # speedup figure only applies to the baseline's own workload.
+    assert result["baseline"] == bench.PRE_PR_BASELINE
+    assert "speedup_vs_pre_pr" not in result
+    # Round-trips through JSON (the CI artifact).
+    assert json.loads(json.dumps(result)) == result
+    assert bench.format_result(result).startswith("hotpath bench [smoke]")
+
+
+def test_run_hotpath_bench_rejects_unknown_scale():
+    with pytest.raises(ValueError):
+        bench.run_hotpath_bench("galactic")
+
+
+def test_compare_to_baseline_gate():
+    result = {"scale": "smoke", "events_per_sec": 1000.0}
+    ok, msg = bench.compare_to_baseline(
+        result, {"scale": "smoke", "events_per_sec": 1200}, 0.30)
+    assert ok and "ok:" in msg
+    ok, msg = bench.compare_to_baseline(
+        result, {"scale": "smoke", "events_per_sec": 2000}, 0.30)
+    assert not ok and "REGRESSION" in msg
+    # Scale mismatch: the check is skipped, not failed.
+    ok, msg = bench.compare_to_baseline(
+        result, {"scale": "bench", "events_per_sec": 99999}, 0.30)
+    assert ok and "skipped" in msg
+    # A baseline without a scale tag applies unconditionally.
+    ok, _ = bench.compare_to_baseline(
+        result, {"events_per_sec": 900}, 0.30)
+    assert ok
+
+
+def test_write_and_load_json_roundtrip(tmp_path):
+    payload = {"schema": bench.SCHEMA, "scale": "smoke",
+               "events_per_sec": 123.0}
+    path = str(tmp_path / "bench.json")
+    assert bench.write_json(payload, path) == path
+    assert bench.load_json(path) == payload
+    (tmp_path / "bad.json").write_text("[1, 2]")
+    with pytest.raises(ValueError):
+        bench.load_json(str(tmp_path / "bad.json"))

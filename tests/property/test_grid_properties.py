@@ -1,0 +1,107 @@
+"""Property tests: the spatial-grid neighbor index vs the O(N²) product.
+
+The grid index in :meth:`PositionService._refresh_now` must compute exactly
+the relation the dense pairwise comparison would: membership is decided on
+squared distances with the same elementwise float operations in every grid
+block, so the result is a pure function of the snapshot — independent of
+cell boundaries, block iteration order, or node numbering.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mobility.base import Arena
+from repro.mobility.manager import PositionService
+from repro.mobility.static import StaticPlacement
+from repro.sim.engine import Simulator
+
+_ARENA_W = 1500.0
+_ARENA_H = 600.0
+
+_coord = st.tuples(
+    st.floats(min_value=0.0, max_value=_ARENA_W, allow_nan=False),
+    st.floats(min_value=0.0, max_value=_ARENA_H, allow_nan=False),
+)
+
+
+def _brute_force(positions, range_m):
+    """Dense pairwise relation, same elementwise math as the grid path."""
+    pos = np.asarray(positions, dtype=float)
+    diff = pos[:, None, :] - pos[None, :, :]
+    dist_sq = np.einsum("ijk,ijk->ij", diff, diff)
+    in_range = dist_sq <= range_m * range_m
+    np.fill_diagonal(in_range, False)
+    return [frozenset(np.flatnonzero(in_range[i]).tolist())
+            for i in range(len(pos))]
+
+
+def _service(positions, tx_range, cs_range):
+    sim = Simulator()
+    model = StaticPlacement(positions, Arena(_ARENA_W, _ARENA_H))
+    return PositionService(sim, model, tx_range=tx_range, cs_range=cs_range)
+
+
+@given(
+    positions=st.lists(_coord, min_size=1, max_size=40),
+    tx_range=st.floats(min_value=1.0, max_value=600.0, allow_nan=False),
+    cs_factor=st.floats(min_value=1.0, max_value=3.0, allow_nan=False),
+)
+@settings(max_examples=100, deadline=None)
+def test_grid_matches_brute_force(positions, tx_range, cs_factor):
+    cs_range = tx_range * cs_factor
+    service = _service(positions, tx_range, cs_range)
+    expected_tx = _brute_force(positions, tx_range)
+    expected_cs = _brute_force(positions, cs_range)
+    for node in range(len(positions)):
+        assert service.neighbors(node) == expected_tx[node]
+        assert service.cs_neighbors(node) == expected_cs[node]
+        assert service.sorted_neighbors(node) == tuple(
+            sorted(expected_tx[node]))
+
+
+@given(
+    positions=st.lists(_coord, min_size=2, max_size=20),
+    tx_range=st.floats(min_value=1.0, max_value=600.0, allow_nan=False),
+)
+@settings(max_examples=50, deadline=None)
+def test_grid_handles_coincident_positions(positions, tx_range):
+    # Duplicate every position: coincident nodes (distance 0) must be
+    # mutual neighbors and never their own neighbor.
+    doubled = list(positions) + list(positions)
+    service = _service(doubled, tx_range, tx_range)
+    n = len(positions)
+    for node in range(n):
+        twin = node + n
+        assert twin in service.neighbors(node)
+        assert node in service.neighbors(twin)
+        assert node not in service.neighbors(node)
+    expected = _brute_force(doubled, tx_range)
+    for node in range(len(doubled)):
+        assert service.neighbors(node) == expected[node]
+
+
+def test_boundary_exact_spacing_is_inclusive():
+    # Nodes exactly tx_range apart: the relation is `d² <= range²`, so an
+    # exact-boundary pair must be neighbors — and the grid must agree even
+    # though the pair straddles a cell boundary (cell size == cs_range).
+    tx = 250.0
+    positions = [(0.0, 50.0), (tx, 50.0), (2 * tx, 50.0)]
+    service = _service(positions, tx, tx)
+    assert service.neighbors(0) == frozenset({1})
+    assert service.neighbors(1) == frozenset({0, 2})
+    assert service.neighbors(2) == frozenset({1})
+    expected = _brute_force(positions, tx)
+    for node in range(3):
+        assert service.neighbors(node) == expected[node]
+
+
+def test_boundary_exact_cs_spacing_is_inclusive():
+    # Same boundary check for the carrier-sense relation, with cs > tx so
+    # the two relations differ at the boundary node pair.
+    tx, cs = 100.0, 300.0
+    positions = [(0.0, 50.0), (cs, 50.0)]
+    service = _service(positions, tx, cs)
+    assert service.neighbors(0) == frozenset()
+    assert service.cs_neighbors(0) == frozenset({1})
+    assert service.cs_neighbors(1) == frozenset({0})

@@ -247,3 +247,26 @@ def test_fire_interceptor_wraps_dispatch(sim):
     assert fired == ["a", "b"]
     assert seen == [1.0, 2.0]
     sim.set_fire_interceptor(None)
+
+
+def test_clear_resets_cancelled_total(sim):
+    a = sim.schedule(1.0, lambda: None)
+    sim.schedule(2.0, lambda: None)
+    a.cancel()
+    assert sim.cancelled_events == 1
+    sim.clear()
+    # The cancelled counters describe queue state; after a clear the old
+    # queue no longer exists, so the totals restart from zero.
+    assert sim.cancelled_events == 0
+    assert sim.pending_events == 0
+    b = sim.schedule(1.0, lambda: None)
+    b.cancel()
+    assert sim.cancelled_events == 1
+
+
+def test_clear_retains_clock_and_processed_count(sim):
+    sim.schedule(1.0, lambda: None)
+    sim.run()
+    sim.clear()
+    assert sim.now == 1.0
+    assert sim.processed_events == 1
