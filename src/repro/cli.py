@@ -14,7 +14,11 @@ Subcommands:
 * ``table1``   — the scheme-behaviour comparison (Table 1);
 * ``fig5`` .. ``fig9`` — regenerate one figure of the paper;
 * ``ablation`` — the extension studies (factors / tap / rreq);
+* ``resilience`` — scheme degradation under injected crashes and loss;
 * ``lint``     — rcast-lint determinism & protocol-invariant checks.
+
+``run --faults plan.json`` injects a deterministic fault plan (see
+:mod:`repro.faults.plan` for the JSON format).
 
 ``--scale {smoke,bench,paper}`` selects the fidelity/time trade-off.
 ``--workers N`` shards replications across N worker processes (0 = all
@@ -46,6 +50,7 @@ from repro.experiments import (
     fig8,
     fig9,
     lifetime,
+    resilience,
     sensitivity,
     span_study,
     staleness_study,
@@ -81,6 +86,7 @@ _FIGURES: Dict[str, Tuple[Callable[..., Any], Callable[..., str]]] = {
     "span": (span_study.run, span_study.format_result),
     "sync": (sync_study.run, sync_study.format_result),
     "staleness": (staleness_study.run, staleness_study.format_result),
+    "resilience": (resilience.run, resilience.format_result),
 }
 
 _ABLATIONS: Dict[str, Callable[..., Any]] = {
@@ -99,6 +105,9 @@ def _build_parser() -> argparse.ArgumentParser:
 
     run_p = sub.add_parser("run", help="run one simulation")
     _add_sim_args(run_p)
+    run_p.add_argument("--faults", dest="faults", default=None,
+                       help="JSON fault-plan file to inject "
+                            "(crashes, packet loss, noise windows)")
     run_p.add_argument("--trace-out", dest="trace_out", default=None,
                        help="write a structured JSONL trace to this file")
     run_p.add_argument("--trace-categories", dest="trace_categories",
@@ -232,13 +241,23 @@ def _cmd_run(args: argparse.Namespace) -> int:
     import json as json_module
     from pathlib import Path
 
+    from dataclasses import replace
+
+    from repro.errors import ConfigurationError
+    from repro.faults.plan import FaultPlan
     from repro.network import build_network
     from repro.obs.manifest import RunManifest, config_hash
     from repro.obs.metrics import TimelineRecorder
     from repro.obs.sinks import FilteredSink, JsonlSink
-    from repro.sim.trace import NULL_TRACE, TraceSink
+    from repro.sim.trace import NULL_TRACE, TRACE_CATEGORIES, TraceSink
 
     config = _config_from_args(args)
+    if args.faults:
+        try:
+            plan = FaultPlan.load(args.faults)
+        except ConfigurationError as exc:
+            raise SystemExit(f"--faults: {exc}")
+        config = replace(config, faults=plan)
     # perf_counter, not time.time(): monotonic, immune to NTP clock steps.
     # This module is on the rcast-lint R002 allowlist because reporting
     # elapsed wall time to a human is the one legitimate wall-clock use —
@@ -247,9 +266,16 @@ def _cmd_run(args: argparse.Namespace) -> int:
     jsonl: Optional[JsonlSink] = None
     trace: TraceSink = NULL_TRACE
     if args.trace_out:
-        jsonl = JsonlSink(args.trace_out)
         categories = [c.strip() for c in
                       (args.trace_categories or "").split(",") if c.strip()]
+        unknown = sorted(set(categories) - set(TRACE_CATEGORIES))
+        if unknown:
+            # Before the sink opens (and truncates) the output file.
+            raise SystemExit(
+                f"--trace-categories: unknown {unknown}; known categories: "
+                f"{', '.join(TRACE_CATEGORIES)}"
+            )
+        jsonl = JsonlSink(args.trace_out)
         trace = (FilteredSink(jsonl, categories=categories)
                  if categories else jsonl)
     recorder = (TimelineRecorder(args.sample_interval)
@@ -276,6 +302,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
             scheme=config.scheme, seed=config.seed,
             config_hash=config_hash(config), wall_time=wall_time,
             events_processed=metrics.events_processed,
+            fault_counts=metrics.fault_counts or None,
         )
         payload: Dict[str, Any] = {
             "metrics": metrics.to_dict(),

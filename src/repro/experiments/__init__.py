@@ -16,6 +16,7 @@ module     paper content
 `lifetime` network lifetime under finite batteries (extension)
 `sensitivity` PSM beacon/ATIM timing sensitivity (extension)
 `aodv_study`  footnote 1: DSR vs AODV under PSM (extension)
+`resilience`  scheme degradation under injected faults (extension)
 `export`   JSON/CSV serialization of sweep results
 ========== ==========================================================
 

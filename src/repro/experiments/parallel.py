@@ -149,6 +149,7 @@ def _run_work_item(
         events_processed=metrics.events_processed,
         cell=str(item.cell),
         rep=item.rep,
+        fault_counts=metrics.fault_counts or None,
     )
     return item.cell, item.rep, metrics, manifest
 

@@ -1,0 +1,34 @@
+"""Deterministic fault injection (:class:`FaultPlan` + :class:`FaultInjector`).
+
+See :mod:`repro.faults.plan` for the serializable plan vocabulary and
+:mod:`repro.faults.injector` for how plans execute against a built network.
+"""
+
+from repro.faults.injector import FAULT_CATEGORY, FaultInjector
+from repro.faults.plan import (
+    EMPTY_PLAN,
+    BurstLoss,
+    EnergyDepletion,
+    FaultEvent,
+    FaultPlan,
+    NodeCrash,
+    NoiseWindow,
+    PacketLoss,
+    RandomCrashes,
+    RandomDepletions,
+)
+
+__all__ = [
+    "BurstLoss",
+    "EMPTY_PLAN",
+    "EnergyDepletion",
+    "FAULT_CATEGORY",
+    "FaultEvent",
+    "FaultInjector",
+    "FaultPlan",
+    "NodeCrash",
+    "NoiseWindow",
+    "PacketLoss",
+    "RandomCrashes",
+    "RandomDepletions",
+]

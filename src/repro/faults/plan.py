@@ -1,0 +1,437 @@
+"""Typed, serializable fault plans.
+
+A :class:`FaultPlan` is an ordered, immutable collection of typed fault
+events describing *what goes wrong* during a run: node crashes (with
+optional recovery), premature energy depletion, per-link / per-node packet
+loss (Bernoulli and Gilbert-Elliott burst), and ambient noise windows that
+shrink the effective reception range.  Plans are pure data:
+
+* **Composable** — ``plan_a + plan_b`` concatenates event lists.
+* **Serializable** — :meth:`FaultPlan.to_json` / :meth:`FaultPlan.from_json`
+  round-trip through a versioned JSON document, so plans travel in run
+  manifests and CLI files (``rcast-repro run --faults plan.json``).
+* **Seed-derived** — parametric events (:class:`RandomCrashes`,
+  :class:`RandomDepletions`) are expanded at injection time with RNG
+  streams derived via :func:`repro.sim.rng.derive_seed` from the *run's*
+  seed, so the same plan produces different (but deterministic) concrete
+  fault schedules across replications, and the same (config, seed, plan)
+  triple is always bit-identical — serial or parallel.
+
+The empty plan is a provable no-op: :func:`repro.network.build_network`
+installs no injector for it, leaving every code path (and every RNG
+stream) byte-identical to a run with no plan at all.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field, fields
+from pathlib import Path
+from typing import (
+    Any,
+    Dict,
+    List,
+    Optional,
+    Tuple,
+    Type,
+    Union,
+)
+
+from repro.errors import ConfigurationError
+
+#: Directed link scope: (sender, receiver) pairs.
+LinkScope = Tuple[Tuple[int, int], ...]
+
+
+@dataclass(frozen=True)
+class NodeCrash:
+    """Node ``node`` crashes at ``at`` (optionally recovering later).
+
+    A crash kills the whole stack: the radio drops to the doze state, the
+    MAC's pending events are cancelled, and the routing agent stops
+    originating or absorbing packets.  With ``recover_at`` set the node
+    comes back *cold* — MAC beacon clock restarted on its own offset grid,
+    routing caches and discovery state flushed.
+    """
+
+    kind: str = field(default="node-crash", init=False)
+
+    node: int
+    at: float
+    recover_at: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.node < 0:
+            raise ConfigurationError(f"crash node must be >= 0, got {self.node}")
+        if self.at < 0:
+            raise ConfigurationError(f"crash time must be >= 0, got {self.at}")
+        if self.recover_at is not None and self.recover_at <= self.at:
+            raise ConfigurationError(
+                f"recover_at ({self.recover_at}) must be after crash time "
+                f"({self.at})"
+            )
+
+
+@dataclass(frozen=True)
+class RandomCrashes:
+    """Parametric crash schedule: each candidate node crashes i.i.d.
+
+    Every node in ``nodes`` (default: all) crashes with probability
+    ``fraction`` at a uniform time in ``[start, stop)``; crashed nodes
+    recover ``recover_after`` seconds later when set.  Expansion happens at
+    injection time with a seed-derived stream, so each replication of a
+    sweep draws its own crash schedule deterministically.
+    """
+
+    kind: str = field(default="random-crashes", init=False)
+
+    fraction: float
+    start: float
+    stop: float
+    recover_after: Optional[float] = None
+    nodes: Optional[Tuple[int, ...]] = None
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.fraction <= 1.0:
+            raise ConfigurationError(
+                f"crash fraction must be in [0, 1], got {self.fraction}"
+            )
+        if self.start < 0 or self.stop < self.start:
+            raise ConfigurationError(
+                f"need 0 <= start <= stop, got [{self.start}, {self.stop})"
+            )
+        if self.recover_after is not None and self.recover_after <= 0:
+            raise ConfigurationError(
+                f"recover_after must be positive, got {self.recover_after}"
+            )
+
+
+@dataclass(frozen=True)
+class EnergyDepletion:
+    """Node ``node``'s battery dies prematurely at ``at`` (no recovery).
+
+    Behaves like a permanent crash, and additionally closes the node's
+    energy book: the meter's battery is marked exhausted so lifetime
+    metrics see a genuine depletion rather than a mysterious silence.
+    """
+
+    kind: str = field(default="energy-depletion", init=False)
+
+    node: int
+    at: float
+
+    def __post_init__(self) -> None:
+        if self.node < 0:
+            raise ConfigurationError(
+                f"depletion node must be >= 0, got {self.node}"
+            )
+        if self.at < 0:
+            raise ConfigurationError(
+                f"depletion time must be >= 0, got {self.at}"
+            )
+
+
+@dataclass(frozen=True)
+class RandomDepletions:
+    """Parametric depletion schedule (the battery analogue of RandomCrashes)."""
+
+    kind: str = field(default="random-depletions", init=False)
+
+    fraction: float
+    start: float
+    stop: float
+    nodes: Optional[Tuple[int, ...]] = None
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.fraction <= 1.0:
+            raise ConfigurationError(
+                f"depletion fraction must be in [0, 1], got {self.fraction}"
+            )
+        if self.start < 0 or self.stop < self.start:
+            raise ConfigurationError(
+                f"need 0 <= start <= stop, got [{self.start}, {self.stop})"
+            )
+
+
+@dataclass(frozen=True)
+class PacketLoss:
+    """Bernoulli packet-loss impairment at frame delivery.
+
+    Each otherwise-successful delivery inside ``[start, stop)`` is dropped
+    independently with probability ``rate``.  Scope narrows by receiver
+    (``nodes``) and/or directed link (``links`` of (sender, receiver)
+    pairs); with neither set, every delivery in the window is impaired.
+    """
+
+    kind: str = field(default="packet-loss", init=False)
+
+    rate: float
+    start: float = 0.0
+    stop: Optional[float] = None
+    nodes: Optional[Tuple[int, ...]] = None
+    links: Optional[LinkScope] = None
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.rate <= 1.0:
+            raise ConfigurationError(
+                f"loss rate must be in [0, 1], got {self.rate}"
+            )
+        if self.start < 0:
+            raise ConfigurationError(f"start must be >= 0, got {self.start}")
+        if self.stop is not None and self.stop < self.start:
+            raise ConfigurationError(
+                f"need start <= stop, got [{self.start}, {self.stop})"
+            )
+
+
+@dataclass(frozen=True)
+class BurstLoss:
+    """Gilbert-Elliott two-state burst loss at frame delivery.
+
+    Each scoped link evolves an independent good/bad Markov chain in
+    continuous time (exponential sojourns with means ``mean_good`` /
+    ``mean_bad`` seconds); deliveries are dropped with probability
+    ``loss_good`` in the good state and ``loss_bad`` in the bad state.
+    State trajectories are sampled lazily per link from a seed-derived
+    stream, so they are deterministic per (seed, plan).
+    """
+
+    kind: str = field(default="burst-loss", init=False)
+
+    mean_good: float
+    mean_bad: float
+    loss_good: float = 0.0
+    loss_bad: float = 1.0
+    start: float = 0.0
+    stop: Optional[float] = None
+    nodes: Optional[Tuple[int, ...]] = None
+    links: Optional[LinkScope] = None
+
+    def __post_init__(self) -> None:
+        if self.mean_good <= 0 or self.mean_bad <= 0:
+            raise ConfigurationError(
+                "burst-loss sojourn means must be positive, got "
+                f"good={self.mean_good} bad={self.mean_bad}"
+            )
+        for name, p in (("loss_good", self.loss_good),
+                        ("loss_bad", self.loss_bad)):
+            if not 0.0 <= p <= 1.0:
+                raise ConfigurationError(
+                    f"{name} must be in [0, 1], got {p}"
+                )
+        if self.start < 0:
+            raise ConfigurationError(f"start must be >= 0, got {self.start}")
+        if self.stop is not None and self.stop < self.start:
+            raise ConfigurationError(
+                f"need start <= stop, got [{self.start}, {self.stop})"
+            )
+
+
+@dataclass(frozen=True)
+class NoiseWindow:
+    """Ambient noise from ``start`` to ``stop`` shrinks reception range.
+
+    While active, a receiver farther than ``range_factor x tx_range`` from
+    the sender cannot decode — the noise floor eats the link margin at the
+    range edge.  Overlapping windows compose by taking the smallest factor.
+    """
+
+    kind: str = field(default="noise", init=False)
+
+    start: float
+    stop: float
+    range_factor: float
+
+    def __post_init__(self) -> None:
+        if self.start < 0 or self.stop <= self.start:
+            raise ConfigurationError(
+                f"need 0 <= start < stop, got [{self.start}, {self.stop})"
+            )
+        if not 0.0 < self.range_factor <= 1.0:
+            raise ConfigurationError(
+                f"range_factor must be in (0, 1], got {self.range_factor}"
+            )
+
+
+#: Every concrete fault-event type a plan may carry.
+FaultEvent = Union[
+    NodeCrash,
+    RandomCrashes,
+    EnergyDepletion,
+    RandomDepletions,
+    PacketLoss,
+    BurstLoss,
+    NoiseWindow,
+]
+
+_EVENT_TYPES: Dict[str, Type[Any]] = {
+    cls.kind: cls
+    for cls in (NodeCrash, RandomCrashes, EnergyDepletion, RandomDepletions,
+                PacketLoss, BurstLoss, NoiseWindow)
+}
+
+#: JSON document version written by :meth:`FaultPlan.to_dict`.
+PLAN_FORMAT_VERSION = 1
+
+
+def _event_to_dict(event: FaultEvent) -> Dict[str, Any]:
+    out: Dict[str, Any] = {"kind": event.kind}
+    for f in fields(event):
+        value = getattr(event, f.name)
+        if value is None:
+            continue
+        if isinstance(value, tuple):
+            value = [list(v) if isinstance(v, tuple) else v for v in value]
+        out[f.name] = value
+    return out
+
+
+def _event_from_dict(data: Dict[str, Any]) -> FaultEvent:
+    if not isinstance(data, dict):
+        raise ConfigurationError(f"fault event must be an object, got {data!r}")
+    kind = data.get("kind")
+    cls = _EVENT_TYPES.get(str(kind))
+    if cls is None:
+        raise ConfigurationError(
+            f"unknown fault event kind {kind!r}; known kinds: "
+            f"{sorted(_EVENT_TYPES)}"
+        )
+    kwargs = {k: v for k, v in data.items() if k != "kind"}
+    known = {f.name for f in fields(cls)}
+    unknown = set(kwargs) - known
+    if unknown:
+        raise ConfigurationError(
+            f"unknown fields {sorted(unknown)} for fault event kind {kind!r}"
+        )
+    if "nodes" in kwargs and kwargs["nodes"] is not None:
+        kwargs["nodes"] = tuple(int(n) for n in kwargs["nodes"])
+    if "links" in kwargs and kwargs["links"] is not None:
+        kwargs["links"] = tuple(
+            (int(a), int(b)) for a, b in kwargs["links"]
+        )
+    try:
+        event: FaultEvent = cls(**kwargs)
+    except TypeError as exc:
+        raise ConfigurationError(
+            f"invalid fault event {data!r}: {exc}"
+        ) from None
+    return event
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """An ordered, immutable collection of fault events."""
+
+    events: Tuple[FaultEvent, ...] = ()
+
+    def __post_init__(self) -> None:
+        # Normalize lists (e.g. from dataclasses.replace callers) to the
+        # canonical tuple so frozen equality and hashing behave.
+        if not isinstance(self.events, tuple):
+            object.__setattr__(self, "events", tuple(self.events))
+
+    @property
+    def is_empty(self) -> bool:
+        """True when the plan schedules nothing (a provable no-op)."""
+        return not self.events
+
+    def __bool__(self) -> bool:
+        return bool(self.events)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __add__(self, other: "FaultPlan") -> "FaultPlan":
+        """Compose two plans by concatenating their event lists."""
+        if not isinstance(other, FaultPlan):
+            return NotImplemented
+        return FaultPlan(self.events + other.events)
+
+    # ------------------------------------------------------------------
+    # Serialization
+    # ------------------------------------------------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Versioned JSON-safe document."""
+        return {
+            "version": PLAN_FORMAT_VERSION,
+            "events": [_event_to_dict(e) for e in self.events],
+        }
+
+    def to_json(self, indent: Optional[int] = None) -> str:
+        """Serialize to a JSON string (deterministic key order)."""
+        return json.dumps(self.to_dict(), indent=indent)
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "FaultPlan":
+        """Parse a plan document produced by :meth:`to_dict`."""
+        if not isinstance(data, dict):
+            raise ConfigurationError(
+                f"fault plan must be a JSON object, got {type(data).__name__}"
+            )
+        version = data.get("version", PLAN_FORMAT_VERSION)
+        if version != PLAN_FORMAT_VERSION:
+            raise ConfigurationError(
+                f"unsupported fault-plan version {version!r} "
+                f"(this build reads version {PLAN_FORMAT_VERSION})"
+            )
+        raw_events = data.get("events", [])
+        if not isinstance(raw_events, list):
+            raise ConfigurationError("fault plan 'events' must be a list")
+        return cls(tuple(_event_from_dict(e) for e in raw_events))
+
+    @classmethod
+    def from_json(cls, text: str) -> "FaultPlan":
+        """Parse a plan from a JSON string."""
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise ConfigurationError(f"invalid fault-plan JSON: {exc}") from None
+        return cls.from_dict(data)
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "FaultPlan":
+        """Read a plan from a JSON file."""
+        path = Path(path)
+        try:
+            text = path.read_text()
+        except OSError as exc:
+            raise ConfigurationError(
+                f"cannot read fault plan {path}: {exc}"
+            ) from None
+        return cls.from_json(text)
+
+    def dump(self, path: Union[str, Path]) -> Path:
+        """Write the plan as indented JSON; returns the written path."""
+        path = Path(path)
+        path.write_text(self.to_json(indent=2) + "\n")
+        return path
+
+    # ------------------------------------------------------------------
+    # Introspection helpers (used by the injector and tests)
+    # ------------------------------------------------------------------
+
+    def select(self, *kinds: str) -> List[FaultEvent]:
+        """Events whose ``kind`` is one of ``kinds``, in plan order."""
+        wanted = set(kinds)
+        return [e for e in self.events if e.kind in wanted]
+
+
+#: Shared empty plan (the canonical no-op).
+EMPTY_PLAN = FaultPlan()
+
+
+__all__ = [
+    "BurstLoss",
+    "EMPTY_PLAN",
+    "EnergyDepletion",
+    "FaultEvent",
+    "FaultPlan",
+    "LinkScope",
+    "NodeCrash",
+    "NoiseWindow",
+    "PLAN_FORMAT_VERSION",
+    "PacketLoss",
+    "RandomCrashes",
+    "RandomDepletions",
+]

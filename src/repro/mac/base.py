@@ -58,6 +58,9 @@ class MacBase:
         self._on_link_failure: Callable[..., None] = _noop
         self._on_sent: Callable[..., None] = _noop
         self._on_dropped: Callable[..., None] = _noop
+        #: set while the node is crashed (fault injection); halted MACs
+        #: neither transmit nor absorb ATIM announcements
+        self._halted = False
         # Statistics
         self.unicasts_sent = 0
         self.unicasts_failed = 0
@@ -85,6 +88,25 @@ class MacBase:
 
     def finalize(self) -> None:
         """Stop operation at the end of a run."""
+
+    def halt(self) -> None:
+        """Node crash (fault injection): drop all pending MAC work.
+
+        Cancels the DCF pipeline — in-flight and queued attempts die with
+        the node; a transmission already on air is truncated by the
+        injector at the channel level.  Subclasses extend this to cancel
+        their own timers (the PSM beacon chain).
+        """
+        self._halted = True
+        self.dcf.cancel_all()
+
+    def resume(self) -> None:
+        """Recover from a crash, cold (fault injection).
+
+        The base implementation only lifts the halt; subclasses restart
+        their clocks (and the always-on MAC re-wakes its radio).
+        """
+        self._halted = False
 
     def send(self, packet: Any, dst: int) -> None:
         """Transmit ``packet`` to neighbor ``dst`` (or :data:`BROADCAST`)."""
@@ -122,6 +144,11 @@ class AlwaysOnMac(MacBase):
 
     def start(self) -> None:
         """Wake the radio permanently (no PSM)."""
+        self.radio.wake()
+
+    def resume(self) -> None:
+        """Recover from a crash: back to permanently awake."""
+        super().resume()
         self.radio.wake()
 
     def send(self, packet: Any, dst: int) -> None:

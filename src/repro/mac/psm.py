@@ -28,6 +28,7 @@ the failure mode the paper describes for inaccurate mode information.
 
 from __future__ import annotations
 
+import math
 import random
 from functools import partial
 from typing import Any, Dict, List, Optional, Set, Tuple
@@ -44,7 +45,7 @@ from repro.mobility.manager import PositionService
 from repro.phy.channel import Channel
 from repro.phy.radio import Radio
 from repro.sim.engine import Simulator
-from repro.sim.events import PRIORITY_KERNEL
+from repro.sim.events import PRIORITY_KERNEL, Event
 from repro.sim.trace import TraceSink
 
 
@@ -114,6 +115,15 @@ class PsmMac(MacBase):
         self._overhear_senders: Set[int] = set()
         self._mode_beliefs: Dict[int, Tuple[PowerMode, float]] = {}
         self._started = False
+        #: beacon-chain event handles, held so a crash (``halt``) can
+        #: cancel the clock; pure bookkeeping in fault-free runs
+        self._beacon_event: Optional[Event] = None
+        self._announce_event: Optional[Event] = None
+        self._atim_end_event: Optional[Event] = None
+        #: bumped on every halt — deferred cross-window announcement events
+        #: carry the epoch they were scheduled in and are dropped when it
+        #: no longer matches (they predate the crash)
+        self._epoch = 0
         # Statistics
         self.intervals_slept = 0
         self.intervals_awake = 0
@@ -137,8 +147,54 @@ class PsmMac(MacBase):
             return
         self._started = True
         self.radio.wake()
-        self.sim.schedule(self.clock_offset, self._on_beacon,
-                          priority=PRIORITY_KERNEL)
+        self._beacon_event = self.sim.schedule(
+            self.clock_offset, self._on_beacon, priority=PRIORITY_KERNEL)
+
+    def halt(self) -> None:
+        """Node crash: stop the beacon clock and forget interval state.
+
+        The crash is a cold stop — queued frames die with the node, the
+        per-interval wake reasons and overhearing elections are void, and
+        mode beliefs (other nodes' power states) do not survive a reboot.
+        Deferred cross-window announcements already in the simulator queue
+        are invalidated by bumping the epoch rather than holding handles
+        to every one of them.
+        """
+        super().halt()
+        for event in (self._beacon_event, self._announce_event,
+                      self._atim_end_event):
+            if event is not None:
+                event.cancel()
+        self._beacon_event = None
+        self._announce_event = None
+        self._atim_end_event = None
+        self._epoch += 1
+        self._queue = TxQueue(self._queue.capacity)
+        self._reasons = set()
+        self._overhear_senders = set()
+        self._mode_beliefs = {}
+        self._interval_start = float("-inf")
+
+    def resume(self) -> None:
+        """Recover from a crash: rejoin the beacon grid at the next boundary.
+
+        The paper's clock-sync assumption means the grid itself survives
+        the crash — this node's boundaries stay at ``clock_offset + k*T``
+        — so recovery waits for the next strictly-future boundary rather
+        than starting a drifted private clock.  The radio stays down until
+        that boundary fires (``_on_beacon`` wakes it).
+        """
+        super().resume()
+        if not self._started:
+            return
+        now = self.sim.now
+        interval = self.beacon_interval
+        k = math.floor((now - self.clock_offset) / interval) + 1
+        t = self.clock_offset + k * interval
+        while t <= now:
+            t += interval
+        self._beacon_event = self.sim.schedule_at(
+            t, self._on_beacon, priority=PRIORITY_KERNEL)
 
     # ------------------------------------------------------------------
     # Beacon-interval machinery
@@ -166,10 +222,11 @@ class PsmMac(MacBase):
         self._overhear_senders = set()
         self._queue.clear_announcements()
         # Announce after every node has processed its beacon boundary.
-        self.sim.schedule_at(now, self._announce)
-        self.sim.schedule(self.atim_window, self._end_atim_window)
-        self.sim.schedule(self.beacon_interval, self._on_beacon,
-                          priority=PRIORITY_KERNEL)
+        self._announce_event = self.sim.schedule_at(now, self._announce)
+        self._atim_end_event = self.sim.schedule(
+            self.atim_window, self._end_atim_window)
+        self._beacon_event = self.sim.schedule(
+            self.beacon_interval, self._on_beacon, priority=PRIORITY_KERNEL)
 
     def _announce(self) -> None:
         if not self._queue:
@@ -234,7 +291,7 @@ class PsmMac(MacBase):
         succeeds there (deferred); otherwise the windows are disjoint and
         the advertisement is lost.  Perfectly synchronized nodes never miss.
         """
-        if not self._started:
+        if not self._started or self._halted:
             return
         delta = self.sim.now - self._interval_start
         if 0.0 <= delta < self.atim_window:
@@ -243,11 +300,15 @@ class PsmMac(MacBase):
                 and self.beacon_interval - delta < self.atim_window):
             # The tail of the sender's window reaches into our next one.
             self.sim.schedule(self.beacon_interval - delta,
-                              self._process_announcement, announcement)
+                              self._process_announcement, announcement,
+                              self._epoch)
         else:
             self.missed_announcements += 1
 
-    def _process_announcement(self, announcement: Announcement) -> None:
+    def _process_announcement(self, announcement: Announcement,
+                              epoch: Optional[int] = None) -> None:
+        if epoch is not None and epoch != self._epoch:
+            return  # deferred across a crash: the node that queued it died
         if announcement.sender_mode is not None:
             self._mode_beliefs[announcement.sender] = (
                 announcement.sender_mode, self.sim.now,

@@ -98,6 +98,7 @@ class MetricsCollector:
         node_energy: Sequence[float],
         node_awake_time: Sequence[float],
         events_processed: int = 0,
+        fault_counts: Optional[Dict[str, int]] = None,
     ) -> "RunMetrics":
         """Combine collected events with energy meters into a summary."""
         records = list(self._data.values())
@@ -136,6 +137,7 @@ class MetricsCollector:
             overheard_by_node=self.overheard_by_node.copy(),
             drop_reasons=drop_reasons,
             events_processed=events_processed,
+            fault_counts=dict(fault_counts) if fault_counts else {},
         )
 
 
@@ -165,6 +167,8 @@ class RunMetrics:
     #: engine events fired during the run — deterministic for a given
     #: (config, seed), unlike wall time, so it is safe in bit-identity tests
     events_processed: int = 0
+    #: non-zero fault-injection counters (empty for fault-free runs)
+    fault_counts: Dict[str, int] = field(default_factory=dict)
 
     @property
     def mean_node_energy(self) -> float:
@@ -212,7 +216,8 @@ class RunMetrics:
             "node_energy": [float(v) for v in self.node_energy],
             "node_awake_time": [float(v) for v in self.node_awake_time],
             "role_numbers": [int(v) for v in self.role_numbers],
-        }
+        } | ({"fault_counts": dict(self.fault_counts)}
+             if self.fault_counts else {})
 
 
 __all__ = ["MetricsCollector", "RunMetrics"]

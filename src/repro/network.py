@@ -34,6 +34,8 @@ from repro.core.policy import (
 )
 from repro.core.rcast import RcastManager
 from repro.errors import ConfigurationError
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import FaultPlan
 from repro.mac.base import AlwaysOnMac, MacBase
 from repro.mac.frames import reset_frame_ids
 from repro.mac.odpm import OdpmPowerManager
@@ -125,6 +127,13 @@ class SimulationConfig:
     # Energy
     battery_joules: Optional[float] = None
 
+    # Fault injection
+    #: deterministic fault plan for the run; ``None`` (or an empty plan)
+    #: builds no injector at all — behaviour is byte-identical to a build
+    #: that predates the fault subsystem (golden-trace enforced).  A plain
+    #: dict (the plan's JSON form) is accepted and coerced.
+    faults: Optional[FaultPlan] = None
+
     def __post_init__(self) -> None:
         if self.scheme not in SCHEMES:
             raise ConfigurationError(
@@ -145,6 +154,8 @@ class SimulationConfig:
             raise ConfigurationError(
                 "clock_jitter must be in [0, beacon_interval)"
             )
+        if isinstance(self.faults, dict):
+            self.faults = FaultPlan.from_dict(self.faults)
 
     def with_scheme(self, scheme: str) -> "SimulationConfig":
         """Copy of this config targeting a different scheme."""
@@ -174,6 +185,9 @@ class Network:
         self.metrics = metrics
         self.trace = trace
         self.span_election: Optional["SpanElection"] = None
+        #: wired by :func:`build_network` when the config carries a
+        #: non-empty fault plan; ``None`` otherwise
+        self.faults: Optional[FaultInjector] = None
         self._ran = False
 
     def run(
@@ -215,6 +229,8 @@ class Network:
             node_energy=[n.radio.meter.energy_joules() for n in self.nodes],
             node_awake_time=[n.radio.meter.awake_time for n in self.nodes],
             events_processed=self.sim.processed_events,
+            fault_counts=(self.faults.fault_counts()
+                          if self.faults is not None else None),
         )
 
 
@@ -373,6 +389,15 @@ def build_network(config: SimulationConfig,
     network = Network(config, sim, rngs, positions, channel, nodes, metrics,
                       trace)
     network.span_election = span_election
+    if config.faults is not None and not config.faults.is_empty:
+        injector = FaultInjector(
+            sim, config.faults, config.seed, nodes, radios, channel,
+            positions, tx_range=config.tx_range, sim_time=config.sim_time,
+            trace=trace,
+        )
+        injector.arm()
+        channel.faults = injector
+        network.faults = injector
     return network
 
 

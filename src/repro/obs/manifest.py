@@ -43,6 +43,8 @@ class RunManifest:
     #: grid coordinates when run under a sweep; None for standalone runs
     cell: Optional[str] = None
     rep: Optional[int] = None
+    #: non-zero fault-injection counters; None for fault-free runs
+    fault_counts: Optional[Dict[str, int]] = None
 
     @property
     def events_per_sec(self) -> float:
@@ -65,6 +67,8 @@ class RunManifest:
             out["cell"] = self.cell
         if self.rep is not None:
             out["rep"] = self.rep
+        if self.fault_counts is not None:
+            out["fault_counts"] = dict(self.fault_counts)
         return out
 
 

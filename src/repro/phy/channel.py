@@ -35,6 +35,7 @@ from repro.sim.engine import Simulator
 from repro.sim.trace import NULL_TRACE, TraceSink
 
 if TYPE_CHECKING:
+    from repro.faults.injector import FaultInjector
     from repro.mac.frames import Frame
 
 _tx_ids = itertools.count()
@@ -100,6 +101,11 @@ class Channel:
         self.mac_overhead_bytes = mac_overhead_bytes
         self.trace = trace
         self._active: Dict[int, Transmission] = {}
+        #: fault-injection hook, wired by ``build_network`` only when the
+        #: run carries a non-empty plan.  ``None`` costs one local load and
+        #: a skipped branch per delivered frame — nothing else changes, so
+        #: no-fault runs stay byte-identical (golden-trace enforced).
+        self.faults: Optional["FaultInjector"] = None
         self._receivers: Dict[int, Callable[[Frame, int], None]] = {}
         self._tx_complete: Dict[int, Callable[[Frame, Set[int]], None]] = {}
         #: payload size -> airtime memo; the DCF recomputes the airtime on
@@ -247,6 +253,7 @@ class Channel:
         # Stats counted in locals: per-node instance-attribute updates in
         # this loop were measurable at bench scale.
         missed = collided = 0
+        faults = self.faults
         for node in tx.audible:
             if node not in eligible:
                 missed += 1
@@ -259,6 +266,11 @@ class Channel:
             if r.meter._state is _SLEEP or now < r._tx_until:
                 # Fell asleep or started transmitting mid-frame.
                 missed += 1
+                continue
+            # Fault-plan impairments (loss processes, noise windows) veto
+            # the delivery last: the frame reached a listening radio but
+            # the impaired link corrupted it.
+            if faults is not None and faults.drop_delivery(sender, node, now):
                 continue
             delivered.add(node)
             delivery_order.append(node)

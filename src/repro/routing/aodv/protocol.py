@@ -72,6 +72,8 @@ class AodvProtocol:
         self._seen_rreqs: Set[Tuple[int, int]] = set()
         self._send_buffer: List[_BufferedSend] = []
         self._discoveries: Dict[int, _Discovery] = {}
+        #: set while the node is crashed (fault injection)
+        self.down = False
         self.delivery_callback: Optional[Callable[[AodvData], None]] = None
         mac.set_upper(
             on_receive=self._on_receive,
@@ -92,7 +94,13 @@ class AodvProtocol:
     # ------------------------------------------------------------------
 
     def send_data(self, dst: int, payload_bytes: int, app_seq: int = 0) -> int:
-        """Send application data to ``dst``; returns the packet uid."""
+        """Send application data to ``dst``; returns the packet uid.
+
+        Returns ``-1`` without originating anything while the node is down
+        (fault injection): a crashed node's application is dead too.
+        """
+        if self.down:
+            return -1
         now = self.sim.now
         uid = next_uid()
         if self.metrics is not None:
@@ -308,6 +316,8 @@ class AodvProtocol:
     # ------------------------------------------------------------------
 
     def _on_receive(self, packet: Any, prev_hop: int) -> None:
+        if self.down:
+            return  # crashed nodes are deaf (radio is asleep anyway)
         kind = packet.kind
         if kind == "data":
             self._handle_data(packet, prev_hop)
@@ -320,6 +330,8 @@ class AodvProtocol:
 
     def _on_promiscuous(self, packet: Any, transmitter: int) -> None:
         # AODV does not learn from overheard traffic (the paper's point).
+        if self.down:
+            return
         self.overheard_packets += 1
         if self.metrics is not None:
             self.metrics.overheard(self.node_id)
@@ -373,6 +385,34 @@ class AodvProtocol:
         if self.metrics is not None:
             for entry in dropped:
                 self.metrics.data_dropped(entry.uid, reason)
+
+    # ------------------------------------------------------------------
+    # Fault injection: crash / cold recovery
+    # ------------------------------------------------------------------
+
+    def halt(self) -> None:
+        """Node crash: kill discoveries and drop the send buffer."""
+        self.down = True
+        for state in self._discoveries.values():
+            if state.timer is not None:
+                state.timer.cancel()
+        self._discoveries.clear()
+        if self.metrics is not None:
+            for entry in self._send_buffer:
+                self.metrics.data_dropped(entry.uid, "node_down")
+        self._send_buffer.clear()
+
+    def reset_cold(self) -> None:
+        """Recover from a crash with an empty routing table.
+
+        The sequence number is retained across the reboot (the stable-
+        storage variant RFC 3561 permits); losing it would let stale RREPs
+        poison fresh discoveries.
+        """
+        self.table = RoutingTable(self.node_id,
+                                  self.config.active_route_timeout)
+        self._seen_rreqs.clear()
+        self.down = False
 
     @property
     def send_buffer_length(self) -> int:

@@ -105,6 +105,9 @@ class DsrProtocol:
         #: suppression, without which dense networks drown in RREPs.
         self._answered: Set[Tuple[int, int]] = set()
         self._request_ids = itertools.count()
+        #: set while the node is crashed (fault injection); a down agent
+        #: originates nothing and ignores anything still in flight to it
+        self.down = False
         self.delivery_callback: Optional[Callable[[DataPacket], None]] = None
         mac.set_upper(
             on_receive=self._on_receive,
@@ -126,7 +129,14 @@ class DsrProtocol:
     # ------------------------------------------------------------------
 
     def send_data(self, dst: int, payload_bytes: int, app_seq: int = 0) -> int:
-        """Send application data to ``dst``; returns the packet uid."""
+        """Send application data to ``dst``; returns the packet uid.
+
+        Returns ``-1`` without originating anything while the node is down
+        (its application is dead too — the packet is never offered, so it
+        does not count against delivery ratio).
+        """
+        if self.down:
+            return -1
         now = self.sim.now
         uid = next_uid()
         if self.metrics is not None:
@@ -182,6 +192,8 @@ class DsrProtocol:
     # ------------------------------------------------------------------
 
     def _on_receive(self, packet: Any, prev_hop: int) -> None:
+        if self.down:
+            return  # belt over the radio's suspenders: crashed nodes are deaf
         kind = packet.kind
         if kind == "rreq":
             self._handle_rreq(packet)
@@ -311,7 +323,7 @@ class DsrProtocol:
 
     def _cache_reply(self, key: Tuple[int, int], combined: Tuple[int, ...]) -> None:
         """Deferred cache reply; suppressed if someone answered meanwhile."""
-        if key in self._answered:
+        if self.down or key in self._answered:
             return
         self._answered.add(key)
         self._send_rrep(combined, reply_from=self.node_id, request_key=key)
@@ -429,6 +441,8 @@ class DsrProtocol:
     # ------------------------------------------------------------------
 
     def _on_promiscuous(self, packet: Any, transmitter: int) -> None:
+        if self.down:
+            return
         self.overheard_packets += 1
         if self.metrics is not None:
             self.metrics.overheard(self.node_id)
@@ -537,6 +551,41 @@ class DsrProtocol:
         if self.metrics is not None:
             for entry in dropped:
                 self.metrics.data_dropped(entry.uid, reason)
+
+    # ------------------------------------------------------------------
+    # Fault injection: crash / cold recovery
+    # ------------------------------------------------------------------
+
+    def halt(self) -> None:
+        """Node crash: kill discoveries and drop the send buffer.
+
+        Buffered application packets were already counted as originated, so
+        they must be accounted as dropped (``node_down``) — silently
+        forgetting them would leave their uids dangling in the delivery
+        bookkeeping forever.
+        """
+        self.down = True
+        for state in self._discoveries.values():
+            if state.timer is not None:
+                state.timer.cancel()
+        self._discoveries.clear()
+        if self.metrics is not None:
+            for entry in self._send_buffer:
+                self.metrics.data_dropped(entry.uid, "node_down")
+        self._send_buffer.clear()
+
+    def reset_cold(self) -> None:
+        """Recover from a crash with no retained routing state.
+
+        A rebooted node remembers nothing: the route cache, duplicate-RREQ
+        filter and reply-suppression sets all start empty, exactly like a
+        node that just joined the network.
+        """
+        self.cache.clear()
+        self._seen_rreqs.clear()
+        self._replies_sent.clear()
+        self._answered.clear()
+        self.down = False
 
     # ------------------------------------------------------------------
 

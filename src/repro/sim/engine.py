@@ -46,6 +46,10 @@ class Simulator:
         self._cancelled_pending = 0
         self._cancelled_total = 0
         self._fire_hook: Optional[Callable[[Event], None]] = None
+        #: callbacks invoked by :meth:`clear` — subsystems whose state
+        #: mirrors the event queue (e.g. the fault injector) register here
+        #: so a queue wipe resets their bookkeeping in the same breath.
+        self._clear_hooks: list[Callable[[], None]] = []
         #: ``_note_cancel`` bound once — attaching it to every scheduled
         #: event would otherwise allocate a fresh bound method per event.
         self._note_cancel_cb = self._note_cancel
@@ -98,6 +102,17 @@ class Simulator:
         """Event ``on_cancel`` hook: account one lazily-cancelled entry."""
         self._cancelled_pending += 1
         self._cancelled_total += 1
+
+    def add_clear_hook(self, hook: Callable[[], None]) -> None:
+        """Register ``hook`` to run whenever :meth:`clear` wipes the queue.
+
+        For subsystems whose internal state shadows the pending schedule
+        (the fault injector's counters and down-set, for example): when the
+        queue those events lived in is dropped, the shadow state must be
+        dropped with it or later gauges lie.  Hooks run in registration
+        order and must not schedule new events.
+        """
+        self._clear_hooks.append(hook)
 
     # ------------------------------------------------------------------
     # Scheduling
@@ -214,10 +229,15 @@ class Simulator:
         a clear the old queue no longer exists — leaving ``cancelled_events``
         at its pre-clear value made profiler gauges after a mid-run clear
         look like the fresh queue had already churned through cancellations.
+        Registered clear hooks (:meth:`add_clear_hook`) run last, so
+        queue-shadowing subsystems — fault-injector counters, down-sets and
+        loss-process RNG positions — reset in the same operation.
         """
         self._heap.clear()
         self._cancelled_pending = 0
         self._cancelled_total = 0
+        for hook in self._clear_hooks:
+            hook()
 
 
 __all__ = ["Simulator"]

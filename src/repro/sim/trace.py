@@ -24,6 +24,13 @@ from typing import Dict, Iterable, Iterator, List, Optional, Protocol, Tuple
 #: One typed key/value payload entry (kept as a tuple so records hash).
 FieldItems = Tuple[Tuple[str, object], ...]
 
+#: Every category an emission point may use.  The CLI validates
+#: ``--trace-categories`` against this set so a typo fails fast instead of
+#: silently producing an empty trace.
+TRACE_CATEGORIES: Tuple[str, ...] = (
+    "atim", "chan", "dcf", "dsr", "energy", "fault", "odpm", "psm",
+)
+
 
 @dataclass(frozen=True)
 class TraceRecord:
@@ -184,6 +191,7 @@ NULL_TRACE = NullTrace()
 
 __all__ = [
     "FieldItems",
+    "TRACE_CATEGORIES",
     "TraceRecord",
     "TraceSink",
     "TraceLog",

@@ -1,0 +1,180 @@
+"""FaultPlan data model: construction, validation, serialization."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.faults.plan import (
+    EMPTY_PLAN,
+    PLAN_FORMAT_VERSION,
+    BurstLoss,
+    EnergyDepletion,
+    FaultPlan,
+    NodeCrash,
+    NoiseWindow,
+    PacketLoss,
+    RandomCrashes,
+    RandomDepletions,
+)
+
+
+def full_plan() -> FaultPlan:
+    """One event of every kind, with optional fields exercised."""
+    return FaultPlan((
+        NodeCrash(node=3, at=5.0, recover_at=9.0),
+        RandomCrashes(fraction=0.25, start=1.0, stop=8.0,
+                      recover_after=2.0, nodes=(0, 2, 4)),
+        EnergyDepletion(node=1, at=4.0),
+        RandomDepletions(fraction=0.1, start=0.0, stop=10.0),
+        PacketLoss(rate=0.2, start=2.0, stop=6.0, nodes=(1,),
+                   links=((0, 1), (1, 2))),
+        BurstLoss(mean_good=3.0, mean_bad=0.5, loss_good=0.01,
+                  loss_bad=0.9),
+        NoiseWindow(start=4.0, stop=7.0, range_factor=0.6),
+    ))
+
+
+class TestPlanBasics:
+    def test_empty_plan(self) -> None:
+        assert EMPTY_PLAN.is_empty
+        assert not EMPTY_PLAN
+        assert len(EMPTY_PLAN) == 0
+        assert FaultPlan().is_empty
+
+    def test_nonempty_plan(self) -> None:
+        plan = full_plan()
+        assert not plan.is_empty
+        assert bool(plan)
+        assert len(plan) == 7
+
+    def test_list_events_normalized_to_tuple(self) -> None:
+        plan = FaultPlan([PacketLoss(rate=0.5)])  # type: ignore[arg-type]
+        assert isinstance(plan.events, tuple)
+        assert plan == FaultPlan((PacketLoss(rate=0.5),))
+
+    def test_composition_concatenates(self) -> None:
+        a = FaultPlan((NodeCrash(node=0, at=1.0),))
+        b = FaultPlan((PacketLoss(rate=0.1),))
+        assert (a + b).events == a.events + b.events
+        assert a + EMPTY_PLAN == a
+
+    def test_add_rejects_non_plan(self) -> None:
+        with pytest.raises(TypeError):
+            full_plan() + [PacketLoss(rate=0.1)]  # type: ignore[operator]
+
+    def test_select_filters_by_kind_in_order(self) -> None:
+        plan = full_plan()
+        losses = plan.select("packet-loss", "burst-loss")
+        assert [e.kind for e in losses] == ["packet-loss", "burst-loss"]
+        assert plan.select("nope") == []
+
+
+class TestSerialization:
+    def test_dict_round_trip(self) -> None:
+        plan = full_plan()
+        assert FaultPlan.from_dict(plan.to_dict()) == plan
+
+    def test_json_round_trip(self) -> None:
+        plan = full_plan()
+        assert FaultPlan.from_json(plan.to_json()) == plan
+        assert FaultPlan.from_json(plan.to_json(indent=2)) == plan
+
+    def test_file_round_trip(self, tmp_path) -> None:
+        plan = full_plan()
+        path = plan.dump(tmp_path / "plan.json")
+        assert FaultPlan.load(path) == plan
+        assert path.read_text().endswith("\n")
+
+    def test_none_fields_omitted_from_document(self) -> None:
+        doc = FaultPlan((NodeCrash(node=0, at=1.0),)).to_dict()
+        assert doc["version"] == PLAN_FORMAT_VERSION
+        assert doc["events"] == [{"kind": "node-crash", "node": 0, "at": 1.0}]
+
+    def test_from_dict_coerces_node_and_link_lists(self) -> None:
+        plan = FaultPlan.from_dict({
+            "version": 1,
+            "events": [{"kind": "packet-loss", "rate": 0.5,
+                        "nodes": [2, 3], "links": [[0, 1]]}],
+        })
+        event = plan.events[0]
+        assert isinstance(event, PacketLoss)
+        assert event.nodes == (2, 3)
+        assert event.links == ((0, 1),)
+
+
+class TestDocumentErrors:
+    def test_unsupported_version(self) -> None:
+        with pytest.raises(ConfigurationError, match="version"):
+            FaultPlan.from_dict({"version": 99, "events": []})
+
+    def test_not_an_object(self) -> None:
+        with pytest.raises(ConfigurationError, match="JSON object"):
+            FaultPlan.from_dict([])  # type: ignore[arg-type]
+
+    def test_events_not_a_list(self) -> None:
+        with pytest.raises(ConfigurationError, match="list"):
+            FaultPlan.from_dict({"version": 1, "events": {}})
+
+    def test_event_not_an_object(self) -> None:
+        with pytest.raises(ConfigurationError, match="object"):
+            FaultPlan.from_dict({"version": 1, "events": ["crash"]})
+
+    def test_unknown_kind(self) -> None:
+        with pytest.raises(ConfigurationError, match="unknown fault event"):
+            FaultPlan.from_dict(
+                {"version": 1, "events": [{"kind": "meteor-strike"}]})
+
+    def test_unknown_field(self) -> None:
+        with pytest.raises(ConfigurationError, match="unknown fields"):
+            FaultPlan.from_dict({
+                "version": 1,
+                "events": [{"kind": "node-crash", "node": 0, "at": 1.0,
+                            "severity": "bad"}],
+            })
+
+    def test_missing_required_field(self) -> None:
+        with pytest.raises(ConfigurationError, match="invalid fault event"):
+            FaultPlan.from_dict(
+                {"version": 1, "events": [{"kind": "node-crash", "node": 0}]})
+
+    def test_invalid_json_text(self) -> None:
+        with pytest.raises(ConfigurationError, match="invalid fault-plan"):
+            FaultPlan.from_json("{not json")
+
+    def test_unreadable_file(self, tmp_path) -> None:
+        with pytest.raises(ConfigurationError, match="cannot read"):
+            FaultPlan.load(tmp_path / "missing.json")
+
+
+class TestEventValidation:
+    @pytest.mark.parametrize("bad", [
+        lambda: NodeCrash(node=-1, at=1.0),
+        lambda: NodeCrash(node=0, at=-1.0),
+        lambda: NodeCrash(node=0, at=5.0, recover_at=5.0),
+        lambda: RandomCrashes(fraction=1.5, start=0.0, stop=1.0),
+        lambda: RandomCrashes(fraction=0.5, start=2.0, stop=1.0),
+        lambda: RandomCrashes(fraction=0.5, start=0.0, stop=1.0,
+                              recover_after=0.0),
+        lambda: EnergyDepletion(node=-2, at=1.0),
+        lambda: EnergyDepletion(node=0, at=-0.5),
+        lambda: RandomDepletions(fraction=-0.1, start=0.0, stop=1.0),
+        lambda: PacketLoss(rate=1.1),
+        lambda: PacketLoss(rate=0.5, start=-1.0),
+        lambda: PacketLoss(rate=0.5, start=2.0, stop=1.0),
+        lambda: BurstLoss(mean_good=0.0, mean_bad=1.0),
+        lambda: BurstLoss(mean_good=1.0, mean_bad=1.0, loss_bad=2.0),
+        lambda: NoiseWindow(start=2.0, stop=2.0, range_factor=0.5),
+        lambda: NoiseWindow(start=0.0, stop=1.0, range_factor=0.0),
+        lambda: NoiseWindow(start=0.0, stop=1.0, range_factor=1.5),
+    ])
+    def test_rejects(self, bad) -> None:
+        with pytest.raises(ConfigurationError):
+            bad()
+
+    def test_boundary_values_accepted(self) -> None:
+        RandomCrashes(fraction=0.0, start=0.0, stop=0.0)
+        RandomCrashes(fraction=1.0, start=0.0, stop=10.0)
+        PacketLoss(rate=0.0)
+        PacketLoss(rate=1.0, start=0.0, stop=0.0)
+        NoiseWindow(start=0.0, stop=0.1, range_factor=1.0)

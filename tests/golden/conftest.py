@@ -1,0 +1,25 @@
+"""Golden-corpus refresh hook.
+
+``pytest tests/golden --update-golden`` rewrites the corpus from the
+current build instead of diffing against it.  Use only after an
+intentional behaviour change, and review the regenerated diff before
+committing.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def pytest_addoption(parser: pytest.Parser) -> None:
+    parser.addoption(
+        "--update-golden",
+        action="store_true",
+        default=False,
+        help="regenerate tests/golden/* from the current build",
+    )
+
+
+@pytest.fixture
+def update_golden(request: pytest.FixtureRequest) -> bool:
+    return bool(request.config.getoption("--update-golden"))

@@ -1,0 +1,122 @@
+"""Golden-trace regression corpus: byte-for-byte scheme behaviour lock.
+
+One fixed-seed mid-size run per scheme; the full event trace (gzipped
+JSONL, ``mtime=0`` for reproducible bytes) and the metrics dict (pretty
+JSON) are committed under ``tests/golden/``.  Any change to scheduling
+order, RNG stream consumption, trace emission, or metrics accounting
+shows up here as a byte diff — including accidental perturbations from
+the fault-injection layer, which must be a provable no-op when no plan
+is configured.
+
+After an *intentional* behaviour change, refresh with::
+
+    PYTHONPATH=src python -m pytest tests/golden --update-golden
+
+and review the regenerated files before committing.
+"""
+
+from __future__ import annotations
+
+import difflib
+import gzip
+import json
+from pathlib import Path
+from typing import Tuple
+
+import pytest
+
+from repro.metrics.collector import RunMetrics
+from repro.network import SimulationConfig, run_simulation
+from repro.sim.trace import TraceLog
+
+GOLDEN_DIR = Path(__file__).parent
+
+SCHEMES = ("ieee80211", "psm", "odpm", "rcast")
+
+
+def golden_config(scheme: str) -> SimulationConfig:
+    """The corpus scenario: mobile mid-size network, moderate traffic.
+
+    Big enough to exercise every protocol path (ATIM negotiation, route
+    breaks under waypoint mobility, Rcast randomized reception), small
+    enough that all four schemes replay in a few seconds.
+    """
+    return SimulationConfig(
+        scheme=scheme,
+        seed=7,
+        sim_time=15.0,
+        num_nodes=24,
+        arena_w=800.0,
+        arena_h=300.0,
+        num_connections=4,
+        mobility="waypoint",
+        max_speed=2.0,
+        pause_time=0.0,
+        packet_rate=0.4,
+    )
+
+
+def regenerate(scheme: str) -> Tuple[bytes, str, RunMetrics]:
+    """Run the corpus scenario; return (trace bytes, metrics text, metrics)."""
+    trace = TraceLog()
+    metrics = run_simulation(golden_config(scheme), trace=trace)
+    trace_bytes = "".join(r.to_json() + "\n" for r in trace).encode()
+    metrics_text = json.dumps(metrics.to_dict(), indent=2) + "\n"
+    return trace_bytes, metrics_text, metrics
+
+
+def _context_diff(expected: str, actual: str, name: str) -> str:
+    diff = difflib.unified_diff(
+        expected.splitlines(keepends=True), actual.splitlines(keepends=True),
+        fromfile=f"golden/{name}", tofile=f"regenerated/{name}", n=1,
+    )
+    lines = list(diff)[:40]
+    return "".join(lines)
+
+
+@pytest.mark.parametrize("scheme", SCHEMES)
+def test_golden(scheme: str, update_golden: bool) -> None:
+    trace_path = GOLDEN_DIR / f"{scheme}.trace.jsonl.gz"
+    metrics_path = GOLDEN_DIR / f"{scheme}.metrics.json"
+    trace_bytes, metrics_text, metrics = regenerate(scheme)
+
+    if update_golden:
+        # mtime=0 keeps the gzip container deterministic across refreshes.
+        trace_path.write_bytes(gzip.compress(trace_bytes, mtime=0))
+        metrics_path.write_text(metrics_text)
+        return
+
+    assert trace_path.exists() and metrics_path.exists(), (
+        f"golden corpus missing for {scheme}; run "
+        f"`pytest tests/golden --update-golden` and commit the files"
+    )
+
+    golden_metrics = metrics_path.read_text()
+    assert metrics_text == golden_metrics, (
+        f"{scheme}: metrics drifted from golden corpus\n"
+        + _context_diff(golden_metrics, metrics_text,
+                        f"{scheme}.metrics.json")
+    )
+
+    golden_trace = gzip.decompress(trace_path.read_bytes())
+    if trace_bytes != golden_trace:
+        diff = _context_diff(
+            golden_trace.decode(), trace_bytes.decode(),
+            f"{scheme}.trace.jsonl",
+        )
+        pytest.fail(
+            f"{scheme}: trace drifted from golden corpus "
+            f"({len(golden_trace)} -> {len(trace_bytes)} bytes)\n{diff}"
+        )
+
+    # The corpus was generated fault-free: the injection layer being wired
+    # in must not have left any counters behind.
+    assert metrics.fault_counts == {}
+
+
+@pytest.mark.parametrize("scheme", SCHEMES)
+def test_golden_gzip_is_deterministic(scheme: str) -> None:
+    """Committed container bytes must match a fresh mtime=0 compression."""
+    trace_path = GOLDEN_DIR / f"{scheme}.trace.jsonl.gz"
+    raw = gzip.decompress(trace_path.read_bytes())
+    assert gzip.compress(raw, mtime=0) == trace_path.read_bytes()
