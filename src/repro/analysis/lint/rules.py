@@ -1,6 +1,6 @@
 """The rcast-lint rule set.
 
-Five simulator-specific determinism/protocol invariants, each with a stable
+Six simulator-specific determinism/protocol invariants, each with a stable
 id.  Rules yield ``(line, col, message)`` findings; the runner attaches
 file paths, applies path scoping and inline suppressions, and renders
 output.
@@ -19,6 +19,9 @@ R004   mutable-default          no mutable default arguments
 R005   handler-purity           event handlers must not read the wall clock,
                                 draw global randomness, or mutate module
                                 globals
+R006   poll-loop                no self-rescheduling poll loops under a
+                                carrier-sense guard; subscribe to the
+                                channel's busy→idle wake instead
 =====  =======================  ==================================================
 """
 
@@ -540,6 +543,117 @@ def _callback_name(node: ast.expr) -> Optional[str]:
     return None
 
 
+# ----------------------------------------------------------------------
+# R006 — poll-loop
+# ----------------------------------------------------------------------
+
+#: Identifiers whose presence in a branch condition marks it as a
+#: carrier-sense / medium-state check.
+_BUSY_TOKEN = re.compile(r"busy|carrier", re.IGNORECASE)
+
+
+class PollLoop(Rule):
+    """No self-rescheduling poll loops under a carrier-sense guard.
+
+    A callback that re-schedules *itself* from inside a branch testing
+    channel busy state is a poll loop: while the medium stays busy it burns
+    one heap event per backoff draw without advancing the simulation (the
+    pre-wake-on-idle DCF spent ~1.27M such attempt events on 48k
+    transmissions per bench run — a 26:1 overhead).  Register with
+    ``Channel.wait_for_idle`` and replay the deferred draws at the wake
+    instead.  Where a *bounded* self-reschedule is genuinely required —
+    e.g. a deadline-expiry completion that must fire at the poll-model
+    instant — suppress inline with the rationale.
+
+    The check resolves ``self._foo_cb = self._foo``-style bound-method
+    aliases (the hot-loop idiom in this codebase) so caching the callback
+    does not hide the loop.
+    """
+
+    id = "R006"
+    name = "poll-loop"
+    paths = SIM_PATHS
+
+    def run(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.ClassDef):
+                aliases = _self_attr_aliases(node)
+                for item in node.body:
+                    if isinstance(item, (ast.FunctionDef,
+                                         ast.AsyncFunctionDef)):
+                        yield from self._check(item, aliases)
+        for item in ctx.tree.body:
+            if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                yield from self._check(item, {})
+
+    def _check(
+        self, func: ast.FunctionDef | ast.AsyncFunctionDef,
+        aliases: Dict[str, str],
+    ) -> Iterator[Finding]:
+        for branch in ast.walk(func):
+            if not isinstance(branch, ast.If):
+                continue
+            if not _mentions_busy(branch.test):
+                continue
+            for stmt in branch.body:
+                for call in ast.walk(stmt):
+                    if not (
+                        isinstance(call, ast.Call)
+                        and isinstance(call.func, ast.Attribute)
+                        and call.func.attr in ("schedule", "schedule_at")
+                        and len(call.args) >= 2
+                    ):
+                        continue
+                    target = _callback_name(call.args[1])
+                    if target is not None:
+                        target = _resolve_alias(target, aliases)
+                    if target == func.name:
+                        yield (
+                            call.lineno, call.col_offset,
+                            f"`{func.name}` re-schedules itself while "
+                            "carrier sense reports busy (a poll loop, one "
+                            "event per backoff draw); subscribe via "
+                            "Channel.wait_for_idle and replay the draws at "
+                            "the wake",
+                        )
+
+
+def _mentions_busy(test: ast.expr) -> bool:
+    for node in ast.walk(test):
+        if isinstance(node, ast.Name) and _BUSY_TOKEN.search(node.id):
+            return True
+        if isinstance(node, ast.Attribute) and _BUSY_TOKEN.search(node.attr):
+            return True
+    return False
+
+
+def _self_attr_aliases(cls: ast.ClassDef) -> Dict[str, str]:
+    """``self.X = self.Y`` assignments anywhere in the class body."""
+    aliases: Dict[str, str] = {}
+    for node in ast.walk(cls):
+        if not (isinstance(node, ast.Assign) and len(node.targets) == 1):
+            continue
+        target, value = node.targets[0], node.value
+        if (
+            isinstance(target, ast.Attribute)
+            and isinstance(target.value, ast.Name)
+            and target.value.id == "self"
+            and isinstance(value, ast.Attribute)
+            and isinstance(value.value, ast.Name)
+            and value.value.id == "self"
+        ):
+            aliases[target.attr] = value.attr
+    return aliases
+
+
+def _resolve_alias(name: str, aliases: Dict[str, str]) -> str:
+    for _ in range(len(aliases)):
+        if name not in aliases:
+            break
+        name = aliases[name]
+    return name
+
+
 #: All rules, in id order.  The runner instantiates from here.
 ALL_RULES: Tuple[Type[Rule], ...] = (
     RngDiscipline,
@@ -547,6 +661,7 @@ ALL_RULES: Tuple[Type[Rule], ...] = (
     UnorderedIteration,
     MutableDefault,
     HandlerPurity,
+    PollLoop,
 )
 
 RULES_BY_ID: Dict[str, Type[Rule]] = {rule.id: rule for rule in ALL_RULES}
@@ -557,6 +672,7 @@ __all__ = [
     "Finding",
     "HandlerPurity",
     "MutableDefault",
+    "PollLoop",
     "Rule",
     "RULES_BY_ID",
     "RngDiscipline",

@@ -282,7 +282,7 @@ class FaultInjector:
         # so no receiver may decode it.
         tx = self.channel._active.get(node_id)
         if tx is not None:
-            tx.corrupted_at.update(tx.audible)
+            tx.corrupt_everywhere()
         node.mac.halt()
         node.dsr.halt()
         radio = self.radios[node_id]

@@ -95,11 +95,19 @@ class PositionService:
         self._positions: NDArray[np.float64] = np.zeros((self.num_nodes, 2))
         empty_tuple: Tuple[int, ...] = ()
         empty_set: FrozenSet[int] = frozenset()
+        empty_idx: NDArray[np.int64] = np.empty(0, dtype=np.int64)
         self._neighbor_tuples: List[Tuple[int, ...]] = (
             [empty_tuple] * self.num_nodes)
         self._cs_tuples: List[Tuple[int, ...]] = [empty_tuple] * self.num_nodes
         self._neighbor_sets: List[FrozenSet[int]] = [empty_set] * self.num_nodes
         self._cs_sets: List[FrozenSet[int]] = [empty_set] * self.num_nodes
+        #: int64 views of the same ascending relations, interned alongside
+        #: the tuples — the channel fancy-indexes its radio-state mirrors
+        #: with these, so they must only be reallocated when membership
+        #: actually changes (callers hold on to the returned object).
+        self._neighbor_arrays: List[NDArray[np.int64]] = (
+            [empty_idx] * self.num_nodes)
+        self._cs_arrays: List[NDArray[np.int64]] = [empty_idx] * self.num_nodes
         #: cumulative count of neighbor-set changes observed per node,
         #: feeding the mobility decision factor.
         self.link_changes: NDArray[np.int64] = np.zeros(self.num_nodes,
@@ -164,8 +172,10 @@ class PositionService:
         bootstrapped = self._bootstrapped
         nbr_tuples = self._neighbor_tuples
         nbr_sets = self._neighbor_sets
+        nbr_arrays = self._neighbor_arrays
         cs_tuples = self._cs_tuples
         cs_sets = self._cs_sets
+        cs_arrays = self._cs_arrays
         link_changes = self.link_changes
         for node in range(num_nodes):
             fresh = new_tx[node]
@@ -175,14 +185,18 @@ class PositionService:
                     link_changes[node] += _count_changes(old, fresh)
                 nbr_tuples[node] = fresh
                 nbr_sets[node] = frozenset(fresh)
+                nbr_arrays[node] = np.asarray(fresh, dtype=np.int64)
             elif not bootstrapped:
                 nbr_sets[node] = frozenset(fresh)
+                nbr_arrays[node] = np.asarray(fresh, dtype=np.int64)
             fresh_cs = new_cs[node]
             if fresh_cs != cs_tuples[node]:
                 cs_tuples[node] = fresh_cs
                 cs_sets[node] = frozenset(fresh_cs)
+                cs_arrays[node] = np.asarray(fresh_cs, dtype=np.int64)
             elif not bootstrapped:
                 cs_sets[node] = frozenset(fresh_cs)
+                cs_arrays[node] = np.asarray(fresh_cs, dtype=np.int64)
         self._bootstrapped = True
 
     # ------------------------------------------------------------------
@@ -224,6 +238,26 @@ class PositionService:
         if self._sim.now >= self._valid_until:
             self._refresh_now()
         return self._neighbor_tuples[node]
+
+    def neighbor_index_array(self, node: int) -> NDArray[np.int64]:
+        """Ascending int64 array of nodes within tx range of ``node``.
+
+        Same interning contract as :meth:`sorted_neighbors`: the array is
+        built once per membership change and shared between callers, so it
+        must be treated as read-only.
+        """
+        if self._sim.now >= self._valid_until:
+            self._refresh_now()
+        return self._neighbor_arrays[node]
+
+    def cs_index_array(self, node: int) -> NDArray[np.int64]:
+        """Ascending int64 array of nodes within cs range of ``node``.
+
+        Interned and read-only, like :meth:`neighbor_index_array`.
+        """
+        if self._sim.now >= self._valid_until:
+            self._refresh_now()
+        return self._cs_arrays[node]
 
     def neighbor_count(self, node: int) -> int:
         """Number of radio neighbors (Rcast's ``P_R`` denominator)."""

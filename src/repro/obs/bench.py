@@ -47,7 +47,13 @@ from repro.sim.engine import Simulator
 from repro.sim.rng import derived_stream
 
 #: JSON schema tag for BENCH_hotpath.json consumers (CI, plots).
-SCHEMA = "rcast-bench-hotpath/1"
+#: v2 (wake-on-idle DCF era): top-level ``events``/``wall_time_s`` mirror
+#: the workload, and ``speedup_vs_pre_pr`` became an object with separate
+#: ``wall_time`` and ``events_per_sec`` ratios — events/sec alone is not
+#: comparable across a change to the *event model* (eliminating poll
+#: events shrinks the numerator without slowing the simulation), so
+#: speedup claims must quote wall time on the fixed workload.
+SCHEMA = "rcast-bench-hotpath/2"
 
 #: The fig7-style workload per bench scale: the heaviest cell of the
 #: bench-scale fig7 sweep (rcast, mobile, the scale's top packet rate).
@@ -60,21 +66,25 @@ WORKLOADS: Dict[str, Dict[str, Any]] = {
                   max_speed=2.0, pause_time=0.0, seed=1),
 }
 
-#: Pre-overhaul reference for the ``bench`` workload (commit 7f036b8,
-#: interleaved best-of-N on the development machine) — the denominator of
-#: the speedup figure reported by this harness and quoted in DESIGN.md §11.
+#: Pre-overhaul reference for the ``bench`` workload — the denominator of
+#: the speedup figures reported by this harness and quoted in DESIGN.md
+#: §11.  Measured at commit bcec123 (poll-model DCF, per-receiver Python
+#: delivery loop) immediately before the wake-on-idle overhaul, best-of-3
+#: on the machine that produced the committed BENCH_hotpath.json.
 PRE_PR_BASELINE: Dict[str, Any] = {
     "workload": "bench",
-    "events_per_sec": 48909,
     "events": 1474641,
-    "commit": "7f036b8",
-    "note": ("best-of-8, interleaved with the committed BENCH_hotpath.json "
-             "measurement in the same load window so numerator and "
-             "denominator share conditions (paired same-window ratios: "
-             "median 2.16x over 8 pairs).  Host-load windows swing both "
-             "sides ~±15% (pre-PR fast-window best ~52-55k, post-overhaul "
-             "~110-116k); hardware-dependent — compare like with like, "
-             "never absolute numbers across machines."),
+    "wall_time_s": 12.965,
+    "events_per_sec": 113737,
+    "commit": "bcec123",
+    "note": ("Poll-model reference for the wake-on-idle DCF overhaul.  The "
+             "overhaul changes the *event model* — it eliminates ~2.67x of "
+             "the heap events (busy-poll attempts) without changing what "
+             "is simulated — so events/sec is NOT comparable across it: "
+             "the honest figure is the wall-time ratio on this fixed "
+             "workload.  Wall times are hardware- and load-dependent; "
+             "re-measure both sides interleaved on one machine before "
+             "quoting a ratio, never absolute numbers across machines."),
 }
 
 
@@ -280,13 +290,23 @@ def run_hotpath_bench(scale: str = "bench", repeat: int = 3,
         "scale": scale,
         "stages": stages,
         "workload": workload,
+        "events": workload["events"],
+        "wall_time_s": workload["wall_time_s"],
         "events_per_sec": workload["events_per_sec"],
         "baseline": dict(PRE_PR_BASELINE),
     }
-    if (scale == PRE_PR_BASELINE["workload"]
-            and PRE_PR_BASELINE["events_per_sec"]):
-        result["speedup_vs_pre_pr"] = (
-            workload["events_per_sec"] / PRE_PR_BASELINE["events_per_sec"])
+    if scale == PRE_PR_BASELINE["workload"]:
+        # Wall time is the honest cross-event-model figure; the ev/s and
+        # event-count ratios are kept so the event-model shift itself is
+        # visible in the artifact (see the SCHEMA note).
+        result["speedup_vs_pre_pr"] = {
+            "wall_time": (PRE_PR_BASELINE["wall_time_s"]
+                          / workload["wall_time_s"]),
+            "events_per_sec": (workload["events_per_sec"]
+                               / PRE_PR_BASELINE["events_per_sec"]),
+            "events_ratio": (workload["events"]
+                             / PRE_PR_BASELINE["events"]),
+        }
     return result
 
 
@@ -300,7 +320,12 @@ def compare_to_baseline(result: Dict[str, Any], baseline: Dict[str, Any],
 
     ``baseline`` is a previously-committed BENCH_hotpath.json (or the
     reduced ``benchmarks/baseline_hotpath.json``); only ``events_per_sec``
-    is compared, and only for a matching scale.
+    is compared, and only for a matching scale.  Wall time is recorded in
+    the v2 schema but deliberately not gated: CI runners differ too much
+    in raw speed for a committed wall floor, while events/sec stays
+    meaningful as long as the committed baseline was measured under the
+    same event model (baselines are refreshed whenever the model changes,
+    as the wake-on-idle overhaul did).
     """
     base_scale = baseline.get("scale")
     if base_scale is not None and base_scale != result["scale"]:
@@ -327,9 +352,13 @@ def format_result(result: Dict[str, Any]) -> str:
         f"{result['workload']['wall_time_s']:.3f}s)",
     ]
     if "speedup_vs_pre_pr" in result:
+        speedup = result["speedup_vs_pre_pr"]
         lines.append(
-            f"  vs pre-PR baseline  : {result['speedup_vs_pre_pr']:.2f}x "
-            f"(baseline {result['baseline']['events_per_sec']:,} ev/s)")
+            f"  vs pre-PR baseline  : wall {speedup['wall_time']:.2f}x "
+            f"(baseline {result['baseline']['wall_time_s']:.3f}s); "
+            f"ev/s ratio {speedup['events_per_sec']:.2f}x at "
+            f"{speedup['events_ratio']:.2f}x the events — not a slowdown, "
+            "the event model changed")
     for name, stage in result["stages"].items():
         rate_key = next(k for k in stage if k.endswith("_per_sec"))
         lines.append(f"  {name:<19} : {stage[rate_key]:,.0f} "

@@ -15,6 +15,22 @@ Delivery semantics (matching what the paper's results actually depend on):
 * **Carrier sense** — a sender defers when any active transmission's sender
   is within its carrier-sense range (the MAC layer implements backoff).
 
+Delivery classification is vectorized: each transmission snapshots the
+position service's interned int64 neighbor index array, and the channel
+maintains a write-through numpy mirror of every radio's "blocked until"
+time (``tx_until`` while awake, +inf while dozing), so audibility,
+eligibility and corruption resolve as boolean masks with a handful of
+numpy ops per frame instead of a per-receiver attribute walk.
+Receiver callbacks still fire in ascending node order (the index arrays are
+ascending), so the event schedule the MAC layers observe is deterministic.
+
+Busy→idle notification: a MAC that sensed the medium busy can subscribe via
+:meth:`wait_for_idle` instead of re-polling ``is_busy`` on a timer.  The
+medium can only become idle for a listener when a transmission ends, so the
+end of :meth:`_finish` is the single wake point: every waiter whose carrier
+sense has gone quiet is called back synchronously, in ascending node order.
+This is what lets the DCF collapse its ~26:1 poll-to-delivery event ratio.
+
 The channel does not model MAC ACK frames explicitly: the sender's MAC is
 told which nodes decoded the frame and applies ACK semantics itself.  This
 halves the event count and is energetically neutral under the paper's model
@@ -25,6 +41,9 @@ from __future__ import annotations
 
 import itertools
 from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Set, Tuple
+
+import numpy as np
+from numpy.typing import NDArray
 
 from repro.constants import BITRATE_BPS, MAC_HEADER_BYTES
 from repro.errors import ChannelError
@@ -43,6 +62,10 @@ _tx_ids = itertools.count()
 #: Hoisted for the inlined ``can_receive`` checks in transmit/_finish.
 _SLEEP = RadioState.SLEEP
 
+#: Shared zero-length mask/index for transmissions with no audible nodes.
+_EMPTY_MASK: NDArray[np.bool_] = np.empty(0, dtype=bool)
+_EMPTY_IDX: NDArray[np.int64] = np.empty(0, dtype=np.int64)
+
 
 def reset_tx_ids() -> None:
     """Restart transmission ids at 0 (per-build; keeps traces stable)."""
@@ -55,7 +78,7 @@ class Transmission:
 
     __slots__ = (
         "tx_id", "sender", "frame", "start", "end",
-        "audible", "eligible_at_start", "overlaps", "corrupted_at",
+        "audible", "audible_idx", "eligible_mask", "corrupt_mask", "overlaps",
     )
 
     def __init__(self, sender: int, frame: Frame, start: float, end: float) -> None:
@@ -65,19 +88,44 @@ class Transmission:
         self.start = start
         self.end = end
         #: nodes within rx range at start (excluding sender), in ascending
-        #: node order — iterated by delivery, so the order must be stable
+        #: node order — the interned per-snapshot tuple, shared
         self.audible: Tuple[int, ...] = ()
-        #: audible nodes whose radio could decode at start
-        self.eligible_at_start: Set[int] = set()
+        #: the same relation as the position service's interned int64 array
+        #: (read-only; used to fancy-index the channel's radio-state mirrors)
+        self.audible_idx: NDArray[np.int64] = _EMPTY_IDX
+        #: per-audible-node mask: radio could decode at start
+        self.eligible_mask: NDArray[np.bool_] = _EMPTY_MASK
+        #: per-audible-node mask: frame already known corrupted there.
+        #: ``None`` until the first corruption — most frames never collide,
+        #: and the classification fast-path skips the mask ops entirely.
+        self.corrupt_mask: Optional[NDArray[np.bool_]] = None
         #: transmissions that overlapped this one in time
         self.overlaps: List["Transmission"] = []
-        #: receivers where this frame is already known corrupted
-        self.corrupted_at: Set[int] = set()
 
     @property
     def duration(self) -> float:
         """Airtime of this transmission in seconds."""
         return self.end - self.start
+
+    @property
+    def eligible_at_start(self) -> Set[int]:
+        """Audible nodes whose radio could decode at start (derived view)."""
+        return set(self.audible_idx[self.eligible_mask].tolist())
+
+    @property
+    def corrupted_at(self) -> Set[int]:
+        """Receivers where this frame is already known corrupted (derived)."""
+        if self.corrupt_mask is None:
+            return set()
+        return set(self.audible_idx[self.corrupt_mask].tolist())
+
+    def corrupt_everywhere(self) -> None:
+        """Mark the frame corrupted at every audible receiver.
+
+        Fault-injection hook: a sender crashing mid-frame truncates the
+        transmission, so no receiver decodes it.
+        """
+        self.corrupt_mask = np.ones(len(self.audible), dtype=bool)
 
 
 class Channel:
@@ -97,8 +145,8 @@ class Channel:
         self.sim = sim
         self.positions = positions
         self.radios = radios
-        self.bitrate = bitrate
-        self.mac_overhead_bytes = mac_overhead_bytes
+        self._bitrate = bitrate
+        self._mac_overhead_bytes = mac_overhead_bytes
         self.trace = trace
         self._active: Dict[int, Transmission] = {}
         #: fault-injection hook, wired by ``build_network`` only when the
@@ -108,10 +156,21 @@ class Channel:
         self.faults: Optional["FaultInjector"] = None
         self._receivers: Dict[int, Callable[[Frame, int], None]] = {}
         self._tx_complete: Dict[int, Callable[[Frame, Set[int]], None]] = {}
+        #: nodes waiting for their carrier sense to go quiet (wait_for_idle)
+        self._idle_waiters: Dict[int, Callable[[], None]] = {}
         #: payload size -> airtime memo; the DCF recomputes the airtime on
         #: every attempt and payload sizes come from a handful of frame
-        #: shapes, so the memo stays tiny and hits almost always.
+        #: shapes, so the memo stays tiny and hits almost always.  The memo
+        #: bakes in bitrate and MAC overhead, so both are settable only
+        #: through properties that drop it, and a ``Simulator.clear()``
+        #: (back-to-back configs in one process) drops it too.
         self._airtime: Dict[int, float] = {}
+        sim.add_clear_hook(self._airtime.clear)
+        # Write-through radio-state mirror for vectorized delivery
+        # classification (see bind_state_mirror).
+        self._mirror_len = -1
+        self._blocked_until: NDArray[np.float64] = np.empty(0)
+        self._rebuild_state_mirror()
         # Statistics
         self.frames_sent = 0
         self.frames_delivered = 0
@@ -121,6 +180,37 @@ class Channel:
     # ------------------------------------------------------------------
     # Wiring
     # ------------------------------------------------------------------
+
+    @property
+    def bitrate(self) -> float:
+        """Channel bitrate in bit/s (setting it drops the airtime memo)."""
+        return self._bitrate
+
+    @bitrate.setter
+    def bitrate(self, value: float) -> None:
+        if value <= 0:
+            raise ChannelError(f"bitrate must be positive, got {value}")
+        self._bitrate = value
+        self._airtime.clear()
+
+    @property
+    def mac_overhead_bytes(self) -> int:
+        """Per-frame MAC overhead (setting it drops the airtime memo)."""
+        return self._mac_overhead_bytes
+
+    @mac_overhead_bytes.setter
+    def mac_overhead_bytes(self, value: int) -> None:
+        self._mac_overhead_bytes = value
+        self._airtime.clear()
+
+    def _rebuild_state_mirror(self) -> None:
+        """(Re)build the radio-state mirror array and bind every radio."""
+        radios = self.radios
+        size = max(radios) + 1 if radios else 0
+        self._blocked_until = np.zeros(size, dtype=np.float64)
+        for radio in radios.values():
+            radio.bind_state_mirror(self._blocked_until)
+        self._mirror_len = len(radios)
 
     def attach(
         self,
@@ -165,12 +255,29 @@ class Channel:
                 return True
         return False
 
+    def wait_for_idle(self, node_id: int, callback: Callable[[], None]) -> None:
+        """Call ``callback()`` once ``node_id``'s carrier sense goes quiet.
+
+        One pending wait per node (a new registration replaces the old).
+        The callback fires synchronously from the end of transmission
+        teardown (:meth:`_finish`) — after deliveries and the sender's
+        completion callback — at the first instant ``is_busy(node_id)`` is
+        False again.  Waiters are woken in ascending node order.  The
+        callback must not start a transmission synchronously (schedule an
+        attempt instead): the medium it observes is this instant's.
+        """
+        self._idle_waiters[node_id] = callback
+
+    def cancel_idle_wait(self, node_id: int) -> None:
+        """Drop a pending :meth:`wait_for_idle` registration (no-op if none)."""
+        self._idle_waiters.pop(node_id, None)
+
     def transmission_time(self, payload_bytes: int) -> float:
         """Airtime for a frame carrying ``payload_bytes`` of payload."""
         airtime = self._airtime.get(payload_bytes)
         if airtime is None:
-            bits = (payload_bytes + self.mac_overhead_bytes) * 8
-            airtime = self._airtime[payload_bytes] = bits / self.bitrate
+            bits = (payload_bytes + self._mac_overhead_bytes) * 8
+            airtime = self._airtime[payload_bytes] = bits / self._bitrate
         return airtime
 
     # ------------------------------------------------------------------
@@ -188,21 +295,22 @@ class Channel:
         radio = self.radios[sender_id]
         if not radio.is_awake:
             raise ChannelError(f"node {sender_id} tried to transmit while asleep")
+        if len(self.radios) != self._mirror_len:
+            # A radio registered after construction; rebind the mirrors.
+            self._rebuild_state_mirror()
 
         duration = self.transmission_time(frame.size_bytes)
         now = self.sim.now
         tx = Transmission(sender_id, frame, now, now + duration)
-        # The position service's per-snapshot ascending tuple, shared — not
-        # a per-transmission `tuple(sorted(...))` allocation.
+        # The position service's per-snapshot ascending tuple and int64
+        # array, shared — no per-transmission allocation for the relation.
         tx.audible = self.positions.sorted_neighbors(sender_id)
-        radios = self.radios
-        eligible = tx.eligible_at_start
-        # Radio.can_receive(), inlined: one call per audible node per
-        # transmission adds up to millions of frames at bench scale.
-        for node in tx.audible:
-            r = radios[node]
-            if r.meter._state is not _SLEEP and now >= r._tx_until:
-                eligible.add(node)
+        idx = self.positions.neighbor_index_array(sender_id)
+        tx.audible_idx = idx
+        if idx.size:
+            # Radio.can_receive() for all audible nodes at once: one gather
+            # from the blocked-until mirror (doze encodes as +inf).
+            tx.eligible_mask = self._blocked_until[idx] <= now
 
         # Record mutual overlap with every currently active transmission and
         # mark collisions eagerly where interference domains intersect.
@@ -223,17 +331,23 @@ class Channel:
     def _mark_mutual_corruption(self, a: Transmission, b: Transmission) -> None:
         """Corrupt each transmission at receivers that can hear both senders.
 
-        Uses the position service's interned cs frozensets directly — no
-        per-overlap-pair set construction.
+        Probes the position service's interned cs frozensets and writes
+        mask positions directly — overlaps are rare relative to frames, and
+        at typical audible-set sizes set probes beat ``np.isin``'s fixed
+        overhead by an order of magnitude.  The mask allocates lazily on
+        the first corrupted receiver.
         """
         positions = self.positions
         for tx, other in ((a, b), (b, a)):
             other_sender = other.sender
             other_cs = positions.cs_neighbors(other_sender)
-            corrupted = tx.corrupted_at
-            for node in tx.audible:
+            corrupt = tx.corrupt_mask
+            for pos, node in enumerate(tx.audible):
                 if node in other_cs or node == other_sender:
-                    corrupted.add(node)
+                    if corrupt is None:
+                        corrupt = tx.corrupt_mask = np.zeros(
+                            len(tx.audible), dtype=bool)
+                    corrupt[pos] = True
 
     def _finish(self, tx: Transmission) -> None:
         sender = tx.sender
@@ -241,41 +355,45 @@ class Channel:
         radios = self.radios
         radios[sender].end_tx()
 
-        # ``audible`` is ascending, so collecting survivors in audible
-        # order yields the sorted delivery order directly — receiver
-        # callbacks re-enter the MAC layer, and firing them in node order
-        # keeps event scheduling independent of set iteration order.
-        eligible = tx.eligible_at_start
-        corrupted = tx.corrupted_at
+        now = self.sim.now
+        idx = tx.audible_idx
         delivered: Set[int] = set()
         delivery_order: List[int] = []
-        now = self.sim.now
-        # Stats counted in locals: per-node instance-attribute updates in
-        # this loop were measurable at bench scale.
-        missed = collided = 0
-        faults = self.faults
-        for node in tx.audible:
-            if node not in eligible:
-                missed += 1
-                continue
-            if node in corrupted:
-                collided += 1
-                continue
-            r = radios[node]
-            # Radio.can_receive(), inlined (see transmit).
-            if r.meter._state is _SLEEP or now < r._tx_until:
-                # Fell asleep or started transmitting mid-frame.
-                missed += 1
-                continue
+        if idx.size:
+            eligible = tx.eligible_mask
+            n_eligible = int(np.count_nonzero(eligible))
+            corrupt = tx.corrupt_mask
+            if corrupt is None:
+                clean = eligible
+                n_clean = n_eligible
+            else:
+                clean = eligible & ~corrupt
+                n_clean = int(np.count_nonzero(clean))
+            # Radio.can_receive() at frame end, one mirror gather: nobody
+            # fell asleep or started transmitting mid-frame.
+            deliver = clean & (self._blocked_until[idx] <= now)
+            n_deliver = int(np.count_nonzero(deliver))
+            # ``audible_idx`` is ascending, so the surviving indices are the
+            # sorted delivery order directly — receiver callbacks re-enter
+            # the MAC layer, and firing them in node order keeps event
+            # scheduling independent of mask layout.
+            delivery_order = idx[deliver].tolist()
+            # not eligible at start, or eligible-and-clean but unable to
+            # decode at the end -> missed; eligible but corrupted -> collided
+            self.frames_missed_asleep += (
+                (int(idx.size) - n_eligible) + (n_clean - n_deliver))
+            self.frames_collided += n_eligible - n_clean
             # Fault-plan impairments (loss processes, noise windows) veto
-            # the delivery last: the frame reached a listening radio but
-            # the impaired link corrupted it.
-            if faults is not None and faults.drop_delivery(sender, node, now):
-                continue
-            delivered.add(node)
-            delivery_order.append(node)
-        self.frames_missed_asleep += missed
-        self.frames_collided += collided
+            # deliveries last: the frame reached a listening radio but the
+            # impaired link corrupted it.
+            faults = self.faults
+            if faults is not None and delivery_order:
+                drop = faults.drop_delivery
+                delivery_order = [
+                    node for node in delivery_order
+                    if not drop(sender, node, now)
+                ]
+            delivered.update(delivery_order)
         self.frames_delivered += len(delivery_order)
 
         frame = tx.frame
@@ -288,6 +406,23 @@ class Channel:
         on_complete = self._tx_complete.get(sender)
         if on_complete is not None:
             on_complete(frame, delivered)
+
+        # Busy→idle wake point: this is the only event that can turn a
+        # waiter's carrier sense quiet.  Wake every waiter whose medium is
+        # idle *now* — not just the finished sender's cs-neighbors, because
+        # a mobility refresh may have moved a waiter out of the sender's
+        # interned cs snapshot while it waited.
+        waiters = self._idle_waiters
+        if waiters:
+            if not self._active:
+                ready = sorted(waiters)
+            else:
+                is_busy = self.is_busy
+                ready = [n for n in sorted(waiters) if not is_busy(n)]
+            for node in ready:
+                callback = waiters.pop(node, None)
+                if callback is not None:
+                    callback()
 
 
 __all__ = ["Channel", "Transmission", "reset_tx_ids"]

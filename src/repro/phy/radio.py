@@ -9,7 +9,10 @@ those states cost the same as idle, so the headline numbers are unaffected).
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Callable, Optional
+
+import numpy as np
+from numpy.typing import NDArray
 
 from repro.phy.energy import EnergyMeter, RadioState
 from repro.sim.engine import Simulator
@@ -29,6 +32,26 @@ class Radio:
         self.meter = meter if meter is not None else EnergyMeter()
         self._tx_until = 0.0
         self._rx_until = 0.0
+        #: write-through mirror of "cannot decode until": ``tx_until`` while
+        #: awake, +inf while dozing.  Bound by the channel so delivery
+        #: classification can gather radio state for all receivers with one
+        #: numpy fancy-index instead of a per-receiver attribute walk.
+        self._m_blocked: Optional[NDArray[np.float64]] = None
+        #: fired after each awake->doze transition; the DCF uses it to
+        #: convert a pending wait-for-idle into a real (deferrable) attempt
+        self.on_sleep: Optional[Callable[[], None]] = None
+
+    def bind_state_mirror(self, blocked_until: NDArray[np.float64]) -> None:
+        """Adopt the shared state-mirror array (channel wiring).
+
+        ``blocked_until[node_id] <= t`` must equal :meth:`can_receive` at
+        time ``t``; every wake/sleep/tx transition writes its scalar
+        through.
+        """
+        self._m_blocked = blocked_until
+        blocked_until[self.node_id] = (
+            float("inf") if self.meter._state is RadioState.SLEEP
+            else self._tx_until)
 
     # ------------------------------------------------------------------
 
@@ -66,11 +89,17 @@ class Radio:
         """Wake the radio into idle listening (no-op when awake)."""
         if not self.is_awake:
             self.meter.transition(RadioState.IDLE, self.sim.now)
+            if self._m_blocked is not None:
+                self._m_blocked[self.node_id] = self._tx_until
 
     def sleep(self) -> None:
         """Put the radio into the low-power doze state (no-op when asleep)."""
         if self.is_awake:
             self.meter.transition(RadioState.SLEEP, self.sim.now)
+            if self._m_blocked is not None:
+                self._m_blocked[self.node_id] = float("inf")
+            if self.on_sleep is not None:
+                self.on_sleep()
 
     def note_tx(self, duration: float) -> None:
         """Mark the radio as transmitting for ``duration`` seconds.
@@ -80,6 +109,8 @@ class Radio:
         """
         self.meter.transition(RadioState.TX, self.sim.now)
         self._tx_until = self.sim.now + duration
+        if self._m_blocked is not None:
+            self._m_blocked[self.node_id] = self._tx_until
 
     def end_tx(self) -> None:
         """Return from TX to idle listening (channel callback)."""

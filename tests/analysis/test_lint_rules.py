@@ -481,6 +481,128 @@ class TestR005:
 
 
 # ----------------------------------------------------------------------
+# R006 — poll-loop
+# ----------------------------------------------------------------------
+
+
+class TestR006:
+    def test_direct_self_reschedule_under_busy_guard(self):
+        diags = lint(
+            """\
+            class Mac:
+                def _attempt(self):
+                    if self.channel.is_busy(self.node_id):
+                        self.sim.schedule(self._backoff(), self._attempt)
+                        return
+                    self.channel.transmit(self.node_id, self.frame)
+            """,
+            rules=["R006"],
+        )
+        assert rule_ids(diags) == ["R006"]
+        assert diags[0].line == 4
+        assert diags[0].name == "poll-loop"
+
+    def test_aliased_callback_does_not_hide_the_loop(self):
+        """The ``self._attempt_cb = self._attempt`` hot-loop idiom."""
+        diags = lint(
+            """\
+            class Mac:
+                def __init__(self):
+                    self._attempt_cb = self._attempt
+
+                def _attempt(self):
+                    if self._is_busy(self.node_id):
+                        self.sim.schedule_at(self.t_next, self._attempt_cb)
+                        return
+            """,
+            rules=["R006"],
+        )
+        assert rule_ids(diags) == ["R006"]
+        assert diags[0].line == 7
+
+    def test_module_level_poll_loop(self):
+        diags = lint(
+            """\
+            def poll(sim, channel, node):
+                if channel.is_busy(node):
+                    sim.schedule(0.001, poll, sim, channel, node)
+            """,
+            rules=["R006"],
+        )
+        assert rule_ids(diags) == ["R006"]
+
+    def test_wait_for_idle_is_clean(self):
+        diags = lint(
+            """\
+            class Mac:
+                def _attempt(self):
+                    if self._is_busy(self.node_id):
+                        self.channel.wait_for_idle(self.node_id, self._wake)
+                        return
+                    self.channel.transmit(self.node_id, self.frame)
+
+                def _wake(self):
+                    self.sim.schedule_at(self.t_next, self._attempt)
+            """,
+            rules=["R006"],
+        )
+        assert diags == []
+
+    def test_rescheduling_a_different_callback_is_clean(self):
+        diags = lint(
+            """\
+            class Mac:
+                def _attempt(self):
+                    if self._is_busy(self.node_id):
+                        self.sim.schedule(0.001, self._deferred_done)
+                        return
+
+                def _deferred_done(self):
+                    self.on_done()
+            """,
+            rules=["R006"],
+        )
+        assert diags == []
+
+    def test_self_reschedule_without_busy_guard_is_clean(self):
+        """Periodic timers legitimately re-schedule themselves."""
+        diags = lint(
+            """\
+            class Mac:
+                def _beacon(self):
+                    self.emit()
+                    self.sim.schedule(self.interval, self._beacon)
+            """,
+            rules=["R006"],
+        )
+        assert diags == []
+
+    def test_out_of_scope_path_not_checked(self):
+        source = """\
+            class Poller:
+                def _tick(self):
+                    if self.is_busy():
+                        self.sim.schedule(1.0, self._tick)
+            """
+        assert lint(source, rel="metrics/report.py", rules=["R006"]) == []
+        assert rule_ids(lint(source, rel="mac/psm.py",
+                             rules=["R006"])) == ["R006"]
+
+    def test_suppression(self):
+        diags = lint(
+            """\
+            class Mac:
+                def _attempt(self):
+                    if self._is_busy(self.node_id):
+                        self.sim.schedule(0.001, self._attempt)  # rcast-lint: disable=R006 -- bounded
+                        return
+            """,
+            rules=["R006"],
+        )
+        assert diags == []
+
+
+# ----------------------------------------------------------------------
 # Cross-cutting behaviour
 # ----------------------------------------------------------------------
 

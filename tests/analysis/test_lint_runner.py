@@ -96,7 +96,7 @@ def test_rule_filter(tmp_path):
 def test_main_list_rules(capsys):
     assert main(["--list-rules"]) == 0
     out = capsys.readouterr().out
-    for rule_id in ("R001", "R002", "R003", "R004", "R005"):
+    for rule_id in ("R001", "R002", "R003", "R004", "R005", "R006"):
         assert rule_id in out
 
 

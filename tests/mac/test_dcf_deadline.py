@@ -1,5 +1,6 @@
 """Focused DCF tests: deadlines, retries and their interaction."""
 
+from repro.constants import DIFS_S
 from repro.mac.dcf import TxOutcome
 from repro.mac.frames import Frame
 
@@ -52,6 +53,106 @@ def test_queue_continues_after_deferred():
     rig.sim.run(until=1.0)
     assert outcomes[0] == ("a", TxOutcome.DEFERRED)
     assert outcomes[1] == ("b", TxOutcome.DELIVERED)
+
+
+def test_attempt_landing_exactly_on_deadline_defers():
+    """Boundary pin: the data window is half-open, ``[start, deadline)``.
+
+    A transmission that would *finish exactly at* the deadline must defer:
+    the window-closing beacon event runs at kernel priority at the deadline
+    instant, so a frame completing at that exact time would be processed
+    after the window closed.  Backoff is pinned so the first attempt fires
+    at ``DIFS + backoff`` and the completion would land on the deadline to
+    the last bit of the float.
+    """
+    rig = make_rig()
+    dcf = rig.macs[0].dcf
+    backoff = 0.001
+    dcf._backoff = lambda exponent=0: backoff
+    frame = Frame(0, 1, DummyPacket())
+    airtime = rig.channel.transmission_time(frame.size_bytes)
+    deadline = (DIFS_S + backoff) + airtime
+    outcomes = []
+    dcf.submit(frame, lambda f, o, d: outcomes.append((o, d)),
+               deadline=deadline)
+    rig.sim.run(until=1.0)
+    assert outcomes == [(TxOutcome.DEFERRED, set())]
+    assert rig.channel.frames_sent == 0
+
+
+def test_attempt_finishing_inside_deadline_transmits():
+    """Companion pin: one microsecond of slack and the frame goes out."""
+    rig = make_rig()
+    dcf = rig.macs[0].dcf
+    backoff = 0.001
+    dcf._backoff = lambda exponent=0: backoff
+    frame = Frame(0, 1, DummyPacket())
+    airtime = rig.channel.transmission_time(frame.size_bytes)
+    deadline = (DIFS_S + backoff) + airtime + 1e-6
+    outcomes = []
+    dcf.submit(frame, lambda f, o, d: outcomes.append((o, d)),
+               deadline=deadline)
+    rig.sim.run(until=1.0)
+    assert outcomes == [(TxOutcome.DELIVERED, {1})]
+    assert rig.channel.frames_sent == 1
+
+
+def _record_backoff_exponents(dcf):
+    """Wrap ``dcf._backoff`` to record the exponent of every draw."""
+    exponents = []
+    orig = dcf._backoff
+
+    def recording(exponent=0):
+        exponents.append(exponent)
+        return orig(exponent)
+
+    dcf._backoff = recording
+    return exponents
+
+
+def test_retry_backoff_exponent_sequence():
+    """Growth-table accounting pin: the k-th retry draws at exponent k.
+
+    ``_backoff``'s exponent is the number of completed, failed
+    transmissions — read *after* the retry path increments ``attempts``.
+    The first retry must therefore draw at exponent 1 (not reuse 0), and
+    the sequence walks 1, 2, ... up to the retry limit.
+    """
+    rig = make_rig()
+    rig.radios[1].sleep()
+    dcf = rig.macs[0].dcf
+    exponents = _record_backoff_exponents(dcf)
+    outcomes = []
+    dcf.submit(Frame(0, 1, DummyPacket()), lambda f, o, d: outcomes.append(o))
+    rig.sim.run(until=5.0)
+    assert outcomes == [TxOutcome.FAILED]
+    # Initial DIFS draw at exponent 0, then one draw per retry at the
+    # just-incremented attempt count; the final (7th) failure draws nothing.
+    assert exponents == [0, 1, 2, 3, 4, 5, 6]
+
+
+def test_busy_deferral_draws_at_current_retry_exponent():
+    """Busy deferrals before the first transmission stay at exponent 0.
+
+    Carrier-sense deferrals do not advance the contention window — only a
+    completed failed transmission does — so every draw while another node
+    holds the medium uses the submission's current attempt count.
+    """
+    rig = make_rig()
+    submit_outcomes = []
+    rig.macs[0].dcf.submit(
+        Frame(0, 1, DummyPacket(size_bytes=5000)),  # ~40 ms airtime
+        lambda f, o, d: submit_outcomes.append(o))
+    dcf2 = rig.macs[2].dcf
+    exponents = _record_backoff_exponents(dcf2)
+    outcomes = []
+    rig.sim.schedule(0.01, lambda: dcf2.submit(
+        Frame(2, 1, DummyPacket()), lambda f, o, d: outcomes.append(o)))
+    rig.sim.run(until=2.0)
+    assert outcomes == [TxOutcome.DELIVERED]
+    assert dcf2.busy_deferrals >= 1
+    assert len(exponents) >= 2  # initial draw plus at least one deferral
+    assert set(exponents) == {0}
 
 
 def test_completion_callback_can_submit_more_work():

@@ -29,15 +29,28 @@ def test_run_hotpath_bench_smoke_payload():
         "engine_drain",
     }
     assert result["events_per_sec"] > 0
-    assert result["workload"]["events"] > 0
+    # v2: the workload's event count and wall time are mirrored top-level.
+    assert result["events"] == result["workload"]["events"] > 0
+    assert result["wall_time_s"] == result["workload"]["wall_time_s"] > 0
     assert result["workload"]["profiler_top"]
     # The pre-PR reference is recorded for provenance even off-scale; the
-    # speedup figure only applies to the baseline's own workload.
+    # speedup figures only apply to the baseline's own workload.
     assert result["baseline"] == bench.PRE_PR_BASELINE
     assert "speedup_vs_pre_pr" not in result
     # Round-trips through JSON (the CI artifact).
     assert json.loads(json.dumps(result)) == result
     assert bench.format_result(result).startswith("hotpath bench [smoke]")
+
+
+def test_speedup_vs_pre_pr_reports_wall_and_event_ratios(monkeypatch):
+    """v2 speedup is an object: wall time is the cross-event-model figure."""
+    monkeypatch.setitem(bench.PRE_PR_BASELINE, "workload", "smoke")
+    result = bench.run_hotpath_bench("smoke", repeat=1, top_n=1)
+    speedup = result["speedup_vs_pre_pr"]
+    assert set(speedup) == {"wall_time", "events_per_sec", "events_ratio"}
+    assert speedup["wall_time"] > 0
+    assert speedup["events_ratio"] > 0
+    assert "wall" in bench.format_result(result)
 
 
 def test_run_hotpath_bench_rejects_unknown_scale():

@@ -59,6 +59,37 @@ def test_transmission_time():
     assert channel.transmission_time(100) == pytest.approx(800e-6)
 
 
+def test_airtime_memo_dropped_on_bitrate_change():
+    """Reconfiguring the PHY must not serve airtimes for the old bitrate."""
+    _, channel, _ = make_channel([(0.0, 50.0), (100.0, 50.0)], bitrate=1e6)
+    assert channel.transmission_time(100) == pytest.approx(800e-6)
+    channel.bitrate = 2e6
+    assert channel.transmission_time(100) == pytest.approx(400e-6)
+    channel.mac_overhead_bytes = 100
+    assert channel.transmission_time(100) == pytest.approx(800e-6)
+
+
+def test_airtime_memo_dropped_on_sim_clear():
+    """``Simulator.clear()`` (mid-process rebuild) drops the airtime memo.
+
+    Back-to-back runs with different PHY configs reuse the process; a memo
+    surviving the clear would silently carry the previous config's bitrate
+    into the next run's airtimes.  The bypass of the ``bitrate`` property
+    stands in for any future mutation path that skips the setter.
+    """
+    sim, channel, _ = make_channel([(0.0, 50.0), (100.0, 50.0)], bitrate=1e6)
+    assert channel.transmission_time(100) == pytest.approx(800e-6)
+    channel._bitrate = 2e6
+    sim.clear()
+    assert channel.transmission_time(100) == pytest.approx(400e-6)
+
+
+def test_bitrate_setter_rejects_nonpositive():
+    _, channel, _ = make_channel([(0.0, 50.0), (100.0, 50.0)], bitrate=1e6)
+    with pytest.raises(ChannelError):
+        channel.bitrate = 0.0
+
+
 def test_unicast_delivery_in_range():
     sim, channel, _ = make_channel([(0.0, 50.0), (100.0, 50.0)])
     inbox = collect_rx(channel, [0, 1])
