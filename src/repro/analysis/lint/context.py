@@ -105,7 +105,7 @@ class FileContext:
         self.source = source
         self.tree = tree
         self.imports = ImportMap(tree)
-        self.suppressions = SuppressionIndex(source)
+        self.suppressions = SuppressionIndex(source, tree)
         #: names assigned at module top level (shared mutable state targets)
         self.module_level_names: Set[str] = _module_level_names(tree)
         #: function name -> def node, for handler lookups (module + methods)

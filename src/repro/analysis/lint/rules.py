@@ -1,13 +1,21 @@
 """The rcast-lint rule set.
 
-Six simulator-specific determinism/protocol invariants, each with a stable
-id.  Rules yield ``(line, col, message)`` findings; the runner attaches
-file paths, applies path scoping and inline suppressions, and renders
-output.
+Simulator-specific determinism/protocol invariants, each with a stable id.
+Rules yield ``(line, col, message)`` findings; the runner attaches file
+paths, applies path scoping and inline suppressions, and renders output.
+
+R001–R006 are per-file rules (one AST at a time).  R007–R010 are *project*
+rules: they subclass :class:`ProjectRule` and additionally receive the
+cross-module :class:`~repro.analysis.lint.project.ProjectIndex`, so they
+can follow a seed across function and module boundaries.  ``R000`` is not
+a rule class — the runner itself emits it for suppression pragmas that
+silenced nothing.
 
 =====  =======================  ==================================================
 id     name                     invariant
 =====  =======================  ==================================================
+R000   unused-suppression       every ``# rcast-lint: disable=`` pragma must
+                                actually silence a finding (runner-emitted)
 R001   rng-discipline           all randomness flows through named
                                 :class:`~repro.sim.rng.RngRegistry` streams;
                                 no global ``random`` / ``np.random`` draws
@@ -22,6 +30,20 @@ R005   handler-purity           event handlers must not read the wall clock,
 R006   poll-loop                no self-rescheduling poll loops under a
                                 carrier-sense guard; subscribe to the
                                 channel's busy→idle wake instead
+R007   rng-provenance           every ``random.Random`` / ``default_rng``
+                                seed must provably flow from ``derive_seed``
+                                (across call sites); no stream-name reuse
+                                between modules or rebinding under two names
+R008   unstable-tie-break       heap insertions need a unique tie-break
+                                element so equal-(time, priority) events
+                                cannot compare by payload
+R009   unordered-reduction      no float reductions (``sum``/``np.sum``/
+                                ``fsum``/accumulation loops) over ``set`` or
+                                dict-view iteration without ``sorted()``
+R010   event-typestate          ``Event`` lifecycle: no construction or
+                                ``fire()`` outside the engine, no double
+                                cancel, no cancel/fire after fire, no
+                                ``.fired`` reads before scheduling
 =====  =======================  ==================================================
 """
 
@@ -33,6 +55,12 @@ from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple, Type
 
 from repro.analysis.lint.context import FileContext
 from repro.analysis.lint.diagnostics import Severity
+from repro.analysis.lint.project import (
+    ModuleInfo,
+    ProjectIndex,
+    iter_stream_derivations,
+    static_stream_key,
+)
 
 #: A raw finding: (line, col, message).
 Finding = Tuple[int, int, str]
@@ -75,6 +103,23 @@ class Rule:
         if not self.paths:
             return True
         return any(_path_matches(rel, pattern) for pattern in self.paths)
+
+
+class ProjectRule(Rule):
+    """A rule that needs the cross-module :class:`ProjectIndex`.
+
+    Project rules are dispatched once per module *with* the index; their
+    plain :meth:`run` is a no-op so a caller that only has a single file
+    context still gets a well-defined (empty) answer.
+    """
+
+    def run(self, ctx: FileContext) -> Iterator[Finding]:
+        return iter(())
+
+    def run_project(self, ctx: FileContext, module: ModuleInfo,
+                    project: ProjectIndex) -> Iterator[Finding]:
+        """Yield findings for ``module``, with project-wide visibility."""
+        raise NotImplementedError
 
 
 def _path_matches(rel: str, pattern: str) -> bool:
@@ -654,6 +699,604 @@ def _resolve_alias(name: str, aliases: Dict[str, str]) -> str:
     return name
 
 
+# ----------------------------------------------------------------------
+# R007 — rng-provenance (project rule)
+# ----------------------------------------------------------------------
+
+#: Fully-qualified constructors whose first argument is an RNG seed.
+_SEEDED_CONSTRUCTORS = frozenset({"random.Random", "numpy.random.default_rng"})
+
+
+class RngProvenance(ProjectRule):
+    """Every generator seed must provably flow from ``derive_seed``.
+
+    R001 catches draws on the *global* random module, but a locally
+    constructed ``random.Random(42)`` — or one seeded from a parameter
+    whose callers pass wall-clock entropy — is invisible per-file.  This
+    rule walks seed provenance through local assignments, arithmetic,
+    seed-returning helper functions, and every project call site of the
+    enclosing function: the construction is clean only when *all* paths
+    reach ``derive_seed`` / ``RngRegistry``.
+
+    It also audits the stream *namespace*: the same derivation name used
+    in two modules means two subsystems silently share one sequence, and
+    one binding assigned streams derived under two different names hides
+    which subsystem owns the draws.  F-string names key on their static
+    prefix (``f"mac:{node_id}"`` → ``mac:``) so per-node families count
+    as one name.
+    """
+
+    id = "R007"
+    name = "rng-provenance"
+
+    def __init__(self) -> None:
+        self._collision_cache: Dict[int, Dict[str, List[Tuple[str, int]]]] = {}
+
+    def run_project(self, ctx: FileContext, module: ModuleInfo,
+                    project: ProjectIndex) -> Iterator[Finding]:
+        yield from self._check_constructions(module, project)
+        yield from self._check_name_collisions(module, project)
+        yield from self._check_binding_reuse(module)
+
+    # -- generator constructions ---------------------------------------
+
+    def _check_constructions(
+        self, module: ModuleInfo, project: ProjectIndex,
+    ) -> Iterator[Finding]:
+        for simple in ("Random", "SystemRandom", "default_rng"):
+            for site in project.callers_of(simple):
+                if site.module is not module:
+                    continue
+                resolved = module.resolve(site.call.func)
+                if resolved is None:
+                    continue
+                call = site.call
+                if resolved == "random.SystemRandom":
+                    yield (
+                        call.lineno, call.col_offset,
+                        "`random.SystemRandom` draws OS entropy and can "
+                        "never be made deterministic; use a derive_seed-"
+                        "seeded stream",
+                    )
+                    continue
+                if resolved not in _SEEDED_CONSTRUCTORS:
+                    continue
+                if not call.args and not call.keywords:
+                    yield (
+                        call.lineno, call.col_offset,
+                        f"`{resolved}()` without a seed draws from OS "
+                        "entropy; seed it via derive_seed(root, name) or a "
+                        "registry stream",
+                    )
+                    continue
+                seed = call.args[0] if call.args else call.keywords[0].value
+                if not project.is_derived_seed(seed, module, site.scope):
+                    yield (
+                        call.lineno, call.col_offset,
+                        f"seed passed to `{resolved}(...)` does not provably "
+                        "flow from derive_seed/RngRegistry (checked across "
+                        "all call sites); derive it with "
+                        "derive_seed(root, name)",
+                    )
+
+    # -- cross-module stream-name collisions ---------------------------
+
+    def _collisions(
+        self, project: ProjectIndex,
+    ) -> Dict[str, List[Tuple[str, int]]]:
+        cached = self._collision_cache.get(id(project))
+        if cached is not None:
+            return cached
+        by_key: Dict[str, Dict[str, int]] = {}
+        for mod in project.modules.values():
+            for call, key in iter_stream_derivations(mod):
+                lines = by_key.setdefault(key, {})
+                if mod.rel not in lines or call.lineno < lines[mod.rel]:
+                    lines[mod.rel] = call.lineno
+        result = {
+            key: sorted(lines.items())
+            for key, lines in by_key.items() if len(lines) > 1
+        }
+        self._collision_cache[id(project)] = result
+        return result
+
+    def _check_name_collisions(
+        self, module: ModuleInfo, project: ProjectIndex,
+    ) -> Iterator[Finding]:
+        # The module deriving the most distinct stream names is treated as
+        # the namespace owner (the composition root); every *other* module
+        # sharing one of its names is flagged.
+        key_counts: Dict[str, int] = {}
+        for mod in project.modules.values():
+            key_counts[mod.rel] = len(
+                {key for _c, key in iter_stream_derivations(mod)}
+            )
+        for key, users in sorted(self._collisions(project).items()):
+            owner = max(users, key=lambda item: (key_counts[item[0]],
+                                                 item[0]))[0]
+            for rel, line in users:
+                if rel == owner or rel != module.rel:
+                    continue
+                others = ", ".join(r for r, _l in users if r != rel)
+                yield (
+                    line, 0,
+                    f"stream name {key!r} is also derived in {others}; two "
+                    "subsystems sharing one derivation name draw from one "
+                    "RNG sequence — pick a distinct name or suppress with "
+                    "the sharing rationale",
+                )
+
+    # -- one binding, two derivation names -----------------------------
+
+    def _check_binding_reuse(self, module: ModuleInfo) -> Iterator[Finding]:
+        tree = module.ctx.tree
+        scopes: List[Sequence[ast.stmt]] = [tree.body]
+        for node in ast.walk(tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                scopes.append(node.body)
+        for body in scopes:
+            seen: Dict[str, Tuple[str, int]] = {}
+            # _walk_scope yields siblings in reverse; re-establish source
+            # order — this check is a stateful scan over the assignments.
+            assigns = sorted(
+                (node for node in _walk_scope(body)
+                 if isinstance(node, ast.Assign) and len(node.targets) == 1),
+                key=lambda node: (node.lineno, node.col_offset),
+            )
+            for node in assigns:
+                binding = _binding_key(node.targets[0])
+                key = _derivation_key(node.value)
+                if binding is None or key is None:
+                    continue
+                prior = seen.get(binding)
+                if prior is not None and prior[0] != key:
+                    yield (
+                        node.lineno, node.col_offset,
+                        f"binding `{binding}` is reassigned a stream derived "
+                        f"under name {key!r} after holding one derived under "
+                        f"{prior[0]!r} (line {prior[1]}); reuse under two "
+                        "derivation names hides which subsystem owns the "
+                        "draws",
+                    )
+                seen[binding] = (key, node.lineno)
+
+
+def _binding_key(target: ast.expr) -> Optional[str]:
+    if isinstance(target, ast.Name):
+        return target.id
+    if (
+        isinstance(target, ast.Attribute)
+        and isinstance(target.value, ast.Name)
+        and target.value.id == "self"
+    ):
+        return f"self.{target.attr}"
+    return None
+
+
+def _derivation_key(value: ast.expr) -> Optional[str]:
+    """Static stream key when ``value`` is a stream-derivation call."""
+    if not isinstance(value, ast.Call):
+        return None
+    func = value.func
+    name_expr: Optional[ast.expr] = None
+    if isinstance(func, ast.Attribute) and func.attr in ("stream",
+                                                         "numpy_stream"):
+        if value.args:
+            name_expr = value.args[0]
+    elif isinstance(func, ast.Name) and func.id in ("derived_stream",):
+        if len(value.args) >= 2:
+            name_expr = value.args[1]
+    if name_expr is None:
+        return None
+    return static_stream_key(name_expr)
+
+
+# ----------------------------------------------------------------------
+# R008 — unstable-tie-break (project rule)
+# ----------------------------------------------------------------------
+
+#: heapq entry points whose pushed item carries the ordering key.
+_HEAP_PUSHERS = frozenset({"heappush", "heapreplace", "heappushpop"})
+
+#: Identifier suffixes that signal a unique, monotonic tie-break element.
+_TIE_TOKEN = re.compile(
+    r"(?:^|_)(seq|sequence|serial|uid|uuid|counter|count|key|tiebreak)$"
+)
+
+
+class UnstableTieBreak(ProjectRule):
+    """Heap keys must carry a unique tie-break element.
+
+    Two events pushed with equal ``(time, priority)`` and no sequence
+    number fall through to comparing whatever comes next in the tuple —
+    typically the payload object, whose identity ordering varies run to
+    run.  The engine's own ``(event._key, event)`` push is safe because
+    ``_key`` ends in a monotonic sequence number; this rule demands the
+    same of every other heap insertion.  Import-aware: only calls that
+    resolve to :mod:`heapq` are checked, so an unrelated ``heappush``
+    method is ignored.
+    """
+
+    id = "R008"
+    name = "unstable-tie-break"
+
+    def run_project(self, ctx: FileContext, module: ModuleInfo,
+                    project: ProjectIndex) -> Iterator[Finding]:
+        for simple in sorted(_HEAP_PUSHERS):
+            for site in project.callers_of(simple):
+                if site.module is not module:
+                    continue
+                if module.resolve(site.call.func) != f"heapq.{simple}":
+                    continue
+                call = site.call
+                if len(call.args) < 2:
+                    continue
+                item = call.args[1]
+                if not isinstance(item, ast.Tuple):
+                    continue  # opaque item: ordering is the object's own
+                if not any(_is_tie_break(el) for el in item.elts):
+                    yield (
+                        item.lineno, item.col_offset,
+                        f"heap key tuple in `{simple}` has no unique "
+                        "tie-break element; equal-(time, priority) entries "
+                        "compare by payload, which is unstable across runs "
+                        "— append a monotonic sequence number",
+                    )
+
+
+def _is_tie_break(element: ast.expr) -> bool:
+    if isinstance(element, ast.Call):
+        func = element.func
+        # next(counter) / next(self._seq) — the itertools.count idiom.
+        if isinstance(func, ast.Name) and func.id == "next":
+            return True
+        if isinstance(func, ast.Attribute) and _TIE_TOKEN.search(func.attr):
+            return True
+        return False
+    if isinstance(element, ast.Name):
+        return _TIE_TOKEN.search(element.id) is not None
+    if isinstance(element, ast.Attribute):
+        return _TIE_TOKEN.search(element.attr) is not None
+    return False
+
+
+# ----------------------------------------------------------------------
+# R009 — unordered-reduction (project rule)
+# ----------------------------------------------------------------------
+
+#: Qualified reducers whose result depends on operand order for floats.
+_FLOAT_REDUCERS = frozenset({
+    "numpy.sum", "numpy.prod", "numpy.mean", "math.fsum",
+    "statistics.mean", "statistics.fmean", "statistics.stdev",
+    "statistics.variance",
+})
+
+#: Dict-view methods that expose unordered-by-contract iteration.
+_DICT_VIEWS = frozenset({"values", "keys", "items"})
+
+
+class UnorderedReduction(ProjectRule):
+    """Float reductions over unordered iteration are order-sensitive.
+
+    Floating-point addition does not associate: ``sum`` over a ``set`` (or
+    a dict view whose insertion order encodes execution history) can
+    change in the last ulp when hash seeding or insertion order shifts,
+    and an ulp is all it takes to flip a comparison downstream.  Wrap the
+    iterable in ``sorted(...)``.  Pure *counting* reductions (``sum(1 for
+    ...)`` / ``len`` elements / integer literals) are exempt — integer
+    addition associates.  Import-aware via the project index: ``np.sum``
+    and ``math.fsum`` are recognised under any alias.
+    """
+
+    id = "R009"
+    name = "unordered-reduction"
+
+    def run_project(self, ctx: FileContext, module: ModuleInfo,
+                    project: ProjectIndex) -> Iterator[Finding]:
+        set_attrs = _set_typed_attrs(ctx.tree)
+        module_sets = _set_typed_locals(ctx.tree.body, set_attrs)
+        yield from self._scan(module, ctx.tree.body, module_sets, set_attrs)
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                local = module_sets | _set_typed_locals(node.body, set_attrs)
+                for arg, annotation in _annotated_args(node):
+                    if _annotation_is_set(annotation):
+                        local.add(arg)
+                yield from self._scan(module, node.body, local, set_attrs)
+
+    def _scan(self, module: ModuleInfo, body: Sequence[ast.stmt],
+              set_names: Set[str], set_attrs: Set[str]) -> Iterator[Finding]:
+        for node in _walk_scope(body):
+            if isinstance(node, ast.Call):
+                yield from self._check_reducer(module, node, set_names,
+                                               set_attrs)
+            elif isinstance(node, ast.For):
+                yield from self._check_loop(node, set_names, set_attrs)
+
+    def _check_reducer(self, module: ModuleInfo, call: ast.Call,
+                       set_names: Set[str],
+                       set_attrs: Set[str]) -> Iterator[Finding]:
+        func = call.func
+        is_reducer = (
+            isinstance(func, ast.Name) and func.id == "sum"
+        ) or (module.resolve(func) in _FLOAT_REDUCERS)
+        if not is_reducer or not call.args:
+            return
+        arg = call.args[0]
+        if isinstance(arg, (ast.GeneratorExp, ast.ListComp)):
+            if _is_counting_element(arg.elt):
+                return
+            for gen in arg.generators:
+                if _is_unordered_iterable(gen.iter, set_names, set_attrs):
+                    yield self._finding(gen.iter)
+        elif _is_unordered_iterable(arg, set_names, set_attrs):
+            yield self._finding(arg)
+
+    def _check_loop(self, node: ast.For, set_names: Set[str],
+                    set_attrs: Set[str]) -> Iterator[Finding]:
+        if not _is_unordered_iterable(node.iter, set_names, set_attrs):
+            return
+        for stmt in node.body:
+            for sub in ast.walk(stmt):
+                if (
+                    isinstance(sub, ast.AugAssign)
+                    and isinstance(sub.op, (ast.Add, ast.Mult))
+                    and not _is_counting_element(sub.value)
+                ):
+                    yield self._finding(node.iter)
+                    return
+
+    @staticmethod
+    def _finding(expr: ast.expr) -> Finding:
+        try:
+            rendered = ast.unparse(expr)
+        except Exception:  # pragma: no cover - unparseable expr
+            rendered = "<iterable>"
+        return (
+            expr.lineno, expr.col_offset,
+            f"float reduction over unordered `{rendered}`; float addition "
+            "is order-sensitive — wrap the iterable in sorted(...) or "
+            "reduce over a deterministically ordered sequence",
+        )
+
+
+def _is_counting_element(expr: ast.expr) -> bool:
+    """Integer-only element: ``1``, ``len(...)`` — associative, exempt."""
+    if isinstance(expr, ast.Constant):
+        return isinstance(expr.value, int)
+    if isinstance(expr, ast.Call) and isinstance(expr.func, ast.Name):
+        return expr.func.id == "len"
+    return False
+
+
+def _is_unordered_iterable(expr: ast.expr, set_names: Set[str],
+                           set_attrs: Set[str]) -> bool:
+    if (
+        isinstance(expr, ast.Call)
+        and isinstance(expr.func, ast.Name)
+        and expr.func.id == "sorted"
+    ):
+        return False
+    if (
+        isinstance(expr, ast.Call)
+        and isinstance(expr.func, ast.Name)
+        and expr.func.id in _TRANSPARENT_WRAPPERS
+        and expr.args
+    ):
+        return _is_unordered_iterable(expr.args[0], set_names, set_attrs)
+    if (
+        isinstance(expr, ast.Call)
+        and isinstance(expr.func, ast.Attribute)
+        and expr.func.attr in _DICT_VIEWS
+        and not expr.args
+    ):
+        return True
+    return _is_set_expr(expr, set_names, set_attrs)
+
+
+# ----------------------------------------------------------------------
+# R010 — event-typestate (project rule)
+# ----------------------------------------------------------------------
+
+#: The engine-internal modules that legitimately own the Event lifecycle.
+_EVENT_OWNERS = ("sim/engine.py", "sim/events.py")
+
+#: Modules sanctioned to call ``event.fire()`` — the fire-interceptor
+#: contract (Simulator.set_fire_interceptor) requires the hook to fire the
+#: popped event exactly once.
+_FIRE_SEAMS = _EVENT_OWNERS + ("obs/profiler.py",)
+
+_ST_CONSTRUCTED = "constructed"
+_ST_SCHEDULED = "scheduled"
+_ST_CANCELLED = "cancelled"
+_ST_FIRED = "fired"
+_ST_UNKNOWN = "unknown"
+
+
+class EventTypestate(ProjectRule):
+    """Static lifecycle checking for :class:`repro.sim.events.Event`.
+
+    The engine's contract: events are born via ``sim.schedule(...)``,
+    fired exactly once by the loop (or a fire-interceptor), and
+    ``cancel()`` is an idempotent no-op after either.  Violations are
+    either dead code (double cancel, cancel-after-fire) or determinism
+    hazards (direct construction bypasses the registry sequence number;
+    firing outside the loop reorders the schedule).  Import-aware: only
+    names resolving to ``repro.sim.events.Event`` are treated as events,
+    so ``threading.Event()`` is ignored.
+    """
+
+    id = "R010"
+    name = "event-typestate"
+
+    def run_project(self, ctx: FileContext, module: ModuleInfo,
+                    project: ProjectIndex) -> Iterator[Finding]:
+        rel = module.rel
+        if not any(_path_matches(rel, owner) for owner in _EVENT_OWNERS):
+            for site in project.callers_of("Event"):
+                if site.module is not module:
+                    continue
+                if module.resolve(site.call.func) != "repro.sim.events.Event":
+                    continue
+                call = site.call
+                yield (
+                    call.lineno, call.col_offset,
+                    "direct Event construction bypasses the engine's "
+                    "monotonic sequence numbering; use sim.schedule / "
+                    "sim.schedule_at",
+                )
+        if not any(_path_matches(rel, seam) for seam in _FIRE_SEAMS):
+            for node in ast.walk(ctx.tree):
+                if (
+                    isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Attribute)
+                    and node.func.attr == "fire"
+                    and not node.args and not node.keywords
+                ):
+                    yield (
+                        node.lineno, node.col_offset,
+                        "calling `.fire()` outside the engine / "
+                        "fire-interceptor seam dispatches an event out of "
+                        "schedule order",
+                    )
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                findings: List[Finding] = []
+                _interpret_typestate(node.body, {}, module, findings)
+                yield from findings
+
+
+def _event_state_of(value: ast.expr, module: ModuleInfo) -> Optional[str]:
+    """Initial typestate when ``value`` is assigned, or None (untracked)."""
+    if not isinstance(value, ast.Call):
+        return None
+    if module.resolve(value.func) == "repro.sim.events.Event":
+        return _ST_CONSTRUCTED
+    if (
+        isinstance(value.func, ast.Attribute)
+        and value.func.attr in ("schedule", "schedule_at")
+    ):
+        return _ST_SCHEDULED
+    return None
+
+
+def _interpret_typestate(
+    body: Sequence[ast.stmt],
+    state: Dict[str, str],
+    module: ModuleInfo,
+    findings: List[Finding],
+) -> None:
+    """Abstract interpretation of event lifecycles over one function body.
+
+    Branches fork the state and merge to ``unknown`` on disagreement;
+    loop bodies run once against a forked state (a transition that is a
+    bug once is a bug in a loop too), then merge.
+    """
+    for stmt in body:
+        if isinstance(stmt, ast.Assign) and len(stmt.targets) == 1:
+            key = _binding_key(stmt.targets[0])
+            if key is not None:
+                new = _event_state_of(stmt.value, module)
+                if new is not None:
+                    state[key] = new
+                else:
+                    state.pop(key, None)
+            _visit_typestate_exprs(stmt.value, state, module, findings)
+        elif isinstance(stmt, ast.If):
+            branch = dict(state)
+            _interpret_typestate(stmt.body, branch, module, findings)
+            other = dict(state)
+            _interpret_typestate(stmt.orelse, other, module, findings)
+            _merge_states(state, branch, other)
+        elif isinstance(stmt, (ast.For, ast.While)):
+            _visit_typestate_exprs(stmt, state, module, findings,
+                                   skip_body=True)
+            branch = dict(state)
+            _interpret_typestate(stmt.body, branch, module, findings)
+            _interpret_typestate(stmt.orelse, branch, module, findings)
+            _merge_states(state, dict(state), branch)
+        elif isinstance(stmt, ast.Try):
+            branch = dict(state)
+            _interpret_typestate(stmt.body, branch, module, findings)
+            for handler in stmt.handlers:
+                _interpret_typestate(handler.body, dict(state), module,
+                                     findings)
+            _interpret_typestate(stmt.orelse, branch, module, findings)
+            _merge_states(state, dict(state), branch)
+            _interpret_typestate(stmt.finalbody, state, module, findings)
+        elif isinstance(stmt, ast.With):
+            _interpret_typestate(stmt.body, state, module, findings)
+        elif isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef,
+                               ast.ClassDef)):
+            continue  # nested scope: interpreted on its own
+        else:
+            _visit_typestate_exprs(stmt, state, module, findings)
+
+
+def _merge_states(state: Dict[str, str], left: Dict[str, str],
+                  right: Dict[str, str]) -> None:
+    state.clear()
+    for key in set(left) | set(right):
+        a, b = left.get(key), right.get(key)
+        state[key] = a if a == b and a is not None else _ST_UNKNOWN
+
+
+def _visit_typestate_exprs(
+    node: ast.AST,
+    state: Dict[str, str],
+    module: ModuleInfo,
+    findings: List[Finding],
+    skip_body: bool = False,
+) -> None:
+    nodes = (
+        [node] if not skip_body
+        else [getattr(node, "iter", None) or getattr(node, "test", None)]
+    )
+    for root in nodes:
+        if root is None:
+            continue
+        for sub in ast.walk(root):
+            if isinstance(sub, ast.Call) and isinstance(sub.func,
+                                                        ast.Attribute):
+                key = _binding_key(sub.func.value)
+                if key is None or key not in state:
+                    continue
+                current = state[key]
+                if sub.func.attr == "cancel":
+                    if current == _ST_CANCELLED:
+                        findings.append((
+                            sub.lineno, sub.col_offset,
+                            f"`{key}.cancel()` called twice; the second "
+                            "cancel is a dead no-op (cancel is idempotent) "
+                            "— remove it or restructure the teardown",
+                        ))
+                    elif current == _ST_FIRED:
+                        findings.append((
+                            sub.lineno, sub.col_offset,
+                            f"`{key}.cancel()` after the event fired is a "
+                            "no-op; cancelling cannot un-fire an event",
+                        ))
+                    if current != _ST_UNKNOWN:
+                        state[key] = _ST_CANCELLED
+                elif sub.func.attr == "fire":
+                    if current == _ST_FIRED:
+                        findings.append((
+                            sub.lineno, sub.col_offset,
+                            f"`{key}.fire()` called twice; an event fires "
+                            "exactly once",
+                        ))
+                    if current != _ST_UNKNOWN:
+                        state[key] = _ST_FIRED
+            elif isinstance(sub, ast.Attribute) and sub.attr == "fired":
+                key = _binding_key(sub.value)
+                if key is not None and state.get(key) == _ST_CONSTRUCTED:
+                    findings.append((
+                        sub.lineno, sub.col_offset,
+                        f"`{key}.fired` read before the event was ever "
+                        "scheduled; it is always False here",
+                    ))
+
+
 #: All rules, in id order.  The runner instantiates from here.
 ALL_RULES: Tuple[Type[Rule], ...] = (
     RngDiscipline,
@@ -662,6 +1305,10 @@ ALL_RULES: Tuple[Type[Rule], ...] = (
     MutableDefault,
     HandlerPurity,
     PollLoop,
+    RngProvenance,
+    UnstableTieBreak,
+    UnorderedReduction,
+    EventTypestate,
 )
 
 RULES_BY_ID: Dict[str, Type[Rule]] = {rule.id: rule for rule in ALL_RULES}
@@ -669,14 +1316,19 @@ RULES_BY_ID: Dict[str, Type[Rule]] = {rule.id: rule for rule in ALL_RULES}
 
 __all__ = [
     "ALL_RULES",
+    "EventTypestate",
     "Finding",
     "HandlerPurity",
     "MutableDefault",
     "PollLoop",
+    "ProjectRule",
     "Rule",
     "RULES_BY_ID",
     "RngDiscipline",
+    "RngProvenance",
     "SIM_PATHS",
     "UnorderedIteration",
+    "UnorderedReduction",
+    "UnstableTieBreak",
     "WallClock",
 ]

@@ -19,7 +19,13 @@ from typing import Iterable, List, Optional, Sequence, Tuple
 
 from repro.analysis.lint.context import FileContext
 from repro.analysis.lint.diagnostics import Diagnostic, Severity
-from repro.analysis.lint.rules import ALL_RULES, RULES_BY_ID, Rule
+from repro.analysis.lint.project import ProjectIndex
+from repro.analysis.lint.rules import (
+    ALL_RULES,
+    ProjectRule,
+    RULES_BY_ID,
+    Rule,
+)
 
 #: Version of the JSON output schema.
 JSON_SCHEMA_VERSION = 1
@@ -38,45 +44,101 @@ def _resolve_rules(rule_ids: Optional[Sequence[str]]) -> List[Rule]:
     return rules
 
 
+def _lint_contexts(
+    contexts: Sequence[FileContext],
+    rules: Sequence[Rule],
+) -> List[Diagnostic]:
+    """Two-pass lint over parsed contexts.
+
+    Pass 1 runs per-file rules; pass 2 builds the cross-module
+    :class:`ProjectIndex` once and runs the project rules against it.
+    Findings route through :meth:`SuppressionIndex.consume` so that after
+    both passes every pragma that silenced nothing can be reported as a
+    warning-level ``R000 unused-suppression``.
+    """
+    project = ProjectIndex(contexts)
+    diagnostics: List[Diagnostic] = []
+    for ctx in contexts:
+        active = frozenset(
+            rule.id for rule in rules if rule.applies_to(ctx.rel)
+        )
+        for rule in rules:
+            if not rule.applies_to(ctx.rel):
+                continue
+            if isinstance(rule, ProjectRule):
+                module = project.modules[ctx.rel]
+                findings = rule.run_project(ctx, module, project)
+            else:
+                findings = rule.run(ctx)
+            for line, col, message in findings:
+                if ctx.suppressions.consume(rule.id, line):
+                    continue
+                diagnostics.append(
+                    Diagnostic(
+                        rule=rule.id, name=rule.name, severity=rule.severity,
+                        path=ctx.path, line=line, col=col, message=message,
+                    )
+                )
+        for pragma_line, stale_rule in ctx.suppressions.unused(active):
+            diagnostics.append(
+                Diagnostic(
+                    rule="R000", name="unused-suppression",
+                    severity=Severity.WARNING, path=ctx.path,
+                    line=pragma_line, col=0,
+                    message=f"suppression of {stale_rule} silenced no "
+                            "finding; remove the stale pragma",
+                )
+            )
+    diagnostics.sort(key=lambda d: (d.path, d.line, d.col, d.rule))
+    return diagnostics
+
+
+def lint_sources(
+    sources: Sequence[Tuple[str, str, str]],
+    rules: Optional[Sequence[str]] = None,
+) -> List[Diagnostic]:
+    """Lint ``(path, rel, source)`` triples as one project.
+
+    All parseable files feed a single cross-module index, so R007–R010
+    see imports and call sites between them; syntax errors become ``E001``
+    findings without aborting the rest.
+    """
+    resolved = _resolve_rules(rules)
+    contexts: List[FileContext] = []
+    diagnostics: List[Diagnostic] = []
+    for path, rel, source in sources:
+        try:
+            tree = ast.parse(source, filename=path)
+        except SyntaxError as exc:
+            diagnostics.append(
+                Diagnostic(
+                    rule="E001", name="syntax-error", severity=Severity.ERROR,
+                    path=path, line=exc.lineno or 1, col=(exc.offset or 1) - 1,
+                    message=f"cannot parse: {exc.msg}",
+                )
+            )
+            continue
+        contexts.append(FileContext(path, rel, source, tree))
+    diagnostics.extend(_lint_contexts(contexts, resolved))
+    diagnostics.sort(key=lambda d: (d.path, d.line, d.col, d.rule))
+    return diagnostics
+
+
 def lint_source(
     source: str,
     path: str = "<string>",
     rel: Optional[str] = None,
     rules: Optional[Sequence[str]] = None,
 ) -> List[Diagnostic]:
-    """Lint one source string.
+    """Lint one source string (a single-file project).
 
     ``rel`` is the package-relative path used for rule scoping (e.g.
     ``"routing/dsr/protocol.py"``); it defaults to ``path``, which makes
-    every path-scoped rule apply only if the path matches.
+    every path-scoped rule apply only if the path matches.  Project rules
+    run against a one-module index, so intra-file provenance still works.
     """
     rel = rel if rel is not None else path
-    try:
-        tree = ast.parse(source, filename=path)
-    except SyntaxError as exc:
-        return [
-            Diagnostic(
-                rule="E001", name="syntax-error", severity=Severity.ERROR,
-                path=path, line=exc.lineno or 1, col=(exc.offset or 1) - 1,
-                message=f"cannot parse: {exc.msg}",
-            )
-        ]
-    ctx = FileContext(path, rel, source, tree)
-    diagnostics: List[Diagnostic] = []
-    for rule in _resolve_rules(rules):
-        if not rule.applies_to(ctx.rel):
-            continue
-        for line, col, message in rule.run(ctx):
-            if ctx.suppressions.is_suppressed(rule.id, line):
-                continue
-            diagnostics.append(
-                Diagnostic(
-                    rule=rule.id, name=rule.name, severity=rule.severity,
-                    path=path, line=line, col=col, message=message,
-                )
-            )
-    diagnostics.sort(key=lambda d: (d.path, d.line, d.col, d.rule))
-    return diagnostics
+    return lint_sources([(path, rel, source)], rules=rules)
 
 
 def _package_relative(path: Path) -> str:
@@ -113,14 +175,11 @@ def lint_paths(
     missing = [str(p) for p in targets if not p.exists()]
     if missing:
         raise FileNotFoundError(f"no such file or directory: {missing}")
-    diagnostics: List[Diagnostic] = []
-    for file, rel in _discover(targets):
-        source = file.read_text(encoding="utf-8")
-        diagnostics.extend(
-            lint_source(source, path=str(file), rel=rel, rules=rules)
-        )
-    diagnostics.sort(key=lambda d: (d.path, d.line, d.col, d.rule))
-    return diagnostics
+    sources = [
+        (str(file), rel, file.read_text(encoding="utf-8"))
+        for file, rel in _discover(targets)
+    ]
+    return lint_sources(sources, rules=rules)
 
 
 def format_text(diagnostics: Sequence[Diagnostic]) -> str:
@@ -223,6 +282,7 @@ __all__ = [
     "format_text",
     "lint_paths",
     "lint_source",
+    "lint_sources",
     "main",
     "run_from_args",
 ]

@@ -1,0 +1,45 @@
+"""DSan — the runtime determinism sanitizer.
+
+The static rules (R001–R010) prove properties of the *source*; DSan
+cross-checks the claims on a *live run* with cheap hooks on seams the
+engine already exposes:
+
+* a per-stream **draw ledger** on every named RNG stream (draw count plus
+  a rolling value hash, diffable across two runs of one seed);
+* a **tie-key collision detector** riding the fire interceptor, watching
+  every heap pop for duplicate ``(time, priority, seq)`` keys and clock
+  regressions;
+* **iteration-order canaries** sampling the channel/DCF hot-path
+  structures into an order-signature hash, so insertion-order drift that
+  ``sorted(...)`` would mask at the consumption site still shows up in a
+  compare run;
+* a **global-random canary**: if the process-global ``random`` state moved
+  during the run, something drew outside the registry.
+
+Activate with ``Network.run(sanitize=True)`` or ``rcast-repro run
+--sanitize``; ``--sanitize-compare`` reruns the seed and diffs the two
+reports.  A sanitized run produces byte-identical metrics — the wrappers
+return the exact values the bare stream would have.
+"""
+
+from repro.analysis.sanitizer.ledger import (
+    LEDGER_HASH_SEED,
+    StreamLedger,
+    mix_hash,
+)
+from repro.analysis.sanitizer.dsan import (
+    DeterminismSanitizer,
+    SanitizerFinding,
+    SanitizerReport,
+    diff_reports,
+)
+
+__all__ = [
+    "DeterminismSanitizer",
+    "LEDGER_HASH_SEED",
+    "SanitizerFinding",
+    "SanitizerReport",
+    "StreamLedger",
+    "diff_reports",
+    "mix_hash",
+]

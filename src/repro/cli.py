@@ -120,6 +120,17 @@ def _build_parser() -> argparse.ArgumentParser:
                             "(0 = off; exported via --json-out)")
     run_p.add_argument("--json-out", dest="json_out", default=None,
                        help="write metrics + run manifest (+ timeline) JSON")
+    run_p.add_argument("--sanitize", action="store_true",
+                       help="run under the determinism sanitizer (DSan): "
+                            "per-stream draw ledgers, tie-key detector, "
+                            "hot-path order canaries")
+    run_p.add_argument("--sanitize-compare", dest="sanitize_compare",
+                       action="store_true",
+                       help="run the seed twice under the sanitizer and "
+                            "diff the two ledgers (implies --sanitize; "
+                            "exit 1 on divergence)")
+    run_p.add_argument("--sanitize-out", dest="sanitize_out", default=None,
+                       help="write the sanitizer JSON report to this file")
 
     profile_p = sub.add_parser(
         "profile", help="profile the event loop of one simulation"
@@ -280,13 +291,16 @@ def _cmd_run(args: argparse.Namespace) -> int:
                  if categories else jsonl)
     recorder = (TimelineRecorder(args.sample_interval)
                 if args.sample_interval > 0 else None)
+    sanitize = bool(args.sanitize or args.sanitize_compare
+                    or args.sanitize_out)
     try:
         network = build_network(config, trace=trace)
         if recorder is not None:
             metrics = network.run(observer=recorder.observe,
-                                  observe_period=recorder.period)
+                                  observe_period=recorder.period,
+                                  sanitize=sanitize)
         else:
-            metrics = network.run()
+            metrics = network.run(sanitize=sanitize)
     finally:
         if jsonl is not None:
             jsonl.close()
@@ -297,6 +311,9 @@ def _cmd_run(args: argparse.Namespace) -> int:
     print(f"wall time: {wall_time:.1f}s")
     if jsonl is not None:
         print(f"trace: {jsonl.written} records -> {jsonl.path}")
+    sanitizer_failed = False
+    if sanitize:
+        sanitizer_failed = _report_sanitizer(args, config, network)
     if args.json_out:
         manifest = RunManifest(
             scheme=config.scheme, seed=config.seed,
@@ -313,7 +330,56 @@ def _cmd_run(args: argparse.Namespace) -> int:
         Path(args.json_out).write_text(
             json_module.dumps(payload, indent=2))
         print(f"wrote {args.json_out}")
-    return 0
+    return 1 if sanitizer_failed else 0
+
+
+def _report_sanitizer(args: argparse.Namespace, config: SimulationConfig,
+                      network: Any) -> bool:
+    """Print/export sanitizer results; True when the run should fail.
+
+    ``--sanitize-compare`` rebuilds the same config and runs it a second
+    time under the sanitizer (no trace/observer attached — the ledgers
+    and canaries are what is being compared), then diffs the two reports.
+    """
+    import json as json_module
+    from pathlib import Path
+
+    from repro.analysis.sanitizer import diff_reports
+    from repro.network import build_network
+
+    report = network.sanitizer_report
+    assert report is not None
+    total_draws = sum(int(entry["draws"])  # type: ignore[call-overload]
+                      for _, entry in sorted(report.streams.items()))
+    print(f"sanitizer: {len(report.streams)} streams, {total_draws} draws, "
+          f"{report.tied_events} tied events, "
+          f"{len(report.findings)} finding(s)")
+    for finding in report.findings:
+        print(f"  [{finding.kind}] t={finding.time:.6f} "
+              f"n{finding.node} {finding.detail}")
+    failed = bool(report.findings)
+    payload: Dict[str, Any] = report.to_dict()
+    if args.sanitize_compare:
+        rerun = build_network(config)
+        rerun.run(sanitize=True)
+        second = rerun.sanitizer_report
+        assert second is not None
+        diffs = diff_reports(report, second)
+        if diffs:
+            print("sanitize-compare: LEDGERS DIVERGED")
+            for line in diffs:
+                print(f"  {line}")
+            failed = True
+        else:
+            print("sanitize-compare: ledgers identical across reruns")
+        failed = failed or bool(second.findings)
+        payload = {"first": payload, "second": second.to_dict(),
+                   "diffs": diffs}
+    if args.sanitize_out:
+        Path(args.sanitize_out).write_text(
+            json_module.dumps(payload, indent=2, sort_keys=True))
+        print(f"wrote {args.sanitize_out}")
+    return failed
 
 
 def _cmd_profile(args: argparse.Namespace) -> int:

@@ -117,7 +117,12 @@ class RandomWaypoint(MobilityModel):
         pause_time: float = 0.0,
     ) -> "RandomWaypoint":
         """Construct using the registry's ``"mobility"`` stream."""
-        return cls(num_nodes, arena, rngs.stream("mobility"),
+        # Shares build_network's "mobility" stream name on purpose: this
+        # constructor replaces build_mobility for bench/standalone runs, so
+        # the same registry name keeps those runs on the identical mobility
+        # sequence; the two call paths never run against one registry.
+        return cls(num_nodes, arena,
+                   rngs.stream("mobility"),  # rcast-lint: disable=R007 -- intentional shared name, exclusive call paths
                    max_speed, min_speed, pause_time)
 
     # ------------------------------------------------------------------

@@ -62,6 +62,7 @@ from repro.traffic.pairs import choose_connections
 from repro.traffic.poisson import PoissonSource
 
 if TYPE_CHECKING:
+    from repro.analysis.sanitizer import SanitizerReport
     from repro.mac.span import SpanElection
     from repro.routing.aodv.config import AodvConfig
     from repro.routing.aodv.protocol import AodvProtocol
@@ -188,12 +189,15 @@ class Network:
         #: wired by :func:`build_network` when the config carries a
         #: non-empty fault plan; ``None`` otherwise
         self.faults: Optional[FaultInjector] = None
+        #: filled by :meth:`run` when ``sanitize=True``; ``None`` otherwise
+        self.sanitizer_report: Optional["SanitizerReport"] = None
         self._ran = False
 
     def run(
         self,
         observer: Optional[Callable[["Network"], None]] = None,
         observe_period: Optional[float] = None,
+        sanitize: bool = False,
     ) -> RunMetrics:
         """Execute the configured run and return its metrics.
 
@@ -202,27 +206,46 @@ class Network:
         beacon interval), using the engine's restartable ``run()`` — this
         is how :class:`repro.obs.metrics.TimelineRecorder` samples
         per-node state without any hook inside the event loop.
+
+        ``sanitize=True`` runs under the determinism sanitizer
+        (:mod:`repro.analysis.sanitizer`): draw ledgers on every registry
+        stream, a tie-key detector on the fire interceptor, and hot-path
+        order canaries.  Metrics stay byte-identical; the report lands in
+        :attr:`sanitizer_report`.
         """
         if self._ran:
             raise ConfigurationError("Network.run() may only be called once")
         self._ran = True
-        for node in self.nodes:
-            node.start()
-        horizon = self.config.sim_time
-        if observer is None:
-            self.sim.run(until=horizon)
-        else:
-            period = (observe_period if observe_period
-                      else self.config.beacon_interval)
-            if period <= 0:
-                raise ConfigurationError("observe_period must be positive")
-            t = 0.0
-            while t < horizon:
-                t = min(t + period, horizon)
-                self.sim.run(until=t)
-                observer(self)
-        for node in self.nodes:
-            node.finalize()
+        sanitizer = None
+        if sanitize:
+            # Imported here: repro.analysis depends on the simulator
+            # layers, so a module-level import would be circular.
+            from repro.analysis.sanitizer import DeterminismSanitizer
+
+            sanitizer = DeterminismSanitizer()
+            sanitizer.attach(self)
+        try:
+            for node in self.nodes:
+                node.start()
+            horizon = self.config.sim_time
+            if observer is None:
+                self.sim.run(until=horizon)
+            else:
+                period = (observe_period if observe_period
+                          else self.config.beacon_interval)
+                if period <= 0:
+                    raise ConfigurationError(
+                        "observe_period must be positive")
+                t = 0.0
+                while t < horizon:
+                    t = min(t + period, horizon)
+                    self.sim.run(until=t)
+                    observer(self)
+            for node in self.nodes:
+                node.finalize()
+        finally:
+            if sanitizer is not None:
+                self.sanitizer_report = sanitizer.detach()
         return self.metrics.finalize(
             scheme=self.config.scheme,
             sim_time=self.config.sim_time,

@@ -87,8 +87,13 @@ class DsrProtocol:
         # No injected stream: derive a node-scoped one from root seed 0.
         # Never the global `random` module — cache-reply jitter draws must
         # be seed-stable and isolated from every other subsystem's stream.
+        # The "dsr:<id>" name matches build_network's injected stream but
+        # hangs off fixed root seed 0, so standalone-constructed protocols
+        # (unit tests) are seed-stable without colliding with any registry:
+        # a registry-backed run always passes `rng` and skips this branch.
         self._rng = (rng if rng is not None
-                     else derived_stream(0, f"dsr:{node_id}"))
+                     else derived_stream(0, f"dsr:{node_id}"))  # rcast-lint: disable=R007 -- fallback mirrors injected name under a distinct root
+
         self.config = config if config is not None else DsrConfig()
         self.metrics = metrics
         self.trace = trace

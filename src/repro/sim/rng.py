@@ -71,6 +71,19 @@ class RngRegistry:
         """Derive a child registry (e.g. one per repetition of a sweep)."""
         return RngRegistry(derive_seed(self._seed, "child:" + name))
 
+    def streams(self) -> Dict[str, random.Random]:
+        """Snapshot of every scalar stream derived so far (name -> RNG).
+
+        For introspection tooling (the determinism sanitizer's draw
+        ledgers); the returned dict is a copy, the streams are the live
+        objects.
+        """
+        return dict(self._streams)
+
+    def numpy_streams(self) -> Dict[str, np.random.Generator]:
+        """Snapshot of every numpy stream derived so far (name -> gen)."""
+        return dict(self._numpy_streams)
+
 
 def derived_stream(root_seed: int, name: str) -> random.Random:
     """One named stream without a registry.

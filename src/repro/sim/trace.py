@@ -29,6 +29,7 @@ FieldItems = Tuple[Tuple[str, object], ...]
 #: silently producing an empty trace.
 TRACE_CATEGORIES: Tuple[str, ...] = (
     "atim", "chan", "dcf", "dsr", "energy", "fault", "odpm", "psm",
+    "sanitizer",
 )
 
 

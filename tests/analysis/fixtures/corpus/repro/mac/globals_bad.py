@@ -1,0 +1,16 @@
+"""Corpus: global-state violations (R001, R002, R004)."""
+
+import random
+import time
+
+
+def jitter():
+    return random.uniform(0.0, 0.1)
+
+
+def stamp():
+    return time.time()
+
+
+def collect(acc=[]):
+    return acc

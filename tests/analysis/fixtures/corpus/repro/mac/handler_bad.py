@@ -1,0 +1,14 @@
+"""Corpus: impure handler and poll loop (R002, R005, R006)."""
+
+import time
+
+
+class Mac:
+    def _on_receive(self, frame, sender):
+        self.last_seen = time.time()
+
+    def _attempt(self):
+        if self.channel.is_busy(self.node_id):
+            self.sim.schedule(0.001, self._attempt)
+            return
+        self.channel.transmit(self.node_id, self.frame)

@@ -1,0 +1,7 @@
+"""Corpus: heap key without a tie-break (R008)."""
+
+import heapq
+
+
+def enqueue(heap, t, frame):
+    heapq.heappush(heap, (t, frame))

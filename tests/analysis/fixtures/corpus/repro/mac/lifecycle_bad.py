@@ -1,0 +1,13 @@
+"""Corpus: event typestate violations (R010)."""
+
+from repro.sim.events import Event
+
+
+def forge(cb):
+    return Event(0.0, cb)
+
+
+def stop(sim, cb):
+    timer = sim.schedule(1.0, cb)
+    timer.cancel()
+    timer.cancel()

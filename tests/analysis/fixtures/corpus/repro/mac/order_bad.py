@@ -1,0 +1,11 @@
+"""Corpus: ordering violations (R003, R009)."""
+
+
+def fire_all(sim, nodes):
+    pending = set(nodes)
+    for node in pending:
+        sim.schedule(0.0, print, node)
+
+
+def total_energy(by_node):
+    return sum(by_node.values())

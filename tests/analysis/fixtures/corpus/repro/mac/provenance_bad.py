@@ -1,0 +1,7 @@
+"""Corpus: seed provenance violations (R001 + R007)."""
+
+import random
+
+
+def make_rng():
+    return random.Random(42)

@@ -1,0 +1,5 @@
+"""Corpus: a suppression that silences nothing (R000)."""
+
+
+def identity(x):
+    return x  # rcast-lint: disable=R001 -- stale since the draw was removed

@@ -1,0 +1,5 @@
+"""Corpus: shares a stream derivation name with phy/streams_a (R007)."""
+
+
+def build(rngs):
+    return rngs.stream("shared")

@@ -1,0 +1,7 @@
+"""Corpus: stream-namespace owner (derives the most names)."""
+
+
+def build(rngs):
+    shared = rngs.stream("shared")
+    fading = rngs.stream("fading")
+    return shared, fading

@@ -1,0 +1,58 @@
+"""Golden-diagnostics corpus: the linter's output is byte-stable.
+
+``fixtures/corpus/`` holds one deliberately-broken fixture package with
+at least one known violation of every rule (R000–R010).  The committed
+golden text and JSON renderings pin the full diagnostic surface — rule
+ids, messages, ordering, severities, formatting — so an accidental
+wording or sort-order change shows up as a one-line diff here rather
+than as churn in downstream tooling that parses the output.
+
+Regenerating after an intentional change::
+
+    PYTHONPATH=src python tests/analysis/test_golden_diagnostics.py
+
+(running the module as a script rewrites both golden files).
+"""
+
+from pathlib import Path
+
+from repro.analysis.lint import lint_paths
+from repro.analysis.lint.runner import format_json, format_text
+
+FIXTURES = Path(__file__).parent / "fixtures"
+CORPUS = FIXTURES / "corpus"
+
+
+def normalized_outputs():
+    """Lint the corpus; strip the absolute corpus prefix from paths."""
+    diagnostics = lint_paths([str(CORPUS)])
+    prefix = str(CORPUS) + "/"
+    text = format_text(diagnostics).replace(prefix, "")
+    payload = format_json(diagnostics).replace(prefix, "")
+    return text + "\n", payload + "\n"
+
+
+def test_corpus_covers_every_rule():
+    diagnostics = lint_paths([str(CORPUS)])
+    seen = {d.rule for d in diagnostics}
+    expected = {f"R{n:03d}" for n in range(11)}
+    assert expected <= seen, f"missing rules: {sorted(expected - seen)}"
+
+
+def test_text_output_matches_golden():
+    text, _payload = normalized_outputs()
+    golden = (FIXTURES / "golden_corpus.txt").read_text()
+    assert text == golden
+
+
+def test_json_output_matches_golden():
+    _text, payload = normalized_outputs()
+    golden = (FIXTURES / "golden_corpus.json").read_text()
+    assert payload == golden
+
+
+if __name__ == "__main__":
+    text, payload = normalized_outputs()
+    (FIXTURES / "golden_corpus.txt").write_text(text)
+    (FIXTURES / "golden_corpus.json").write_text(payload)
+    print("golden corpus outputs regenerated")

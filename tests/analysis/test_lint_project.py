@@ -1,0 +1,230 @@
+"""Project-index tests: cross-module resolution, provenance, collisions.
+
+These exercise the whole-program layer (`repro.analysis.lint.project`)
+through :func:`lint_sources`, which lints a set of in-memory modules as
+one project — exactly what `lint_paths` does for a directory tree.
+"""
+
+import ast
+import textwrap
+
+from repro.analysis.lint.context import FileContext
+from repro.analysis.lint.project import (
+    ProjectIndex,
+    module_name_from_rel,
+    static_stream_key,
+)
+from repro.analysis.lint.runner import lint_sources
+
+
+def project_of(*modules):
+    """Build a ProjectIndex from ``(rel, source)`` pairs."""
+    contexts = []
+    for rel, source in modules:
+        source = textwrap.dedent(source)
+        contexts.append(FileContext(rel, rel, source, ast.parse(source)))
+    return ProjectIndex(contexts)
+
+
+def lint_modules(*modules, rules=None):
+    """Lint ``(rel, source)`` pairs as one project."""
+    sources = [(rel, rel, textwrap.dedent(source))
+               for rel, source in modules]
+    return lint_sources(sources, rules=rules)
+
+
+class TestModuleNaming:
+    def test_package_relative_rels(self):
+        assert module_name_from_rel("mac/dcf.py") == "repro.mac.dcf"
+        assert module_name_from_rel("network.py") == "repro.network"
+        assert module_name_from_rel("sim/__init__.py") == "repro.sim"
+
+
+class TestProjectIndex:
+    def test_functions_and_call_sites_span_modules(self):
+        project = project_of(
+            ("util/helpers.py", """\
+                def jitter(x):
+                    return x * 2
+                """),
+            ("mac/psm.py", """\
+                from repro.util.helpers import jitter
+
+                def beacon(t):
+                    return jitter(t)
+                """),
+        )
+        (info,) = project.functions["jitter"]
+        assert info.module.rel == "util/helpers.py"
+        sites = [s for s in project.callers_of("jitter")]
+        assert len(sites) == 1
+        assert sites[0].module.rel == "mac/psm.py"
+
+    def test_resolution_follows_import_aliases(self):
+        project = project_of(
+            ("mac/psm.py", """\
+                import heapq as hq
+
+                def push(heap, item):
+                    hq.heappush(heap, item)
+                """),
+        )
+        module = project.modules["mac/psm.py"]
+        (site,) = list(project.callers_of("heappush"))
+        assert module.resolve(site.call.func) == "heapq.heappush"
+
+    def test_derived_seed_factory_fixpoint(self):
+        """A helper returning another helper's derived seed is derived."""
+        project = project_of(
+            ("util/seeds.py", """\
+                from repro.sim.rng import derive_seed
+
+                def child(root, name):
+                    return derive_seed(root, "child:" + name)
+
+                def grandchild(root, name):
+                    return child(root, "grand:" + name)
+                """),
+        )
+        assert {"child", "grandchild"} <= project.derived_seed_factories
+
+    def test_static_stream_key_of_fstring(self):
+        expr = ast.parse('f"mac:{node_id}"', mode="eval").body
+        assert static_stream_key(expr) == "mac:"
+        expr = ast.parse('"mobility"', mode="eval").body
+        assert static_stream_key(expr) == "mobility"
+        expr = ast.parse("name", mode="eval").body
+        assert static_stream_key(expr) is None
+
+
+class TestCrossModuleProvenance:
+    """R007 follows seed dataflow across module boundaries."""
+
+    GOOD_CALLER = (
+        "network2.py",
+        """\
+        from repro.sim.rng import derive_seed
+        from repro.util.seeds import make
+
+        def build(root):
+            return make(derive_seed(root, "mac"))
+        """,
+    )
+    BAD_CALLER = (
+        "cli2.py",
+        """\
+        from repro.util.seeds import make
+
+        def build():
+            return make(1234)
+        """,
+    )
+    FACTORY = (
+        "util/seeds.py",
+        """\
+        import random
+
+        def make(seed):
+            return random.Random(seed)
+        """,
+    )
+
+    def test_all_call_sites_derived_is_clean(self):
+        diags = lint_modules(self.FACTORY, self.GOOD_CALLER,
+                             rules=["R007"])
+        assert diags == []
+
+    def test_one_underived_call_site_flags_the_construction(self):
+        diags = lint_modules(self.FACTORY, self.GOOD_CALLER,
+                             self.BAD_CALLER, rules=["R007"])
+        assert [(d.path, d.rule) for d in diags] == [
+            ("util/seeds.py", "R007"),
+        ]
+        assert "call sites" in diags[0].message
+
+
+class TestStreamNameCollisions:
+    """R007 flags one derivation name shared by two modules."""
+
+    OWNER = (
+        "network2.py",
+        """\
+        def build(rngs, n):
+            mobility = rngs.stream("mobility")
+            traffic = rngs.stream("traffic")
+            macs = [rngs.stream(f"mac:{i}") for i in range(n)]
+            return mobility, traffic, macs
+        """,
+    )
+    SHARER = (
+        "mobility/levy.py",
+        """\
+        def build(rngs):
+            return rngs.stream("mobility")
+        """,
+    )
+
+    def test_non_owner_module_is_flagged(self):
+        diags = lint_modules(self.OWNER, self.SHARER, rules=["R007"])
+        assert [(d.path, d.line, d.rule) for d in diags] == [
+            ("mobility/levy.py", 2, "R007"),
+        ]
+        assert "'mobility'" in diags[0].message
+        assert "network2.py" in diags[0].message
+
+    def test_distinct_names_are_clean(self):
+        distinct = (
+            "mobility/levy.py",
+            """\
+            def build(rngs):
+                return rngs.stream("levy")
+            """,
+        )
+        assert lint_modules(self.OWNER, distinct, rules=["R007"]) == []
+
+    def test_fstring_prefix_families_collide(self):
+        sharer = (
+            "routing/table2.py",
+            """\
+            def build(rngs, node_id):
+                return rngs.stream(f"mac:{node_id}")
+            """,
+        )
+        diags = lint_modules(self.OWNER, sharer, rules=["R007"])
+        assert [(d.path, d.rule) for d in diags] == [
+            ("routing/table2.py", "R007"),
+        ]
+
+    def test_suppression_in_sharing_module(self):
+        sharer = (
+            "mobility/levy.py",
+            """\
+            def build(rngs):
+                return rngs.stream("mobility")  # rcast-lint: disable=R007 -- shares on purpose
+            """,
+        )
+        assert lint_modules(self.OWNER, sharer, rules=["R007"]) == []
+
+
+class TestInjectedBugStatic:
+    """Acceptance: a deliberately unseeded RNG is caught statically.
+
+    The runtime half of this bug lives in
+    ``tests/analysis/test_sanitizer.py`` — the same class of defect is
+    caught by the DSan ledger diff when it is injected into a live run.
+    """
+
+    def test_unseeded_rng_in_protocol_module(self):
+        diags = lint_modules(
+            ("mac/dcf2.py", """\
+                import random
+
+                class Dcf:
+                    def __init__(self):
+                        self._rng = random.Random()
+
+                    def backoff(self):
+                        return self._rng.random()
+                """),
+        )
+        assert ("R007", 5) in [(d.rule, d.line) for d in diags]

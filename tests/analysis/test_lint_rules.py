@@ -50,7 +50,8 @@ class TestR001:
             rng = _random.Random(42)
             """
         )
-        assert rule_ids(diags) == ["R001"]
+        # The literal seed also trips R007 (not derived from derive_seed).
+        assert rule_ids(diags) == ["R001", "R007"]
         assert diags[0].line == 3
 
     def test_from_random_import(self):
@@ -82,14 +83,16 @@ class TestR001:
         assert diags == []
 
     def test_allowed_in_rng_module(self):
+        # R007 still applies (the seed parameter has no call sites proving
+        # provenance), but R001's location allowlist is what is under test.
         source = """\
             import random
 
             def make(seed):
                 return random.Random(seed)
             """
-        assert lint(source, rel="sim/rng.py") == []
-        assert rule_ids(lint(source, rel="sim/engine.py")) == ["R001"]
+        assert "R001" not in rule_ids(lint(source, rel="sim/rng.py"))
+        assert "R001" in rule_ids(lint(source, rel="sim/engine.py"))
 
     def test_inline_suppression(self):
         diags = lint(
@@ -126,7 +129,9 @@ class TestR001:
                 return random.uniform(0.0, 0.1)  # rcast-lint: disable=R002
             """
         )
-        assert rule_ids(diags) == ["R001"]
+        # The R002 pragma silences nothing here, so it is itself reported
+        # as a stale suppression alongside the undamped R001 finding.
+        assert rule_ids(diags) == ["R000", "R001"]
 
 
 # ----------------------------------------------------------------------
@@ -600,6 +605,681 @@ class TestR006:
             rules=["R006"],
         )
         assert diags == []
+
+
+# ----------------------------------------------------------------------
+# R007 — rng-provenance
+# ----------------------------------------------------------------------
+
+
+class TestR007:
+    def test_literal_seed_flagged(self):
+        diags = lint(
+            """\
+            import random
+
+            rng = random.Random(42)
+            """,
+            rules=["R007"],
+        )
+        assert rule_ids(diags) == ["R007"]
+        assert diags[0].line == 3
+        assert diags[0].name == "rng-provenance"
+        assert "derive_seed" in diags[0].message
+
+    def test_unseeded_constructor_flagged(self):
+        diags = lint(
+            """\
+            import random
+
+            rng = random.Random()
+            """,
+            rules=["R007"],
+        )
+        assert rule_ids(diags) == ["R007"]
+        assert "OS entropy" in diags[0].message
+
+    def test_system_random_always_flagged(self):
+        diags = lint(
+            """\
+            import random
+
+            rng = random.SystemRandom(1)
+            """,
+            rules=["R007"],
+        )
+        assert rule_ids(diags) == ["R007"]
+        assert "SystemRandom" in diags[0].message
+
+    def test_numpy_default_rng_literal_seed(self):
+        diags = lint(
+            """\
+            import numpy as np
+
+            gen = np.random.default_rng(7)
+            """,
+            rules=["R007"],
+        )
+        assert rule_ids(diags) == ["R007"]
+
+    def test_derive_seed_direct_is_clean(self):
+        diags = lint(
+            """\
+            import random
+
+            from repro.sim.rng import derive_seed
+
+            rng = random.Random(derive_seed(1, "mobility"))
+            """,
+            rules=["R007"],
+        )
+        assert diags == []
+
+    def test_provenance_through_local_assignment(self):
+        diags = lint(
+            """\
+            import random
+
+            from repro.sim.rng import derive_seed
+
+            def make(root):
+                seed = derive_seed(root, "mac")
+                return random.Random(seed)
+            """,
+            rules=["R007"],
+        )
+        assert diags == []
+
+    def test_provenance_through_arithmetic(self):
+        diags = lint(
+            """\
+            import random
+
+            from repro.sim.rng import derive_seed
+
+            def make(root, i):
+                return random.Random(derive_seed(root, "mac") + i)
+            """,
+            rules=["R007"],
+        )
+        assert diags == []
+
+    def test_provenance_through_seed_returning_helper(self):
+        """The derived-seed-factory fixpoint follows helper functions."""
+        diags = lint(
+            """\
+            import random
+
+            from repro.sim.rng import derive_seed
+
+            def child_seed(root, name):
+                return derive_seed(root, "child:" + name)
+
+            def make(root):
+                return random.Random(child_seed(root, "mac"))
+            """,
+            rules=["R007"],
+        )
+        assert diags == []
+
+    def test_parameter_with_no_call_sites_flagged(self):
+        """A seed parameter nothing in the project calls is unprovable."""
+        diags = lint(
+            """\
+            import random
+
+            def make(seed):
+                return random.Random(seed)
+            """,
+            rules=["R007"],
+        )
+        assert rule_ids(diags) == ["R007"]
+        assert "call sites" in diags[0].message
+
+    def test_parameter_proved_by_same_module_call_site(self):
+        diags = lint(
+            """\
+            import random
+
+            from repro.sim.rng import derive_seed
+
+            def make(seed):
+                return random.Random(seed)
+
+            def build(root):
+                return make(derive_seed(root, "mac"))
+            """,
+            rules=["R007"],
+        )
+        assert diags == []
+
+    def test_parameter_with_underived_call_site_flagged(self):
+        diags = lint(
+            """\
+            import random
+
+            from repro.sim.rng import derive_seed
+
+            def make(seed):
+                return random.Random(seed)
+
+            def good(root):
+                return make(derive_seed(root, "mac"))
+
+            def bad():
+                return make(1234)
+            """,
+            rules=["R007"],
+        )
+        assert rule_ids(diags) == ["R007"]
+        assert diags[0].line == 6
+
+    def test_binding_reuse_under_two_names(self):
+        diags = lint(
+            """\
+            def setup(rngs):
+                rng = rngs.stream("mac")
+                use(rng)
+                rng = rngs.stream("phy")
+                return rng
+            """,
+            rules=["R007"],
+        )
+        assert rule_ids(diags) == ["R007"]
+        assert diags[0].line == 4
+        assert "'phy'" in diags[0].message and "'mac'" in diags[0].message
+
+    def test_binding_reassigned_same_name_is_clean(self):
+        diags = lint(
+            """\
+            def setup(rngs):
+                rng = rngs.stream("mac")
+                use(rng)
+                rng = rngs.stream("mac")
+                return rng
+            """,
+            rules=["R007"],
+        )
+        assert diags == []
+
+    def test_suppression(self):
+        diags = lint(
+            """\
+            import random
+
+            rng = random.Random(42)  # rcast-lint: disable=R007 -- fixture
+            """,
+            rules=["R007"],
+        )
+        assert diags == []
+
+
+# ----------------------------------------------------------------------
+# R008 — unstable-tie-break
+# ----------------------------------------------------------------------
+
+
+class TestR008:
+    def test_tuple_without_tie_break(self):
+        diags = lint(
+            """\
+            import heapq
+
+            def push(heap, t, frame):
+                heapq.heappush(heap, (t, frame))
+            """,
+            rules=["R008"],
+        )
+        assert rule_ids(diags) == ["R008"]
+        assert diags[0].line == 4
+        assert diags[0].name == "unstable-tie-break"
+
+    def test_seq_attribute_is_a_tie_break(self):
+        diags = lint(
+            """\
+            import heapq
+
+            def push(heap, event):
+                heapq.heappush(heap, (event.time, event.seq, event))
+            """,
+            rules=["R008"],
+        )
+        assert diags == []
+
+    def test_next_counter_is_a_tie_break(self):
+        diags = lint(
+            """\
+            import heapq
+            import itertools
+
+            _count = itertools.count()
+
+            def push(heap, t, frame):
+                heapq.heappush(heap, (t, next(_count), frame))
+            """,
+            rules=["R008"],
+        )
+        assert diags == []
+
+    def test_heapreplace_and_alias_import(self):
+        diags = lint(
+            """\
+            from heapq import heapreplace
+
+            def replace(heap, t, frame):
+                heapreplace(heap, (t, frame))
+            """,
+            rules=["R008"],
+        )
+        assert rule_ids(diags) == ["R008"]
+
+    def test_unrelated_heappush_method_ignored(self):
+        diags = lint(
+            """\
+            def push(queue, t, frame):
+                queue.heappush(queue, (t, frame))
+            """,
+            rules=["R008"],
+        )
+        assert diags == []
+
+    def test_opaque_item_ignored(self):
+        diags = lint(
+            """\
+            import heapq
+
+            def push(heap, event):
+                heapq.heappush(heap, event)
+            """,
+            rules=["R008"],
+        )
+        assert diags == []
+
+    def test_suppression(self):
+        diags = lint(
+            """\
+            import heapq
+
+            def push(heap, t, frame):
+                heapq.heappush(heap, (t, frame))  # rcast-lint: disable=R008 -- fixture
+            """,
+            rules=["R008"],
+        )
+        assert diags == []
+
+
+# ----------------------------------------------------------------------
+# R009 — unordered-reduction
+# ----------------------------------------------------------------------
+
+
+class TestR009:
+    def test_sum_over_set_variable(self):
+        diags = lint(
+            """\
+            def total(samples):
+                acc = set(samples)
+                return sum(acc)
+            """,
+            rules=["R009"],
+        )
+        assert rule_ids(diags) == ["R009"]
+        assert diags[0].line == 3
+        assert diags[0].name == "unordered-reduction"
+
+    def test_sum_genexp_over_set(self):
+        diags = lint(
+            """\
+            def total(samples):
+                acc = set(samples)
+                return sum(s * 2.0 for s in acc)
+            """,
+            rules=["R009"],
+        )
+        assert rule_ids(diags) == ["R009"]
+
+    def test_counting_reduction_is_exempt(self):
+        diags = lint(
+            """\
+            def count(samples):
+                acc = set(samples)
+                return sum(1 for s in acc if s > 0)
+            """,
+            rules=["R009"],
+        )
+        assert diags == []
+
+    def test_sorted_sanitizes(self):
+        diags = lint(
+            """\
+            def total(samples):
+                acc = set(samples)
+                return sum(sorted(acc))
+            """,
+            rules=["R009"],
+        )
+        assert diags == []
+
+    def test_dict_values_view(self):
+        diags = lint(
+            """\
+            def total(by_node):
+                return sum(by_node.values())
+            """,
+            rules=["R009"],
+        )
+        assert rule_ids(diags) == ["R009"]
+
+    def test_math_fsum_under_alias(self):
+        diags = lint(
+            """\
+            import math as m
+
+            def total(samples):
+                acc = set(samples)
+                return m.fsum(acc)
+            """,
+            rules=["R009"],
+        )
+        assert rule_ids(diags) == ["R009"]
+
+    def test_numpy_sum_over_list_is_clean(self):
+        diags = lint(
+            """\
+            import numpy as np
+
+            def total(samples):
+                return np.sum([s for s in samples])
+            """,
+            rules=["R009"],
+        )
+        assert diags == []
+
+    def test_augmented_loop_accumulation(self):
+        diags = lint(
+            """\
+            def total(samples):
+                acc = set(samples)
+                out = 0.0
+                for s in acc:
+                    out += s
+                return out
+            """,
+            rules=["R009"],
+        )
+        assert rule_ids(diags) == ["R009"]
+        assert diags[0].line == 4
+
+    def test_counting_loop_is_exempt(self):
+        diags = lint(
+            """\
+            def count(samples):
+                acc = set(samples)
+                out = 0
+                for s in acc:
+                    out += 1
+                return out
+            """,
+            rules=["R009"],
+        )
+        assert diags == []
+
+    def test_suppression(self):
+        diags = lint(
+            """\
+            def total(by_node):
+                return sum(by_node.values())  # rcast-lint: disable=R009 -- int counters
+            """,
+            rules=["R009"],
+        )
+        assert diags == []
+
+
+# ----------------------------------------------------------------------
+# R010 — event-typestate
+# ----------------------------------------------------------------------
+
+
+class TestR010:
+    def test_direct_event_construction(self):
+        diags = lint(
+            """\
+            from repro.sim.events import Event
+
+            def forge(cb):
+                return Event(0.0, cb)
+            """,
+            rules=["R010"],
+        )
+        assert rule_ids(diags) == ["R010"]
+        assert diags[0].line == 4
+        assert diags[0].name == "event-typestate"
+        assert "sequence" in diags[0].message
+
+    def test_threading_event_is_ignored(self):
+        diags = lint(
+            """\
+            from threading import Event
+
+            def make():
+                return Event()
+            """,
+            rules=["R010"],
+        )
+        assert diags == []
+
+    def test_fire_outside_seam(self):
+        diags = lint(
+            """\
+            def flush(event):
+                event.fire()
+            """,
+            rules=["R010"],
+        )
+        assert rule_ids(diags) == ["R010"]
+        assert "fire-interceptor" in diags[0].message
+
+    def test_fire_inside_profiler_seam_is_allowed(self):
+        diags = lint(
+            """\
+            def intercept(event):
+                event.fire()
+            """,
+            rules=["R010"],
+            rel="obs/profiler.py",
+        )
+        assert diags == []
+
+    def test_double_cancel(self):
+        diags = lint(
+            """\
+            def stop(sim, cb):
+                timer = sim.schedule(1.0, cb)
+                timer.cancel()
+                timer.cancel()
+            """,
+            rules=["R010"],
+        )
+        assert rule_ids(diags) == ["R010"]
+        assert diags[0].line == 4
+        assert "twice" in diags[0].message
+
+    def test_cancel_in_disjoint_branches_is_clean(self):
+        diags = lint(
+            """\
+            def stop(sim, cb, early):
+                timer = sim.schedule(1.0, cb)
+                if early:
+                    timer.cancel()
+                else:
+                    timer.cancel()
+            """,
+            rules=["R010"],
+        )
+        assert diags == []
+
+    def test_cancel_after_unknown_merge_is_clean(self):
+        diags = lint(
+            """\
+            def stop(sim, cb, early):
+                timer = sim.schedule(1.0, cb)
+                if early:
+                    timer.cancel()
+                timer.cancel()
+            """,
+            rules=["R010"],
+        )
+        assert diags == []
+
+    def test_self_attribute_timer_double_cancel(self):
+        diags = lint(
+            """\
+            class Mac:
+                def stop(self):
+                    self._timer = self.sim.schedule(1.0, self._tick)
+                    self._timer.cancel()
+                    self._timer.cancel()
+            """,
+            rules=["R010"],
+        )
+        assert rule_ids(diags) == ["R010"]
+
+    def test_suppression(self):
+        diags = lint(
+            """\
+            def flush(event):
+                event.fire()  # rcast-lint: disable=R010 -- fixture seam
+            """,
+            rules=["R010"],
+        )
+        assert diags == []
+
+
+# ----------------------------------------------------------------------
+# R000 — unused-suppression (runner-emitted)
+# ----------------------------------------------------------------------
+
+
+class TestR000:
+    def test_stale_inline_pragma_is_reported(self):
+        diags = lint(
+            "x = 1  # rcast-lint: disable=R001 -- nothing here\n"
+        )
+        assert rule_ids(diags) == ["R000"]
+        assert diags[0].line == 1
+        assert diags[0].name == "unused-suppression"
+        assert diags[0].severity is Severity.WARNING
+        assert "R001" in diags[0].message
+
+    def test_stale_file_wide_pragma_is_reported(self):
+        diags = lint(
+            """\
+            # rcast-lint: disable-file=R004 -- legacy
+            x = 1
+            """
+        )
+        assert rule_ids(diags) == ["R000"]
+        assert diags[0].line == 1
+
+    def test_used_pragma_is_not_reported(self):
+        diags = lint(
+            """\
+            import random
+
+            def jitter():
+                return random.uniform(0.0, 0.1)  # rcast-lint: disable=R001 -- fixture
+            """
+        )
+        assert diags == []
+
+    def test_pragma_for_inactive_rule_is_not_reported(self):
+        """A pragma for a rule not scoped to this path is not 'stale'."""
+        diags = lint(
+            "def report(reasons):\n"
+            "    for r in set(reasons):  # rcast-lint: disable=R003 -- out of scope\n"
+            "        print(r)\n",
+            rel="metrics/report.py",
+        )
+        assert diags == []
+
+    def test_disable_all_is_never_reported(self):
+        diags = lint(
+            """\
+            # rcast-lint: disable-file=all -- generated fixture
+            x = 1
+            """
+        )
+        assert diags == []
+
+
+# ----------------------------------------------------------------------
+# Suppression mapping on multi-line statements
+# ----------------------------------------------------------------------
+
+
+class TestMultiLineSuppression:
+    def test_pragma_on_continuation_line(self):
+        """A trailing pragma anywhere in a multi-line statement counts."""
+        diags = lint(
+            """\
+            import random
+
+            x = random.uniform(
+                0.0, 0.1)  # rcast-lint: disable=R001 -- fixture
+            """
+        )
+        assert diags == []
+
+    def test_pragma_on_first_line_covers_continuation(self):
+        diags = lint(
+            """\
+            import random
+
+            x = random.uniform(  # rcast-lint: disable=R001 -- fixture
+                0.0, 0.1)
+            """
+        )
+        assert diags == []
+
+    def test_pragma_on_decorator_line_covers_def(self):
+        """R004 reports on the ``def`` line; the decorator line suppresses."""
+        diags = lint(
+            """\
+            import functools
+
+            @functools.lru_cache  # rcast-lint: disable=R004 -- fixture
+            def f(acc=[]):
+                return acc
+            """
+        )
+        assert diags == []
+
+    def test_pragma_does_not_leak_into_body(self):
+        """The extent of a compound statement stops before its body."""
+        diags = lint(
+            """\
+            import random
+
+            def f(  # rcast-lint: disable=R004 -- header only
+                acc=[],
+            ):
+                return random.random()
+            """
+        )
+        assert rule_ids(diags) == ["R001"]
+
+    def test_pragma_on_unrelated_following_line_does_not_apply(self):
+        diags = lint(
+            """\
+            import random
+
+            x = random.random()
+            y = 1  # rcast-lint: disable=R001 -- wrong line
+            """
+        )
+        # Sorted by line: the undamped R001 (line 3) precedes the stale
+        # pragma report (line 4).
+        assert rule_ids(diags) == ["R001", "R000"]
 
 
 # ----------------------------------------------------------------------
