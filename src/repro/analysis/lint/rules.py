@@ -11,40 +11,44 @@ can follow a seed across function and module boundaries.  ``R000`` is not
 a rule class — the runner itself emits it for suppression pragmas that
 silenced nothing.
 
-=====  =======================  ==================================================
-id     name                     invariant
-=====  =======================  ==================================================
-R000   unused-suppression       every ``# rcast-lint: disable=`` pragma must
-                                actually silence a finding (runner-emitted)
-R001   rng-discipline           all randomness flows through named
-                                :class:`~repro.sim.rng.RngRegistry` streams;
-                                no global ``random`` / ``np.random`` draws
-R002   wall-clock               simulation code never reads the wall clock
-                                (virtual time only; ``perf_counter`` is fine)
-R003   unordered-iteration      no iteration over ``set`` / ``frozenset``
-                                values in protocol code without ``sorted()``
-R004   mutable-default          no mutable default arguments
-R005   handler-purity           event handlers must not read the wall clock,
-                                draw global randomness, or mutate module
-                                globals
-R006   poll-loop                no self-rescheduling poll loops under a
-                                carrier-sense guard; subscribe to the
-                                channel's busy→idle wake instead
-R007   rng-provenance           every ``random.Random`` / ``default_rng``
-                                seed must provably flow from ``derive_seed``
-                                (across call sites); no stream-name reuse
-                                between modules or rebinding under two names
-R008   unstable-tie-break       heap insertions need a unique tie-break
-                                element so equal-(time, priority) events
-                                cannot compare by payload
-R009   unordered-reduction      no float reductions (``sum``/``np.sum``/
-                                ``fsum``/accumulation loops) over ``set`` or
-                                dict-view iteration without ``sorted()``
-R010   event-typestate          ``Event`` lifecycle: no construction or
-                                ``fire()`` outside the engine, no double
-                                cancel, no cancel/fire after fire, no
-                                ``.fired`` reads before scheduling
-=====  =======================  ==================================================
+=====  =========================  ==================================================
+id     name                       invariant
+=====  =========================  ==================================================
+R000   unused-suppression         every ``# rcast-lint: disable=`` pragma must
+                                  actually silence a finding (runner-emitted)
+R001   rng-discipline             all randomness flows through named
+                                  :class:`~repro.sim.rng.RngRegistry` streams;
+                                  no global ``random`` / ``np.random`` draws
+R002   wall-clock                 simulation code never reads the wall clock
+                                  (virtual time only; ``perf_counter`` is fine)
+R003   unordered-iteration        no iteration over ``set`` / ``frozenset``
+                                  values in protocol code without ``sorted()``
+R004   mutable-default            no mutable default arguments
+R005   handler-purity             event handlers must not read the wall clock,
+                                  draw global randomness, or mutate module
+                                  globals
+R006   poll-loop                  no self-rescheduling poll loops under a
+                                  carrier-sense guard; subscribe to the
+                                  channel's busy→idle wake instead
+R007   rng-provenance             every ``random.Random`` / ``default_rng``
+                                  seed must provably flow from ``derive_seed``
+                                  (across call sites); no stream-name reuse
+                                  between modules or rebinding under two names
+R008   unstable-tie-break         heap insertions need a unique tie-break
+                                  element so equal-(time, priority) events
+                                  cannot compare by payload
+R009   unordered-reduction        no float reductions (``sum``/``np.sum``/
+                                  ``fsum``/accumulation loops) over ``set`` or
+                                  dict-view iteration without ``sorted()``
+R010   event-typestate            ``Event`` lifecycle: no construction or
+                                  ``fire()`` outside the engine, no double
+                                  cancel, no cancel/fire after fire, no
+                                  ``.fired`` reads before scheduling
+R011   unbounded-observer-append  observer/sink hot paths (``emit`` /
+                                  ``observe``) must not grow an unbounded
+                                  list or dict once per event; use a bounded
+                                  buffer or fold online
+=====  =========================  ==================================================
 """
 
 from __future__ import annotations
@@ -190,11 +194,12 @@ class WallClock(Rule):
     id = "R002"
     name = "wall-clock"
     # The CLI reports elapsed wall time to humans, the opt-in profiler
-    # (repro.obs.profiler) times callbacks around the fire interceptor, and
-    # the hot-path bench harness (repro.obs.bench) times whole runs; none of
-    # these reads feeds back into simulated behaviour, so all three modules
-    # are allowlisted (and use perf_counter anyway).
-    allow = ("cli.py", "obs/profiler.py", "obs/bench.py")
+    # (repro.obs.profiler) times callbacks around the fire interceptor, the
+    # hot-path bench harness (repro.obs.bench) times whole runs, and the live
+    # progress monitors (repro.obs.live) rate-limit rendering and compute
+    # ev/s; none of these reads feeds back into simulated behaviour, so all
+    # four modules are allowlisted (and use perf_counter anyway).
+    allow = ("cli.py", "obs/profiler.py", "obs/bench.py", "obs/live.py")
 
     def run(self, ctx: FileContext) -> Iterator[Finding]:
         for node, bound_name in ctx.imports.from_time_wallclock:
@@ -1297,6 +1302,170 @@ def _visit_typestate_exprs(
                     ))
 
 
+# ----------------------------------------------------------------------
+# R011 — unbounded-observer-append
+# ----------------------------------------------------------------------
+
+#: Method names that run once per trace record / observation tick — the
+#: observer hot path where per-event growth turns into O(events) memory.
+_HOT_PATH_METHODS = frozenset({"emit", "observe"})
+
+#: A call to a self-method matching this in the hot path signals the
+#: container's growth is actively managed (rotation, decimation, ...).
+_BOUND_KEEPERS = re.compile(
+    r"rotate|decimate|compact|evict|trim|prune|advance_frontier"
+)
+
+#: list methods that add elements.
+_LIST_GROWERS = frozenset({"append", "extend", "insert", "appendleft"})
+
+
+def _self_attr(node: ast.expr) -> Optional[str]:
+    """``self.X`` → ``"X"``; anything else → None."""
+    if (isinstance(node, ast.Attribute)
+            and isinstance(node.value, ast.Name)
+            and node.value.id == "self"):
+        return node.attr
+    return None
+
+
+def _call_name(call: ast.Call) -> Optional[str]:
+    if isinstance(call.func, ast.Name):
+        return call.func.id
+    if isinstance(call.func, ast.Attribute):
+        return call.func.attr
+    return None
+
+
+def _unbounded_attrs(cls: ast.ClassDef) -> Tuple[Set[str], Set[str]]:
+    """Self-attributes initialized as unbounded lists / dicts in ``cls``.
+
+    Returns ``(list_like, dict_like)``.  A ``deque`` without a (non-None)
+    ``maxlen`` grows exactly like a list and lands in the first set; a
+    ``deque(maxlen=...)`` is bounded and exempt.
+    """
+    list_like: Set[str] = set()
+    dict_like: Set[str] = set()
+    for node in ast.walk(cls):
+        value: Optional[ast.expr]
+        if isinstance(node, ast.Assign) and len(node.targets) == 1:
+            target, value = node.targets[0], node.value
+        elif isinstance(node, ast.AnnAssign):
+            target, value = node.target, node.value
+        else:
+            continue
+        attr = _self_attr(target)
+        if attr is None or value is None:
+            continue
+        if isinstance(value, ast.List) and not value.elts:
+            list_like.add(attr)
+        elif isinstance(value, ast.Dict) and not value.keys:
+            dict_like.add(attr)
+        elif isinstance(value, ast.Call):
+            name = _call_name(value)
+            if name == "list" and not value.args:
+                list_like.add(attr)
+            elif name in ("dict", "OrderedDict") and not value.args:
+                dict_like.add(attr)
+            elif name == "defaultdict":
+                dict_like.add(attr)
+            elif name == "deque":
+                maxlen = next(
+                    (kw.value for kw in value.keywords
+                     if kw.arg == "maxlen"),
+                    None,
+                )
+                if maxlen is None or (isinstance(maxlen, ast.Constant)
+                                      and maxlen.value is None):
+                    list_like.add(attr)
+    return list_like, dict_like
+
+
+def _manages_bounds(method: ast.FunctionDef) -> bool:
+    """Whether the hot path calls a growth-managing helper on self."""
+    for node in ast.walk(method):
+        if isinstance(node, ast.Call) and isinstance(node.func,
+                                                     ast.Attribute):
+            if (_self_attr(node.func) is not None
+                    and _BOUND_KEEPERS.search(node.func.attr)):
+                return True
+    return False
+
+
+class UnboundedObserverAppend(Rule):
+    """Observer/sink hot paths must not grow memory per event.
+
+    ``emit()`` / ``observe()`` run once per trace record or observation
+    tick; an ``append`` to a plain list (or a fresh dict insert) there
+    makes the process footprint O(events) and defeats the fixed-memory
+    telemetry contract.  Use a bounded buffer (``deque(maxlen=...)``, a
+    preallocated array with decimation), stream to a sink, or fold
+    online via :mod:`repro.obs.stream`.
+
+    A hot path that calls a growth-managing helper on ``self`` (rotate /
+    decimate / compact / evict / trim / prune / advance_frontier) is
+    exempt: the container's size is actively bounded.  Counter-style
+    ``self.d[k] += 1`` accumulation is also exempt — its keyspace is
+    fixed by category, not by event count — only fresh per-event inserts
+    (``self.d[k] = v`` under plain assignment) are flagged.
+    """
+
+    id = "R011"
+    name = "unbounded-observer-append"
+    # TraceLog is the sanctioned unbounded in-memory log: unit tests and
+    # post-hoc analyses inspect its full record list, and long runs are
+    # expected to hand build_network a bounded sink from repro.obs.sinks
+    # instead.
+    allow = ("sim/trace.py",)
+
+    def run(self, ctx: FileContext) -> Iterator[Finding]:
+        for cls in ast.walk(ctx.tree):
+            if not isinstance(cls, ast.ClassDef):
+                continue
+            list_like, dict_like = _unbounded_attrs(cls)
+            if not list_like and not dict_like:
+                continue
+            for method in cls.body:
+                if not isinstance(method, (ast.FunctionDef,
+                                           ast.AsyncFunctionDef)):
+                    continue
+                if method.name not in _HOT_PATH_METHODS:
+                    continue
+                if _manages_bounds(method):
+                    continue
+                yield from self._scan(method, list_like, dict_like)
+
+    def _scan(self, method: ast.FunctionDef, list_like: Set[str],
+              dict_like: Set[str]) -> Iterator[Finding]:
+        for node in ast.walk(method):
+            if (isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Attribute)
+                    and node.func.attr in _LIST_GROWERS):
+                attr = _self_attr(node.func.value)
+                if attr in list_like:
+                    yield (
+                        node.lineno, node.col_offset,
+                        f"`self.{attr}.{node.func.attr}(...)` in "
+                        f"`{method.name}()` grows an unbounded list once "
+                        "per event; use a bounded buffer "
+                        "(deque(maxlen=...), preallocated array with "
+                        "decimation) or fold online (repro.obs.stream)",
+                    )
+            elif isinstance(node, ast.Assign):
+                for target in node.targets:
+                    if not isinstance(target, ast.Subscript):
+                        continue
+                    attr = _self_attr(target.value)
+                    if attr in dict_like:
+                        yield (
+                            target.lineno, target.col_offset,
+                            f"per-event insert into unbounded dict "
+                            f"`self.{attr}` in `{method.name}()`; key "
+                            "the store by a bounded category, evict old "
+                            "entries, or fold online (repro.obs.stream)",
+                        )
+
+
 #: All rules, in id order.  The runner instantiates from here.
 ALL_RULES: Tuple[Type[Rule], ...] = (
     RngDiscipline,
@@ -1309,6 +1478,7 @@ ALL_RULES: Tuple[Type[Rule], ...] = (
     UnstableTieBreak,
     UnorderedReduction,
     EventTypestate,
+    UnboundedObserverAppend,
 )
 
 RULES_BY_ID: Dict[str, Type[Rule]] = {rule.id: rule for rule in ALL_RULES}
@@ -1327,6 +1497,7 @@ __all__ = [
     "RngDiscipline",
     "RngProvenance",
     "SIM_PATHS",
+    "UnboundedObserverAppend",
     "UnorderedIteration",
     "UnorderedReduction",
     "UnstableTieBreak",

@@ -15,7 +15,17 @@ Subcommands:
 * ``fig5`` .. ``fig9`` — regenerate one figure of the paper;
 * ``ablation`` — the extension studies (factors / tap / rreq);
 * ``resilience`` — scheme degradation under injected crashes and loss;
+* ``spans``    — assemble packet flight-recorder spans (originate ->
+  route discovery -> per-hop MAC attempts -> delivery/drop) from a
+  recorded JSONL trace, as a sortable table and/or JSON;
 * ``lint``     — rcast-lint determinism & protocol-invariant checks.
+
+``run`` grew streaming-telemetry knobs: ``--streaming`` folds
+fixed-memory distribution aggregates into the metrics, ``--live``
+renders an in-place progress line, ``--telemetry-out`` streams progress
+records as JSONL, and ``--trace-rotate`` size-rotates (optionally
+gzipped) trace output.  ``sweep`` shares ``--live``/``--telemetry-out``
+at replication granularity.
 
 ``run --faults plan.json`` injects a deterministic fault plan (see
 :mod:`repro.faults.plan` for the JSON format).
@@ -109,11 +119,26 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="JSON fault-plan file to inject "
                             "(crashes, packet loss, noise windows)")
     run_p.add_argument("--trace-out", dest="trace_out", default=None,
-                       help="write a structured JSONL trace to this file")
+                       help="write a structured JSONL trace to this file "
+                            "(a .gz suffix compresses transparently)")
     run_p.add_argument("--trace-categories", dest="trace_categories",
                        default=None,
                        help="comma-separated trace categories to keep "
                             "(e.g. atim,psm; default: all)")
+    run_p.add_argument("--trace-rotate", dest="trace_rotate", type=int,
+                       default=None, metavar="BYTES",
+                       help="rotate the trace file every BYTES uncompressed "
+                            "bytes (numbered parts next to --trace-out)")
+    run_p.add_argument("--streaming", action="store_true",
+                       help="fold streaming distribution aggregates "
+                            "(delay / energy-per-bit histograms, quantiles, "
+                            "reservoir) into the run metrics")
+    run_p.add_argument("--live", action="store_true",
+                       help="render an in-place live progress line "
+                            "(virtual time, ev/s, ETA, fault counts)")
+    run_p.add_argument("--telemetry-out", dest="telemetry_out", default=None,
+                       help="stream live telemetry records to this JSONL "
+                            "file (machine-readable --live feed)")
     run_p.add_argument("--sample-interval", dest="sample_interval",
                        type=float, default=0.0,
                        help="record a timeline snapshot every N sim seconds "
@@ -162,6 +187,11 @@ def _build_parser() -> argparse.ArgumentParser:
                          type=float, default=0.30,
                          help="tolerated events/sec drop vs baseline "
                               "(default 0.30)")
+    bench_p.add_argument("--max-memory-regression",
+                         dest="max_memory_regression",
+                         type=float, default=0.50,
+                         help="tolerated streaming peak-heap growth vs "
+                              "baseline (default 0.50)")
 
     for name in _FIGURES:
         fig_p = sub.add_parser(name, help=f"reproduce {name}")
@@ -193,6 +223,32 @@ def _build_parser() -> argparse.ArgumentParser:
                          help="write the scalar metrics as CSV")
     sweep_p.add_argument("--workers", type=_workers_type, default=1,
                          help="worker processes (0 = all cores; default 1)")
+    sweep_p.add_argument("--live", action="store_true",
+                         help="render an in-place replication progress line "
+                              "(ev/s, ETA, worker utilization, fault counts)")
+    sweep_p.add_argument("--telemetry-out", dest="telemetry_out",
+                         default=None,
+                         help="stream sweep progress events to this JSONL "
+                              "file (machine-readable --live feed)")
+
+    spans_p = sub.add_parser(
+        "spans", help="assemble packet flight-recorder spans from a "
+                      "JSONL trace (originate -> discovery -> per-hop MAC "
+                      "attempts -> delivery/drop)"
+    )
+    spans_p.add_argument("traces", nargs="+",
+                         help="trace JSONL file(s); .gz and rotated parts "
+                              "are read transparently")
+    spans_p.add_argument("--sort", default="uid",
+                         help="table sort key: uid|latency|energy|"
+                              "attempts|hops (default uid)")
+    spans_p.add_argument("--top", type=int, default=20,
+                         help="rows to print (default 20; 0 = all)")
+    spans_p.add_argument("--status", choices=("all", "delivered", "dropped"),
+                         default="all",
+                         help="restrict the table to one outcome")
+    spans_p.add_argument("--json-out", dest="json_out", default=None,
+                         help="write every flight (plus summary) as JSON")
 
     lint_p = sub.add_parser(
         "lint",
@@ -232,9 +288,22 @@ def _add_sim_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--speed", type=float, default=20.0)
     parser.add_argument("--static", action="store_true")
     parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument("--arena-w", dest="arena_w", type=float, default=None,
+                        metavar="METERS",
+                        help="arena width (default: the paper's 1500 m; "
+                             "scale the area with --nodes to hold the "
+                             "paper's density at 1k+ nodes)")
+    parser.add_argument("--arena-h", dest="arena_h", type=float, default=None,
+                        metavar="METERS",
+                        help="arena height (default: the paper's 300 m)")
 
 
 def _config_from_args(args: argparse.Namespace) -> SimulationConfig:
+    arena: Dict[str, float] = {}
+    if args.arena_w is not None:
+        arena["arena_w"] = args.arena_w
+    if args.arena_h is not None:
+        arena["arena_h"] = args.arena_h
     return SimulationConfig(
         scheme=args.scheme,
         num_nodes=args.nodes,
@@ -245,6 +314,7 @@ def _config_from_args(args: argparse.Namespace) -> SimulationConfig:
         max_speed=args.speed,
         pause_time=args.pause,
         seed=args.seed,
+        **arena,
     )
 
 
@@ -256,7 +326,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
     from repro.errors import ConfigurationError
     from repro.faults.plan import FaultPlan
-    from repro.network import build_network
+    from repro.network import Network, build_network
+    from repro.obs.live import LiveRunMonitor, TelemetryWriter
     from repro.obs.manifest import RunManifest, config_hash
     from repro.obs.metrics import TimelineRecorder
     from repro.obs.sinks import FilteredSink, JsonlSink
@@ -269,6 +340,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
         except ConfigurationError as exc:
             raise SystemExit(f"--faults: {exc}")
         config = replace(config, faults=plan)
+    if args.streaming:
+        config = replace(config, streaming=True)
     # perf_counter, not time.time(): monotonic, immune to NTP clock steps.
     # This module is on the rcast-lint R002 allowlist because reporting
     # elapsed wall time to a human is the one legitimate wall-clock use —
@@ -286,22 +359,44 @@ def _cmd_run(args: argparse.Namespace) -> int:
                 f"--trace-categories: unknown {unknown}; known categories: "
                 f"{', '.join(TRACE_CATEGORIES)}"
             )
-        jsonl = JsonlSink(args.trace_out)
+        jsonl = JsonlSink(args.trace_out, rotate_bytes=args.trace_rotate)
         trace = (FilteredSink(jsonl, categories=categories)
                  if categories else jsonl)
     recorder = (TimelineRecorder(args.sample_interval)
                 if args.sample_interval > 0 else None)
+    telemetry = (TelemetryWriter(args.telemetry_out)
+                 if args.telemetry_out else None)
+    live = (LiveRunMonitor(config.sim_time, telemetry=telemetry)
+            if (args.live or telemetry is not None) else None)
+    # `is not None`, not truthiness: an empty TimelineRecorder has
+    # len() == 0 and would drop its own observer before the first sample.
+    observers = [obs for obs in
+                 (recorder.observe if recorder is not None else None,
+                  live.observe if live is not None else None)
+                 if obs is not None]
     sanitize = bool(args.sanitize or args.sanitize_compare
                     or args.sanitize_out)
     try:
         network = build_network(config, trace=trace)
-        if recorder is not None:
-            metrics = network.run(observer=recorder.observe,
-                                  observe_period=recorder.period,
+        if observers:
+            # The timeline's interval wins when both are active; the live
+            # line just redraws on the same ticks (it rate-limits itself).
+            period = (args.sample_interval if args.sample_interval > 0
+                      else 1.0)
+
+            def observe(net: Network) -> None:
+                for obs in observers:
+                    obs(net)
+
+            metrics = network.run(observer=observe, observe_period=period,
                                   sanitize=sanitize)
         else:
             metrics = network.run(sanitize=sanitize)
     finally:
+        if live is not None:
+            live.finish()
+        if telemetry is not None:
+            telemetry.close()
         if jsonl is not None:
             jsonl.close()
     wall_time = time.perf_counter() - started
@@ -415,10 +510,35 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     if args.baseline:
         ok, message = bench.compare_to_baseline(
             result, bench.load_json(args.baseline),
-            max_regression=args.max_regression)
+            max_regression=args.max_regression,
+            max_memory_regression=args.max_memory_regression)
         print(message)
         if not ok:
             return 1
+    return 0
+
+
+def _cmd_spans(args: argparse.Namespace) -> int:
+    from repro.obs.spans import (
+        SORT_KEYS,
+        flights_to_json,
+        format_flights,
+        load_flights,
+    )
+
+    if args.sort not in SORT_KEYS:
+        raise SystemExit(
+            f"--sort: unknown key {args.sort!r}; choose from "
+            f"{', '.join(SORT_KEYS)}")
+    flights = load_flights(args.traces)
+    if args.status != "all":
+        shown = [f for f in flights if f.status == args.status]
+    else:
+        shown = flights
+    top = args.top if args.top > 0 else None
+    print(format_flights(shown, sort=args.sort, top=top))
+    if args.json_out:
+        print(f"wrote {flights_to_json(flights, args.json_out)}")
     return 0
 
 
@@ -437,9 +557,10 @@ def _on_event(event: "ProgressEvent") -> None:
 def _cmd_sweep(args: argparse.Namespace, scale: ExperimentScale,
                progress: Callable[[str], None]) -> int:
     from repro.experiments.export import write_sweep_csv, write_sweep_json
-    from repro.experiments.parallel import resolve_workers
+    from repro.experiments.parallel import ProgressEvent, resolve_workers
     from repro.experiments.sweep import sweep as run_sweep
     from repro.metrics.report import format_series
+    from repro.obs.live import LiveSweepMonitor, TelemetryWriter
 
     schemes = [s.strip() for s in args.schemes.split(",") if s.strip()]
     rates = ([float(r) for r in args.rates.split(",")]
@@ -451,10 +572,31 @@ def _cmd_sweep(args: argparse.Namespace, scale: ExperimentScale,
     scenarios = tuple(name == "mobile"
                       for name in ("mobile", "static")
                       if name in scenario_names)
-    on_event = _on_event if resolve_workers(args.workers) > 1 else None
-    result = run_sweep(scale, schemes, rates=rates, scenarios=scenarios,
-                       seed=args.seed, progress=progress,
-                       workers=args.workers, on_event=on_event)
+    telemetry = (TelemetryWriter(args.telemetry_out)
+                 if args.telemetry_out else None)
+    monitor = (LiveSweepMonitor(telemetry=telemetry)
+               if (args.live or telemetry is not None) else None)
+    callbacks = [cb for cb in
+                 (_on_event if resolve_workers(args.workers) > 1 else None,
+                  monitor)
+                 if cb is not None]
+    on_event: Optional[Callable[[ProgressEvent], None]] = None
+    if callbacks:
+        def _fanout(event: ProgressEvent) -> None:
+            for callback in callbacks:
+                callback(event)
+
+        on_event = _fanout
+    if monitor is not None:
+        # The live line replaces the per-cell progress chatter.
+        progress = lambda line: None  # noqa: E731
+    try:
+        result = run_sweep(scale, schemes, rates=rates, scenarios=scenarios,
+                           seed=args.seed, progress=progress,
+                           workers=args.workers, on_event=on_event)
+    finally:
+        if telemetry is not None:
+            telemetry.close()
     for mobile in result.scenarios:
         label = "mobile" if mobile else "static"
         print(format_series(
@@ -480,6 +622,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _cmd_profile(args)
     if args.command == "bench":
         return _cmd_bench(args)
+    if args.command == "spans":
+        return _cmd_spans(args)
     if args.command == "lint":
         from repro.analysis.lint.runner import run_from_args
 

@@ -128,6 +128,13 @@ class SimulationConfig:
     # Energy
     battery_joules: Optional[float] = None
 
+    # Observability
+    #: fold streaming distribution aggregates (delay, energy-per-bit;
+    #: :mod:`repro.obs.stream`) during the run.  Off by default; the
+    #: shared ``RunMetrics`` fields are bit-identical either way, the
+    #: flag only adds the optional ``*_dist`` summaries.
+    streaming: bool = False
+
     # Fault injection
     #: deterministic fault plan for the run; ``None`` (or an empty plan)
     #: builds no injector at all — behaviour is byte-identical to a build
@@ -371,7 +378,8 @@ def build_network(config: SimulationConfig,
         for i in range(config.num_nodes)
     }
     channel = Channel(sim, positions, radios, bitrate=config.bitrate, trace=trace)
-    metrics = MetricsCollector(config.num_nodes)
+    metrics = MetricsCollector(config.num_nodes, streaming=config.streaming,
+                               seed=config.seed)
 
     nodes: List[Node] = []
     psm_macs: Dict[int, PsmMac] = {}

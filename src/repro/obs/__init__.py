@@ -22,6 +22,19 @@ Modules
 ``manifest``
     Per-replication run manifests (seed, config hash, wall time, events
     processed) surfaced through progress events and ``--json-out``.
+``stream``
+    Fixed-memory online aggregators: Welford moments, deterministic
+    reservoir sampling (``obs:*`` derived RNG streams), fixed-bucket
+    streaming histograms with interpolated quantiles.  The collector's
+    ``streaming=True`` distribution summaries come from here.
+``live``
+    In-place live progress lines for single runs and sweeps, plus the
+    ``--telemetry-out`` JSONL feed; with :mod:`profiler`, the other
+    sanctioned wall-clock consumer (rcast-lint R002 allowlist).
+``spans``
+    Post-hoc flight recorder: correlates ``dsr``/``dcf``/``chan`` trace
+    records by packet uid into end-to-end flights with per-layer
+    latency and energy attribution (``rcast-repro spans``).
 ``bench``
     Hot-path benchmark harness behind ``rcast-repro bench``: stage
     microbenchmarks (snapshot refresh, neighbor query, transmit/finish,
@@ -31,6 +44,7 @@ Modules
     the full network build stack.
 """
 
+from repro.obs.live import LiveRunMonitor, LiveSweepMonitor, TelemetryWriter
 from repro.obs.manifest import RunManifest, config_hash
 from repro.obs.metrics import (
     Counter,
@@ -41,6 +55,13 @@ from repro.obs.metrics import (
 )
 from repro.obs.profiler import CallbackStats, ProfileReport, SimulationProfiler
 from repro.obs.sinks import FilteredSink, JsonlSink, RingBufferSink
+from repro.obs.spans import PacketFlight, SpanHop, assemble_flights
+from repro.obs.stream import (
+    ReservoirSampler,
+    StreamStats,
+    StreamingHistogram,
+    Welford,
+)
 
 __all__ = [
     "CallbackStats",
@@ -48,12 +69,21 @@ __all__ = [
     "FilteredSink",
     "Gauge",
     "JsonlSink",
+    "LiveRunMonitor",
+    "LiveSweepMonitor",
     "MetricsRegistry",
+    "PacketFlight",
     "ProfileReport",
+    "ReservoirSampler",
     "RingBufferSink",
     "RunManifest",
     "SimulationProfiler",
+    "SpanHop",
+    "StreamStats",
+    "StreamingHistogram",
+    "TelemetryWriter",
     "TimelineRecorder",
     "TimelineSample",
+    "Welford",
     "config_hash",
 ]

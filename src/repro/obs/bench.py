@@ -53,7 +53,12 @@ from repro.sim.rng import derived_stream
 #: comparable across a change to the *event model* (eliminating poll
 #: events shrinks the numerator without slowing the simulation), so
 #: speedup claims must quote wall time on the fixed workload.
-SCHEMA = "rcast-bench-hotpath/2"
+#: v3 (streaming-telemetry era): a ``memory`` section records the
+#: tracemalloc peak heap of the workload under both collector modes plus
+#: collector/timeline byte estimates, and ``compare_to_baseline`` gates
+#: the streaming peak like it gates events/sec — unlike wall time, peak
+#: heap on a deterministic workload is stable across machines.
+SCHEMA = "rcast-bench-hotpath/3"
 
 #: The fig7-style workload per bench scale: the heaviest cell of the
 #: bench-scale fig7 sweep (rcast, mobile, the scale's top packet rate).
@@ -224,6 +229,61 @@ def bench_engine_drain(events: int = 200_000, repeat: int = 3) -> Dict[str, Any]
 
 
 # ----------------------------------------------------------------------
+# Memory accounting
+# ----------------------------------------------------------------------
+
+def bench_memory(scale: str = "bench",
+                 timeline_capacity: int = 1024) -> Dict[str, Any]:
+    """Peak-heap accounting of the workload under both collector modes.
+
+    Each mode runs once under ``tracemalloc`` (≈2x wall overhead, which
+    is why this stage stays out of the throughput figures) with a
+    columnar :class:`~repro.obs.metrics.TimelineRecorder` observing at
+    1 Hz virtual time — the same observability surface the
+    ``--streaming`` CLI path wires up.  Alongside the interpreter-level
+    peak, two analytic estimates localize where observability memory
+    goes: the collector's peak pending-record footprint and the
+    timeline's columnar block size.
+    """
+    import sys
+    import tracemalloc
+
+    from repro.metrics.collector import _DataRecord
+    from repro.obs.metrics import TimelineRecorder
+
+    # One dict slot (key + entry) on top of the dataclass itself; an
+    # estimate, not an audit — tracemalloc has the ground truth.
+    record_bytes = sys.getsizeof(_DataRecord(0, 0, 0, 0.0, 0)) + 96
+    modes: Dict[str, Any] = {}
+    for mode in ("batch", "streaming"):
+        config = SimulationConfig(**WORKLOADS[scale],
+                                  streaming=(mode == "streaming"))
+        network = build_network(config)
+        recorder = TimelineRecorder(period=1.0, capacity=timeline_capacity)
+        peak_pending = 0
+
+        def observe(net: Any) -> None:
+            nonlocal peak_pending
+            recorder.observe(net)
+            pending = net.metrics.pending_records
+            if pending > peak_pending:
+                peak_pending = pending
+
+        tracemalloc.start()
+        network.run(observer=observe, observe_period=1.0)
+        _, peak = tracemalloc.get_traced_memory()
+        tracemalloc.stop()
+        modes[mode] = {
+            "tracemalloc_peak_bytes": peak,
+            "peak_pending_records": peak_pending,
+            "collector_bytes_estimate": peak_pending * record_bytes,
+            "timeline_nbytes": recorder.nbytes,
+            "timeline_samples": len(recorder),
+        }
+    return {"scale": scale, "observe_period_s": 1.0, "modes": modes}
+
+
+# ----------------------------------------------------------------------
 # End-to-end workload
 # ----------------------------------------------------------------------
 
@@ -290,6 +350,7 @@ def run_hotpath_bench(scale: str = "bench", repeat: int = 3,
         "scale": scale,
         "stages": stages,
         "workload": workload,
+        "memory": bench_memory(scale),
         "events": workload["events"],
         "wall_time_s": workload["wall_time_s"],
         "events_per_sec": workload["events_per_sec"],
@@ -314,18 +375,30 @@ def run_hotpath_bench(scale: str = "bench", repeat: int = 3,
 # Regression gate
 # ----------------------------------------------------------------------
 
+def _streaming_peak(payload: Dict[str, Any]) -> Optional[float]:
+    """The streaming-mode tracemalloc peak of a v3 payload, if present."""
+    peak = (payload.get("memory", {}).get("modes", {})
+            .get("streaming", {}).get("tracemalloc_peak_bytes"))
+    return float(peak) if peak else None
+
+
 def compare_to_baseline(result: Dict[str, Any], baseline: Dict[str, Any],
-                        max_regression: float = 0.30) -> Tuple[bool, str]:
-    """CI gate: fail when events/sec regressed more than ``max_regression``.
+                        max_regression: float = 0.30,
+                        max_memory_regression: float = 0.50
+                        ) -> Tuple[bool, str]:
+    """CI gate: fail on a throughput or peak-memory regression.
 
     ``baseline`` is a previously-committed BENCH_hotpath.json (or the
-    reduced ``benchmarks/baseline_hotpath.json``); only ``events_per_sec``
-    is compared, and only for a matching scale.  Wall time is recorded in
-    the v2 schema but deliberately not gated: CI runners differ too much
-    in raw speed for a committed wall floor, while events/sec stays
-    meaningful as long as the committed baseline was measured under the
-    same event model (baselines are refreshed whenever the model changes,
-    as the wake-on-idle overhaul did).
+    reduced ``benchmarks/baseline_hotpath.json``); ``events_per_sec``
+    may regress at most ``max_regression``, and — when both payloads
+    carry a v3 ``memory`` section — the streaming-mode tracemalloc peak
+    may grow at most ``max_memory_regression``.  Both only for a
+    matching scale.  Wall time is recorded but deliberately not gated:
+    CI runners differ too much in raw speed for a committed wall floor,
+    while events/sec stays meaningful as long as the committed baseline
+    was measured under the same event model (baselines are refreshed
+    whenever the model changes, as the wake-on-idle overhaul did), and
+    peak heap on a deterministic workload is stable across machines.
     """
     base_scale = baseline.get("scale")
     if base_scale is not None and base_scale != result["scale"]:
@@ -339,6 +412,16 @@ def compare_to_baseline(result: Dict[str, Any], baseline: Dict[str, Any],
                f"({ratio:.2f}x, floor {floor:,.0f})")
     if eps < floor:
         return False, f"REGRESSION: {verdict}"
+    base_peak = _streaming_peak(baseline)
+    peak = _streaming_peak(result)
+    if base_peak is not None and peak is not None:
+        ceiling = base_peak * (1.0 + max_memory_regression)
+        mem_verdict = (
+            f"streaming peak heap {peak / 1e6:.1f}MB vs baseline "
+            f"{base_peak / 1e6:.1f}MB (ceiling {ceiling / 1e6:.1f}MB)")
+        if peak > ceiling:
+            return False, f"REGRESSION: {mem_verdict}"
+        verdict = f"{verdict}; {mem_verdict}"
     return True, f"ok: {verdict}"
 
 
@@ -364,6 +447,13 @@ def format_result(result: Dict[str, Any]) -> str:
         lines.append(f"  {name:<19} : {stage[rate_key]:,.0f} "
                      f"{rate_key.replace('_per_sec', '')}/s "
                      f"({stage['wall_time_s']:.3f}s)")
+    if "memory" in result:
+        for mode, mem in result["memory"]["modes"].items():
+            lines.append(
+                f"  peak heap ({mode:<9}): "
+                f"{mem['tracemalloc_peak_bytes'] / 1e6:7.1f}MB  "
+                f"(pending records {mem['peak_pending_records']:,}, "
+                f"timeline {mem['timeline_nbytes'] / 1e3:,.0f}kB)")
     lines.append("  top callbacks:")
     for entry in result["workload"]["profiler_top"][:5]:
         lines.append(f"    {entry['callback']:<40} "
@@ -393,6 +483,7 @@ __all__ = [
     "SCHEMA",
     "WORKLOADS",
     "bench_engine_drain",
+    "bench_memory",
     "bench_neighbor_query",
     "bench_snapshot_refresh",
     "bench_transmit_finish",

@@ -9,15 +9,24 @@ fraction, total MAC queue depth and the engine's queue gauges.  The
 timeline is exported alongside ``RunMetrics.to_dict()`` by the CLI's
 ``--json-out``.
 
-Everything sampled here is a function of virtual time and simulation
-state, so timelines are deterministic and safe to diff across same-seed
-runs.
+Samples land in preallocated numpy columns, not Python object lists:
+one ``(capacity, scalars)`` block plus two lazily allocated
+``(capacity, num_nodes)`` blocks for per-node energy/residual.  When the
+buffer fills, the recorder decimates 2:1 (keeping even-index samples)
+and doubles its sampling stride, so an arbitrarily long run occupies
+O(capacity × num_nodes) bytes and the retained samples stay uniformly
+spaced.  The decimation is a pure function of the observe-call count —
+no wall clock, no randomness — so timelines remain deterministic and
+safe to diff across same-seed runs.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Dict, List, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
+
+import numpy as np
+from numpy.typing import NDArray
 
 if TYPE_CHECKING:
     from repro.network import Network
@@ -115,6 +124,11 @@ class TimelineSample:
         }
 
 
+#: Scalar columns of the timeline block, in storage order.
+_SCALAR_COLUMNS = ("time", "awake_nodes", "awake_fraction", "queue_depth",
+                   "pending_events", "processed_events", "cancelled_events")
+
+
 class TimelineRecorder:
     """Collect :class:`TimelineSample` snapshots on a fixed period.
 
@@ -123,38 +137,112 @@ class TimelineRecorder:
         recorder = TimelineRecorder()
         network.run(observer=recorder.observe,
                     observe_period=recorder.period or None)
+
+    Storage is columnar and bounded: scalar columns live in one
+    preallocated ``(capacity, 7)`` float64 block, per-node energy and
+    residual in two ``(capacity, num_nodes)`` blocks allocated on the
+    first observation.  When ``capacity`` samples have accumulated the
+    recorder drops every odd-index sample and doubles its stride, so it
+    then records every 2nd (4th, 8th, …) observer call — memory is
+    O(capacity × num_nodes) regardless of run length, and the kept
+    samples remain uniformly spaced at ``period × stride``.
     """
 
-    def __init__(self, period: float = 0.0) -> None:
+    def __init__(self, period: float = 0.0, capacity: int = 1024) -> None:
         if period < 0:
             raise ValueError(f"period must be >= 0, got {period!r}")
+        if capacity < 2:
+            raise ValueError(f"capacity must be >= 2, got {capacity!r}")
         #: requested sampling period (0 = caller picks the default)
         self.period = period
-        self.samples: List[TimelineSample] = []
+        self.capacity = capacity
+        #: current decimation stride: 1 = every observe call is recorded
+        self.stride = 1
+        self._tick = 0
+        self._count = 0
+        self._scalars: NDArray[np.float64] = np.zeros(
+            (capacity, len(_SCALAR_COLUMNS)))
+        self._energy: Optional[NDArray[np.float64]] = None
+        self._residual: Optional[NDArray[np.float64]] = None
 
     def observe(self, network: "Network") -> None:
-        """Snapshot ``network`` now and append the sample."""
+        """Snapshot ``network`` now (or skip, per the current stride)."""
+        tick = self._tick
+        self._tick = tick + 1
+        if tick % self.stride:
+            return
+        if self._count == self.capacity:
+            self._decimate()
         sim = network.sim
         now = sim.now
-        energy = tuple(n.radio.meter.energy_joules(now) for n in network.nodes)
-        residual = tuple(n.radio.meter.remaining_fraction(now)
-                         for n in network.nodes)
+        num_nodes = len(network.nodes)
+        if self._energy is None or self._residual is None:
+            self._energy = np.zeros((self.capacity, num_nodes))
+            self._residual = np.zeros((self.capacity, num_nodes))
+        row = self._count
+        for col, node in enumerate(network.nodes):
+            self._energy[row, col] = node.radio.meter.energy_joules(now)
+            self._residual[row, col] = node.radio.meter.remaining_fraction(now)
         awake = sum(1 for n in network.nodes if n.radio.is_awake)
-        total = len(network.nodes)
-        self.samples.append(TimelineSample(
-            time=now,
-            node_energy=energy,
-            node_residual=residual,
-            awake_nodes=awake,
-            awake_fraction=awake / total if total else 0.0,
-            queue_depth=sum(n.mac.queue_depth for n in network.nodes),
-            pending_events=sim.pending_events,
-            processed_events=sim.processed_events,
-            cancelled_events=sim.cancelled_events,
-        ))
+        self._scalars[row] = (
+            now,
+            awake,
+            awake / num_nodes if num_nodes else 0.0,
+            sum(n.mac.queue_depth for n in network.nodes),
+            sim.pending_events,
+            sim.processed_events,
+            sim.cancelled_events,
+        )
+        self._count = row + 1
+
+    def _decimate(self) -> None:
+        """Keep even-index samples, double the stride (2:1 downsample)."""
+        kept = (self._count + 1) // 2
+        self._scalars[:kept] = self._scalars[0:self._count:2]
+        if self._energy is not None:
+            self._energy[:kept] = self._energy[0:self._count:2]
+        if self._residual is not None:
+            self._residual[:kept] = self._residual[0:self._count:2]
+        self._count = kept
+        self.stride *= 2
+
+    @property
+    def samples(self) -> List[TimelineSample]:
+        """Materialize the retained samples (export path only)."""
+        out: List[TimelineSample] = []
+        for row in range(self._count):
+            scalars = self._scalars[row]
+            energy: Tuple[float, ...] = (
+                tuple(float(v) for v in self._energy[row])
+                if self._energy is not None else ())
+            residual: Tuple[float, ...] = (
+                tuple(float(v) for v in self._residual[row])
+                if self._residual is not None else ())
+            out.append(TimelineSample(
+                time=float(scalars[0]),
+                node_energy=energy,
+                node_residual=residual,
+                awake_nodes=int(scalars[1]),
+                awake_fraction=float(scalars[2]),
+                queue_depth=int(scalars[3]),
+                pending_events=int(scalars[4]),
+                processed_events=int(scalars[5]),
+                cancelled_events=int(scalars[6]),
+            ))
+        return out
+
+    @property
+    def nbytes(self) -> int:
+        """Bytes held by the columnar blocks (for memory accounting)."""
+        total = int(self._scalars.nbytes)
+        if self._energy is not None:
+            total += int(self._energy.nbytes)
+        if self._residual is not None:
+            total += int(self._residual.nbytes)
+        return total
 
     def __len__(self) -> int:
-        return len(self.samples)
+        return self._count
 
     def to_dict(self) -> Dict[str, object]:
         """JSON-safe dict of the recorded timeline."""

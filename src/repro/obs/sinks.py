@@ -9,6 +9,7 @@ accepted today.
 
 from __future__ import annotations
 
+import gzip
 import json
 from collections import deque
 from pathlib import Path
@@ -97,12 +98,34 @@ class JsonlSink:
     deterministic: the same run with the same seed produces byte-identical
     output (the trace-determinism regression tests rely on this).  Use as a
     context manager, or call :meth:`close` explicitly.
+
+    A path ending in ``.gz`` writes gzip-compressed output
+    transparently.  With ``rotate_bytes`` set, the sink rolls to a new
+    part once the current file holds that many (uncompressed) bytes:
+    the full part is renamed ``<base>.<n><suffixes>`` (e.g.
+    ``trace.00001.jsonl.gz``) and writing continues at ``path`` —
+    rotation points depend only on record content, so same-seed runs
+    rotate at identical records.
     """
 
-    def __init__(self, path: PathLike) -> None:
+    def __init__(self, path: PathLike,
+                 rotate_bytes: Optional[int] = None) -> None:
+        if rotate_bytes is not None and rotate_bytes <= 0:
+            raise ValueError(
+                f"rotate_bytes must be positive, got {rotate_bytes!r}")
         self._path = Path(path)
-        self._handle: Optional[TextIO] = self._path.open("w")
+        self._rotate_bytes = rotate_bytes
+        self._part_bytes = 0
+        self._parts = 0
+        self._rotated: List[Path] = []
+        self._handle: Optional[TextIO] = self._open(self._path)
         self._written = 0
+
+    @staticmethod
+    def _open(path: Path) -> TextIO:
+        if path.suffix == ".gz":
+            return gzip.open(path, "wt")
+        return path.open("w")
 
     @property
     def enabled(self) -> bool:
@@ -111,24 +134,47 @@ class JsonlSink:
 
     @property
     def path(self) -> Path:
-        """Destination file."""
+        """Destination file (the currently active part)."""
         return self._path
 
     @property
     def written(self) -> int:
-        """Number of records written so far."""
+        """Number of records written so far (across all parts)."""
         return self._written
+
+    @property
+    def rotated(self) -> List[Path]:
+        """Completed rotated parts, oldest first."""
+        return list(self._rotated)
 
     def emit(self, time: float, category: str, node: int, event: str,
              **fields: object) -> None:
-        """Serialize one record as a JSON line."""
+        """Serialize one record as a JSON line (rotating if due)."""
         if self._handle is None:
             return
         record = TraceRecord(time, category, node, event,
                              tuple(fields.items()))
-        self._handle.write(record.to_json())
+        line = record.to_json()
+        self._handle.write(line)
         self._handle.write("\n")
         self._written += 1
+        self._part_bytes += len(line) + 1
+        if (self._rotate_bytes is not None
+                and self._part_bytes >= self._rotate_bytes):
+            self._rotate()
+
+    def _rotate(self) -> None:
+        """Seal the active part under a numbered name, start a new one."""
+        assert self._handle is not None
+        self._handle.close()
+        self._parts += 1
+        suffix_str = "".join(self._path.suffixes)
+        base = self._path.name[:len(self._path.name) - len(suffix_str)]
+        part = self._path.with_name(f"{base}.{self._parts:05d}{suffix_str}")
+        self._path.rename(part)
+        self._rotated.append(part)
+        self._handle = self._open(self._path)
+        self._part_bytes = 0
 
     def close(self) -> None:
         """Flush and close the file (idempotent)."""
@@ -149,9 +195,20 @@ class JsonlSink:
 
 
 def read_jsonl(path: PathLike) -> List[TraceRecord]:
-    """Load a JSONL trace file back into :class:`TraceRecord` objects."""
+    """Load a JSONL trace file back into :class:`TraceRecord` objects.
+
+    Paths ending in ``.gz`` are decompressed transparently, so traces
+    written by a rotating/compressing :class:`JsonlSink` read back with
+    the same call.
+    """
+    path = Path(path)
+    if path.suffix == ".gz":
+        with gzip.open(path, "rt") as handle:
+            text = handle.read()
+    else:
+        text = path.read_text()
     records: List[TraceRecord] = []
-    for line in Path(path).read_text().splitlines():
+    for line in text.splitlines():
         if not line.strip():
             continue
         data = json.loads(line)

@@ -22,11 +22,13 @@ classic DSR — the paper's stale-route discussion relies on this).
 
 Hot-path note: ``add_path`` runs on every overheard path, every RREQ
 reverse path and every forwarded source route — at dense-network rates it
-is one of the busiest functions in the whole simulator.  Each segment
-therefore keeps a prefix index (every length-``>=2`` prefix of every cached
-path, in insertion order) so the "is this path already covered by a cached
-extension?" test is a single dict lookup instead of an O(segment) scan with
-a tuple slice per entry.
+is one of the busiest functions in the whole simulator.  Segments hold
+*only* the entries dict and answer the "is this path already covered by a
+cached extension?" test with a fast-rejecting linear scan: the capacity
+bound (<=64) keeps the scan short, and the prefix/link index structures
+that used to answer it in O(1) cost ~20x the path storage in key tuples
+and bucket lists (>190 MB at 1,000 nodes), which made cache memory — not
+speed — the barrier to large scenarios.
 """
 
 from __future__ import annotations
@@ -59,74 +61,63 @@ class CachedPath:
 
 
 class _Segment:
-    """One LRU-bounded cache segment plus its prefix index.
+    """One LRU-bounded cache segment.
 
-    ``entries`` maps the full path to its entry (insertion-ordered, as all
-    dicts are); ``prefixes`` maps every prefix of length >= 2 of every
-    cached path to the entries carrying it, in insertion order — so "the
-    first entry in segment order extending path P" is ``prefixes[P][0]``.
-    ``links`` maps each undirected hop ``(min, max)`` to the entries whose
-    path traverses it (loop-free paths cross a link at most once), again in
-    insertion order, so link invalidation only visits affected entries.
+    ``entries`` maps the full path to its entry; dict insertion order *is*
+    segment order, so "the first entry in segment order extending path P"
+    is simply the first match of a linear scan.  The scans are deliberate:
+    segments are capacity-bounded (<=64 entries) and ``route_to`` already
+    pays a full linear scan per lookup, while the index structures that
+    used to answer ``extension_of``/``using_link`` in O(1) (a bucket per
+    prefix / per link of every cached path) cost ~20x the path storage in
+    key tuples and bucket lists — >190 MB of pure index at 1,000 nodes,
+    dwarfing the routes themselves.  A one-int fast-reject keeps the scan
+    cheap: candidates must end their prefix on ``path[-1]`` before the
+    tuple compare runs.
     """
 
-    __slots__ = ("entries", "prefixes", "links")
+    __slots__ = ("entries",)
 
     def __init__(self) -> None:
         self.entries: Dict[Tuple[int, ...], CachedPath] = {}
-        self.prefixes: Dict[Tuple[int, ...], List[CachedPath]] = {}
-        self.links: Dict[Tuple[int, int], List[CachedPath]] = {}
 
     def __len__(self) -> int:
         return len(self.entries)
 
     def insert(self, entry: CachedPath) -> None:
-        path = entry.path
-        self.entries[path] = entry
-        prefixes = self.prefixes
-        for i in range(2, len(path) + 1):
-            prefixes.setdefault(path[:i], []).append(entry)
-        links = self.links
-        prev = path[0]
-        for node in path[1:]:
-            key = (prev, node) if prev < node else (node, prev)
-            links.setdefault(key, []).append(entry)
-            prev = node
+        self.entries[entry.path] = entry
 
     def remove(self, entry: CachedPath) -> None:
-        path = entry.path
-        del self.entries[path]
-        prefixes = self.prefixes
-        for i in range(2, len(path) + 1):
-            key = path[:i]
-            bucket = prefixes[key]
-            bucket.remove(entry)
-            if not bucket:
-                del prefixes[key]
-        links = self.links
-        prev = path[0]
-        for node in path[1:]:
-            lkey = (prev, node) if prev < node else (node, prev)
-            lbucket = links[lkey]
-            lbucket.remove(entry)
-            if not lbucket:
-                del links[lkey]
-            prev = node
+        del self.entries[entry.path]
 
     def extension_of(self, path: Tuple[int, ...]) -> Optional[CachedPath]:
         """Earliest-inserted entry having ``path`` as a prefix (or equal)."""
-        bucket = self.prefixes.get(path)
-        return bucket[0] if bucket else None
+        n = len(path)
+        if n < 2:
+            return None
+        last = path[n - 1]
+        for entry in self.entries.values():
+            p = entry.path
+            if len(p) >= n and p[n - 1] == last and p[:n] == path:
+                return entry
+        return None
 
     def using_link(self, a: int, b: int) -> List[CachedPath]:
         """Entries traversing undirected link ``a-b``, in insertion order."""
         key = (a, b) if a < b else (b, a)
-        return self.links.get(key, [])
+        out: List[CachedPath] = []
+        for entry in self.entries.values():
+            path = entry.path
+            prev = path[0]
+            for node in path[1:]:
+                if ((prev, node) if prev < node else (node, prev)) == key:
+                    out.append(entry)
+                    break
+                prev = node
+        return out
 
     def clear(self) -> None:
         self.entries.clear()
-        self.prefixes.clear()
-        self.links.clear()
 
 
 class RouteCache:

@@ -1,0 +1,30 @@
+"""R011 fixtures: observer hot paths growing memory per event."""
+
+from typing import Any, Dict, List
+
+
+class LeakySink:
+    """Accumulates every record it sees — O(events) memory."""
+
+    def __init__(self) -> None:
+        self._records: List[Any] = []
+        self._by_uid: Dict[int, Any] = {}
+
+    @property
+    def enabled(self) -> bool:
+        return True
+
+    def emit(self, time: float, category: str, node: int, event: str,
+             **fields: Any) -> None:
+        self._records.append((time, category, node, event))
+        self._by_uid[node] = fields
+
+
+class LeakyObserver:
+    """Snapshots the whole network on every observation tick."""
+
+    def __init__(self) -> None:
+        self._samples = []
+
+    def observe(self, network: Any) -> None:
+        self._samples.append(network)

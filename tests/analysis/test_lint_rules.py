@@ -1156,6 +1156,156 @@ class TestR010:
 
 
 # ----------------------------------------------------------------------
+# R011 — unbounded-observer-append
+# ----------------------------------------------------------------------
+
+
+LEAKY_SINK = """\
+class LeakySink:
+    def __init__(self):
+        self._records = []
+
+    def emit(self, time, category, node, event, **fields):
+        self._records.append((time, category, node, event))
+"""
+
+
+class TestR011:
+    def test_list_append_in_emit(self):
+        diags = lint(LEAKY_SINK, rules=["R011"])
+        assert rule_ids(diags) == ["R011"]
+        assert diags[0].line == 6
+        assert diags[0].name == "unbounded-observer-append"
+        assert "unbounded list" in diags[0].message
+
+    def test_dict_insert_in_observe(self):
+        diags = lint(
+            """\
+            class LeakyObserver:
+                def __init__(self):
+                    self._by_uid = {}
+
+                def observe(self, network):
+                    self._by_uid[network.sim.now] = network.metrics
+            """,
+            rules=["R011"],
+        )
+        assert rule_ids(diags) == ["R011"]
+        assert diags[0].line == 6
+        assert "unbounded dict" in diags[0].message
+
+    def test_unbounded_deque_counts_as_list(self):
+        diags = lint(
+            """\
+            from collections import deque
+
+            class LeakySink:
+                def __init__(self):
+                    self._records = deque()
+
+                def emit(self, time, category, node, event, **fields):
+                    self._records.append(event)
+            """,
+            rules=["R011"],
+        )
+        assert rule_ids(diags) == ["R011"]
+
+    def test_bounded_deque_is_clean(self):
+        diags = lint(
+            """\
+            from collections import deque
+
+            class RingSink:
+                def __init__(self, capacity):
+                    self._records = deque(maxlen=capacity)
+
+                def emit(self, time, category, node, event, **fields):
+                    self._records.append(event)
+            """,
+            rules=["R011"],
+        )
+        assert diags == []
+
+    def test_counter_augassign_is_clean(self):
+        diags = lint(
+            """\
+            class CategoryCounter:
+                def __init__(self):
+                    self._counts = {}
+
+                def emit(self, time, category, node, event, **fields):
+                    self._counts[category] = self._counts.get(category, 0) + 1
+            """,
+            rules=["R011"],
+        )
+        # Plain assignment still flags; the exemption is for `+=` only.
+        assert rule_ids(diags) == ["R011"]
+        diags = lint(
+            """\
+            class CategoryCounter:
+                def __init__(self):
+                    self._counts = {}
+
+                def observe(self, network):
+                    self._counts["ticks"] += 1
+            """,
+            rules=["R011"],
+        )
+        assert diags == []
+
+    def test_bound_managing_helper_exempts(self):
+        diags = lint(
+            """\
+            class DecimatingRecorder:
+                def __init__(self):
+                    self._samples = []
+
+                def observe(self, network):
+                    self._samples.append(network.sim.now)
+                    if len(self._samples) > 1024:
+                        self._decimate()
+
+                def _decimate(self):
+                    self._samples = self._samples[::2]
+            """,
+            rules=["R011"],
+        )
+        assert diags == []
+
+    def test_cold_path_append_is_clean(self):
+        diags = lint(
+            """\
+            class Report:
+                def __init__(self):
+                    self._rows = []
+
+                def finalize(self):
+                    self._rows.append("summary")
+            """,
+            rules=["R011"],
+        )
+        assert diags == []
+
+    def test_tracelog_allowlisted(self):
+        diags = lint(LEAKY_SINK, rel="sim/trace.py", rules=["R011"])
+        assert diags == []
+
+    def test_suppression(self):
+        diags = lint(
+            """\
+            class AuditSink:
+                def __init__(self):
+                    self._records = []
+
+                def emit(self, time, category, node, event, **fields):
+                    self._records.append(event)  # rcast-lint: disable=R011 -- audit buffer, test-only
+            """,
+            rules=["R011"],
+        )
+        assert diags == []
+
+
+# ----------------------------------------------------------------------
 # R000 — unused-suppression (runner-emitted)
 # ----------------------------------------------------------------------
 

@@ -33,6 +33,15 @@ def test_run_hotpath_bench_smoke_payload():
     assert result["events"] == result["workload"]["events"] > 0
     assert result["wall_time_s"] == result["workload"]["wall_time_s"] > 0
     assert result["workload"]["profiler_top"]
+    # v3: memory accounting for both collector modes.
+    memory = result["memory"]
+    assert set(memory["modes"]) == {"batch", "streaming"}
+    for mem in memory["modes"].values():
+        assert mem["tracemalloc_peak_bytes"] > 0
+        assert mem["peak_pending_records"] > 0
+        assert mem["timeline_nbytes"] > 0
+        assert mem["timeline_samples"] > 0
+    assert "peak heap" in bench.format_result(result)
     # The pre-PR reference is recorded for provenance even off-scale; the
     # speedup figures only apply to the baseline's own workload.
     assert result["baseline"] == bench.PRE_PR_BASELINE
@@ -73,6 +82,36 @@ def test_compare_to_baseline_gate():
     # A baseline without a scale tag applies unconditionally.
     ok, _ = bench.compare_to_baseline(
         result, {"events_per_sec": 900}, 0.30)
+    assert ok
+
+
+def _with_memory(payload, peak_bytes):
+    return dict(payload, memory={
+        "modes": {"streaming": {"tracemalloc_peak_bytes": peak_bytes}}})
+
+
+def test_compare_to_baseline_memory_gate():
+    result = {"scale": "smoke", "events_per_sec": 1000.0}
+    baseline = {"scale": "smoke", "events_per_sec": 900.0}
+    # Within the 50% headroom: passes and the verdict mentions the heap.
+    ok, msg = bench.compare_to_baseline(
+        _with_memory(result, 120 * 2**20),
+        _with_memory(baseline, 100 * 2**20), 0.30)
+    assert ok and "peak heap" in msg
+    # Beyond the ceiling: fails even though throughput is fine.
+    ok, msg = bench.compare_to_baseline(
+        _with_memory(result, 160 * 2**20),
+        _with_memory(baseline, 100 * 2**20), 0.30)
+    assert not ok and "REGRESSION" in msg and "heap" in msg
+    # Tighter custom headroom.
+    ok, _ = bench.compare_to_baseline(
+        _with_memory(result, 120 * 2**20),
+        _with_memory(baseline, 100 * 2**20), 0.30,
+        max_memory_regression=0.10)
+    assert not ok
+    # Old v2 baseline without a memory section: gate is skipped.
+    ok, msg = bench.compare_to_baseline(
+        _with_memory(result, 500 * 2**20), baseline, 0.30)
     assert ok
 
 

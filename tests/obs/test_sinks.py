@@ -77,6 +77,62 @@ class TestJsonlSink:
         assert rec.get("dst") == 7
         assert rec.get("level") == "LOW"
 
+    def test_gzip_round_trip(self, tmp_path):
+        import gzip
+
+        path = tmp_path / "trace.jsonl.gz"
+        with JsonlSink(path) as sink:
+            sink.emit(1.0, "mac", 0, "a", depth=2)
+            sink.emit(2.0, "dsr", 1, "b")
+        with gzip.open(path, "rt") as handle:
+            assert len(handle.read().splitlines()) == 2
+        records = read_jsonl(path)
+        assert [r.event for r in records] == ["a", "b"]
+        assert records[0].get("depth") == 2
+
+    def test_rotation_by_uncompressed_bytes(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        sink = JsonlSink(path, rotate_bytes=200)
+        for i in range(20):
+            sink.emit(float(i), "mac", 0, f"event-{i:04d}")
+        sink.close()
+        assert sink.rotated, "expected at least one rotation"
+        assert sink.rotated[0].name == "trace.00001.jsonl"
+        # All parts plus the active file read back to the full stream.
+        events = []
+        for part in sink.rotated + [path]:
+            events.extend(r.event for r in read_jsonl(part))
+        assert events == [f"event-{i:04d}" for i in range(20)]
+        assert sink.written == 20
+
+    def test_rotation_preserves_gz_suffix(self, tmp_path):
+        path = tmp_path / "trace.jsonl.gz"
+        sink = JsonlSink(path, rotate_bytes=150)
+        for i in range(12):
+            sink.emit(float(i), "mac", 0, f"event-{i:04d}")
+        sink.close()
+        assert sink.rotated
+        assert sink.rotated[0].name == "trace.00001.jsonl.gz"
+        events = []
+        for part in sink.rotated + [path]:
+            events.extend(r.event for r in read_jsonl(part))
+        assert events == [f"event-{i:04d}" for i in range(12)]
+
+    def test_rotation_points_deterministic(self, tmp_path):
+        """Same record stream rotates at identical records."""
+        counts = []
+        for run in range(2):
+            sink = JsonlSink(tmp_path / f"t{run}.jsonl", rotate_bytes=300)
+            for i in range(30):
+                sink.emit(float(i), "mac", i % 5, f"event-{i:04d}")
+            sink.close()
+            counts.append([len(read_jsonl(p)) for p in sink.rotated])
+        assert counts[0] == counts[1]
+
+    def test_rejects_nonpositive_rotate_bytes(self, tmp_path):
+        with pytest.raises(ValueError):
+            JsonlSink(tmp_path / "t.jsonl", rotate_bytes=0)
+
 
 class TestFilteredSink:
     def test_category_filter(self):

@@ -162,6 +162,26 @@ def test_run_command_json_out_with_timeline(tmp_path):
     assert len(data["timeline"]["samples"]) == 5
 
 
+def test_run_command_arena_flags():
+    """--arena-w/-h override the paper's arena (constant-density scaling)."""
+    from repro.cli import _build_parser, _config_from_args
+
+    parser = _build_parser()
+    config = _config_from_args(parser.parse_args([
+        "run", "--nodes", "10", "--arena-w", "500", "--arena-h", "400"]))
+    assert (config.arena_w, config.arena_h) == (500.0, 400.0)
+    # Without the flags the paper's arena stays the default.
+    config = _config_from_args(parser.parse_args(["run", "--nodes", "10"]))
+    assert (config.arena_w, config.arena_h) == (1500.0, 300.0)
+    # And the override actually reaches a run.
+    code = main([
+        "run", "--scheme", "rcast", "--nodes", "10", "--sim-time", "5",
+        "--connections", "2", "--static", "--seed", "3",
+        "--arena-w", "500", "--arena-h", "400",
+    ])
+    assert code == 0
+
+
 def test_profile_command(tmp_path, capsys):
     import json
 
