@@ -48,6 +48,12 @@ R011   unbounded-observer-append  observer/sink hot paths (``emit`` /
                                   ``observe``) must not grow an unbounded
                                   list or dict once per event; use a bounded
                                   buffer or fold online
+R012   per-event-global-scan      per-event callbacks must not iterate
+                                  all-nodes containers (``self._peers``,
+                                  ``self.radios``, registry dicts): that
+                                  makes every event O(N); scope the work to
+                                  the event (busy sets, epoch groups) or
+                                  batch it at the epoch boundary
 =====  =========================  ==================================================
 """
 
@@ -1466,6 +1472,126 @@ class UnboundedObserverAppend(Rule):
                         )
 
 
+# ----------------------------------------------------------------------
+# R012 — per-event-global-scan
+# ----------------------------------------------------------------------
+
+#: Self-attributes that hold one entry per network node.  Iterating one
+#: inside a per-event callback makes every event O(N) — exactly the
+#: structure the epoch batching and the counting channel wake removed.
+_GLOBAL_CONTAINERS = re.compile(
+    r"(^|_)(peers|radios|nodes|macs|registry|registries)$")
+
+#: ``self.<method>`` passed as an argument to one of these registers the
+#: method as a per-event callback (engine dispatch / channel wake /
+#: receive fan-in), in addition to the ``_on_*`` naming convention.
+_CALLBACK_REGISTRARS = frozenset({"schedule", "schedule_at",
+                                  "wait_for_idle", "attach"})
+
+#: Dict views: iterating ``self.X.values()`` is still iterating ``self.X``.
+_VIEW_METHODS = frozenset({"values", "items", "keys"})
+
+#: Builtins that consume a whole iterable in one call.
+_SCAN_CONSUMERS = frozenset({"sorted", "list", "tuple", "set", "frozenset",
+                             "min", "max", "sum", "any", "all"})
+
+
+def _global_container_name(node: ast.expr) -> Optional[str]:
+    """``self.X`` / ``self.X.values()`` with all-nodes-looking ``X``."""
+    if (isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr in _VIEW_METHODS
+            and not node.args and not node.keywords):
+        node = node.func.value
+    attr = _self_attr(node)
+    if attr is not None and _GLOBAL_CONTAINERS.search(attr):
+        return attr
+    return None
+
+
+class PerEventGlobalScan(Rule):
+    """Per-event callbacks must not scan every node in the network.
+
+    A callback that the engine (``schedule`` / ``schedule_at``), the
+    channel wake (``wait_for_idle``) or receive fan-in (``attach``)
+    fires once per event — or that follows the ``_on_*`` handler naming
+    convention — runs hundreds of thousands of times per run.  Iterating
+    an all-nodes container there (``self._peers``, ``self.radios``,
+    ``self.nodes``, registry dicts) makes the whole simulation O(events
+    x N) and is how per-node epoch bookkeeping and the old
+    every-waiter ``is_busy`` wake scan crept in.  Keep per-event work
+    scoped to the event: incremental busy sets, the epoch group's member
+    list, or an index keyed by the event's subject.  Genuinely sanctioned
+    batch points (one kernel event updating a whole group) belong in
+    ``mac/epoch.py`` or behind an explicit suppression pragma with a
+    justification.
+    """
+
+    id = "R012"
+    name = "per-event-global-scan"
+    paths = SIM_PATHS
+    # The epoch scheduler IS the sanctioned batch point: its one kernel
+    # event per group exists precisely to amortize the member loop.
+    allow = ("mac/epoch.py",)
+
+    def run(self, ctx: FileContext) -> Iterator[Finding]:
+        for cls in ast.walk(ctx.tree):
+            if not isinstance(cls, ast.ClassDef):
+                continue
+            registered = self._registered_callbacks(cls)
+            for method in cls.body:
+                if not isinstance(method, (ast.FunctionDef,
+                                           ast.AsyncFunctionDef)):
+                    continue
+                if not (method.name.startswith("_on_")
+                        or method.name in registered):
+                    continue
+                yield from self._scan(method)
+
+    @staticmethod
+    def _registered_callbacks(cls: ast.ClassDef) -> Set[str]:
+        """Methods handed to a registrar as ``self.<method>`` anywhere."""
+        names: Set[str] = set()
+        for node in ast.walk(cls):
+            if not (isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Attribute)
+                    and node.func.attr in _CALLBACK_REGISTRARS):
+                continue
+            for arg in node.args:
+                attr = _self_attr(arg)
+                if attr is not None:
+                    names.add(attr)
+        return names
+
+    def _scan(self, method: ast.FunctionDef) -> Iterator[Finding]:
+        sites: List[Tuple[ast.expr, str]] = []
+        for node in ast.walk(method):
+            if isinstance(node, ast.For):
+                sites.append((node.iter, "for-loop"))
+            elif isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp,
+                                   ast.GeneratorExp)):
+                for gen in node.generators:
+                    sites.append((gen.iter, "comprehension"))
+            elif (isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Name)
+                    and node.func.id in _SCAN_CONSUMERS):
+                for arg in node.args:
+                    sites.append((arg, f"{node.func.id}()"))
+        for expr, how in sites:
+            attr = _global_container_name(expr)
+            if attr is None:
+                continue
+            yield (
+                expr.lineno, expr.col_offset,
+                f"per-event callback `{method.name}()` iterates the "
+                f"all-nodes container `self.{attr}` ({how}): every event "
+                "becomes O(N).  Scope the work to the event (incremental "
+                "busy sets, the epoch group's members, an index keyed by "
+                "the event's subject) or batch it at the epoch boundary "
+                "(mac/epoch.py)",
+            )
+
+
 #: All rules, in id order.  The runner instantiates from here.
 ALL_RULES: Tuple[Type[Rule], ...] = (
     RngDiscipline,
@@ -1479,6 +1605,7 @@ ALL_RULES: Tuple[Type[Rule], ...] = (
     UnorderedReduction,
     EventTypestate,
     UnboundedObserverAppend,
+    PerEventGlobalScan,
 )
 
 RULES_BY_ID: Dict[str, Type[Rule]] = {rule.id: rule for rule in ALL_RULES}
@@ -1490,6 +1617,7 @@ __all__ = [
     "Finding",
     "HandlerPurity",
     "MutableDefault",
+    "PerEventGlobalScan",
     "PollLoop",
     "ProjectRule",
     "Rule",

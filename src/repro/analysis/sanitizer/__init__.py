@@ -1,6 +1,6 @@
 """DSan — the runtime determinism sanitizer.
 
-The static rules (R001–R010) prove properties of the *source*; DSan
+The static rules (R001–R012) prove properties of the *source*; DSan
 cross-checks the claims on a *live run* with cheap hooks on seams the
 engine already exposes:
 

@@ -299,6 +299,30 @@ class DeterminismSanitizer:
         for tx_id in network.channel._active:
             digest = mix_hash(digest, tx_id)
         digest = mix_hash(digest, -2)
+        # Waiter busy-count invariant (counting channel wake): every
+        # registered idle waiter's incrementally-maintained audible set
+        # must agree with a from-scratch ``is_busy`` probe — non-empty
+        # exactly when busy — and the ready set must mirror emptiness.
+        # ``is_busy`` may lazily refresh positions, which rebuilds the
+        # sets via the refresh listener before returning, so the
+        # comparison always sees one snapshot; re-read the set after.
+        channel = network.channel
+        waiter_txs = getattr(channel, "_waiter_txs", None)
+        if waiter_txs is not None:
+            ready = channel._ready_waiters
+            for node_id in channel._idle_waiters:
+                if node_id not in waiter_txs:
+                    self._record("waiter-count-desync", sim_now, node_id,
+                                 "idle waiter has no busy-count entry")
+                    continue
+                busy = channel.is_busy(node_id)
+                audible = waiter_txs[node_id]
+                if bool(audible) != busy or (node_id in ready) == bool(audible):
+                    self._record(
+                        "waiter-count-desync", sim_now, node_id,
+                        f"busy-count {len(audible)} "
+                        f"(ready={node_id in ready}) vs is_busy()={busy}",
+                    )
         probe = self._canary_samples % len(network.nodes)
         digest = mix_hash(digest, network.nodes[probe].mac.queue_depth)
         neighbors = network.positions.sorted_neighbors(probe)

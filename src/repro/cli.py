@@ -170,13 +170,24 @@ def _build_parser() -> argparse.ArgumentParser:
         "bench", help="hot-path benchmark: stage microbenchmarks + "
                       "fig7-workload events/sec (perf-regression harness)"
     )
-    bench_p.add_argument("--scale", choices=("smoke", "bench"),
+    bench_p.add_argument("--scale", choices=("smoke", "bench", "large"),
                          default="bench")
     bench_p.add_argument("--repeat", type=int, default=3,
                          help="runs per stage; best wall time wins "
                               "(default 3)")
     bench_p.add_argument("--top", type=int, default=8,
                          help="profiler callbacks to record (default 8)")
+    bench_p.add_argument("--workload-only", dest="workload_only",
+                         action="store_true",
+                         help="skip microbenchmark stages, the profiled "
+                              "run and the tracemalloc memory stage "
+                              "(CI shape for --scale large)")
+    bench_p.add_argument("--max-wall-time", dest="max_wall_time",
+                         type=float, default=None,
+                         help="fail when the uninstrumented workload "
+                              "exceeds this many wall seconds (hang/"
+                              "regression backstop; generous values "
+                              "only — runners vary)")
     bench_p.add_argument("--json-out", dest="json_out",
                          default="BENCH_hotpath.json",
                          help="result path (default BENCH_hotpath.json)")
@@ -504,9 +515,20 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     from repro.obs import bench
 
     result = bench.run_hotpath_bench(scale=args.scale, repeat=args.repeat,
-                                     top_n=args.top)
+                                     top_n=args.top,
+                                     workload_only=args.workload_only)
     print(bench.format_result(result))
     print(f"wrote {bench.write_json(result, args.json_out)}")
+    exit_code = 0
+    if args.max_wall_time is not None:
+        wall = float(result["wall_time_s"])
+        if wall > args.max_wall_time:
+            print(f"REGRESSION: workload wall time {wall:.1f}s breaches "
+                  f"the {args.max_wall_time:.1f}s ceiling")
+            exit_code = 1
+        else:
+            print(f"ok: workload wall time {wall:.1f}s under the "
+                  f"{args.max_wall_time:.1f}s ceiling")
     if args.baseline:
         ok, message = bench.compare_to_baseline(
             result, bench.load_json(args.baseline),
@@ -514,8 +536,8 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             max_memory_regression=args.max_memory_regression)
         print(message)
         if not ok:
-            return 1
-    return 0
+            exit_code = 1
+    return exit_code
 
 
 def _cmd_spans(args: argparse.Namespace) -> int:

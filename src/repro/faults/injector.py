@@ -190,6 +190,15 @@ class FaultInjector:
         self._noise: List[NoiseWindow] = []
         self._loss_rules: List[_LossRule] = []
         self._armed = False
+        #: delivery-veto time envelope, precomputed by :meth:`arm`: the
+        #: union span of all noise windows and loss rules.  Outside
+        #: ``[veto_from, veto_until)`` no rule can match — and rules only
+        #: draw RNG inside their own window — so the channel skips the
+        #: per-receiver :meth:`drop_delivery` calls entirely without
+        #: changing any draw sequence.  Crash-only plans keep the empty
+        #: envelope (``inf``, ``-inf``) and never pay the veto loop.
+        self.veto_from = float("inf")
+        self.veto_until = float("-inf")
 
     # ------------------------------------------------------------------
     # Arming: plan -> scheduled events + compiled delivery rules
@@ -220,12 +229,23 @@ class FaultInjector:
                 self._expand_random(event, index, num_nodes)
             elif isinstance(event, NoiseWindow):
                 self._noise.append(event)
+                self._extend_veto_envelope(event.start, event.stop)
             elif isinstance(event, (PacketLoss, BurstLoss)):
                 self._loss_rules.append(_LossRule(event, index, self.seed))
+                self._extend_veto_envelope(event.start, event.stop)
             else:  # pragma: no cover - plan types are closed
                 raise ConfigurationError(
                     f"unhandled fault event type {type(event).__name__}"
                 )
+
+    def _extend_veto_envelope(self, start: float,
+                              stop: Optional[float]) -> None:
+        """Widen the delivery-veto envelope to cover ``[start, stop)``."""
+        if start < self.veto_from:
+            self.veto_from = start
+        effective_stop = stop if stop is not None else float("inf")
+        if effective_stop > self.veto_until:
+            self.veto_until = effective_stop
 
     @staticmethod
     def _check_node(node: int, num_nodes: int) -> None:

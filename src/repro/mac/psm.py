@@ -38,6 +38,7 @@ from repro.core.rcast import RcastManager
 from repro.errors import ConfigurationError
 from repro.mac.base import MacBase
 from repro.mac.dcf import TxOutcome
+from repro.mac.epoch import EpochScheduler, _EpochGroup
 from repro.mac.frames import BROADCAST, Announcement, Frame, FrameKind
 from repro.mac.power import AlwaysPs, PowerManager, PowerMode
 from repro.mac.queue import QueuedFrame, TxQueue
@@ -45,8 +46,25 @@ from repro.mobility.manager import PositionService
 from repro.phy.channel import Channel
 from repro.phy.radio import Radio
 from repro.sim.engine import Simulator
-from repro.sim.events import PRIORITY_KERNEL, Event
 from repro.sim.trace import TraceSink
+
+# Per-interval wake reasons as bit flags.  Bit order is alphabetical by
+# reason name, so joining the set bits in ascending order reproduces the
+# ``",".join(sorted(reasons))`` strings of the original set-based code
+# byte for byte in traces.
+_R_ADDRESSED = 1
+_R_AM = 2
+_R_BROADCAST = 4
+_R_OVERHEAR = 8
+_R_TX = 16
+_REASON_BITS = ((_R_ADDRESSED, "addressed"), (_R_AM, "am"),
+                (_R_BROADCAST, "broadcast"), (_R_OVERHEAR, "overhear"),
+                (_R_TX, "tx"))
+#: mask -> trace string, precomputed for all 32 combinations
+_REASON_STRINGS = tuple(
+    ",".join(name for bit, name in _REASON_BITS if mask & bit)
+    for mask in range(32)
+)
 
 
 class PsmMac(MacBase):
@@ -71,6 +89,7 @@ class PsmMac(MacBase):
         mode_belief_ttl: float = 2.0,
         clock_offset: float = 0.0,
         trace: Optional[TraceSink] = None,
+        epochs: Optional[EpochScheduler] = None,
     ) -> None:
         from repro.sim.trace import NULL_TRACE
 
@@ -110,16 +129,21 @@ class PsmMac(MacBase):
         # -inf until the first beacon fires: a node whose (offset) clock has
         # not started its first interval is not listening for ATIMs yet.
         self._interval_start = float("-inf")
-        self._reasons: Set[str] = set()
+        #: per-interval wake reasons as an ``_R_*`` bitmask
+        self._reasons = 0
         #: senders whose traffic this node elected to overhear this interval
         self._overhear_senders: Set[int] = set()
         self._mode_beliefs: Dict[int, Tuple[PowerMode, float]] = {}
         self._started = False
-        #: beacon-chain event handles, held so a crash (``halt``) can
-        #: cancel the clock; pure bookkeeping in fault-free runs
-        self._beacon_event: Optional[Event] = None
-        self._announce_event: Optional[Event] = None
-        self._atim_end_event: Optional[Event] = None
+        #: the shared epoch scheduler batches the beacon chain across all
+        #: nodes on the same clock grid; a standalone MAC gets a private
+        #: scheduler, which is exactly the old per-node event model
+        self._epochs = epochs if epochs is not None else EpochScheduler(sim)
+        self._epoch_group: Optional[_EpochGroup] = None
+        #: first boundary this node participates in (set by its group);
+        #: guards a recovered node against batches of the interval it
+        #: missed the start of
+        self._epoch_active_from = float("inf")
         #: bumped on every halt — deferred cross-window announcement events
         #: carry the epoch they were scheduled in and are dropped when it
         #: no longer matches (they predate the crash)
@@ -147,11 +171,10 @@ class PsmMac(MacBase):
             return
         self._started = True
         self.radio.wake()
-        self._beacon_event = self.sim.schedule(
-            self.clock_offset, self._on_beacon, priority=PRIORITY_KERNEL)
+        self._epoch_group = self._epochs.register(self)
 
     def halt(self) -> None:
-        """Node crash: stop the beacon clock and forget interval state.
+        """Node crash: leave the beacon grid and forget interval state.
 
         The crash is a cold stop — queued frames die with the node, the
         per-interval wake reasons and overhearing elections are void, and
@@ -161,16 +184,11 @@ class PsmMac(MacBase):
         to every one of them.
         """
         super().halt()
-        for event in (self._beacon_event, self._announce_event,
-                      self._atim_end_event):
-            if event is not None:
-                event.cancel()
-        self._beacon_event = None
-        self._announce_event = None
-        self._atim_end_event = None
+        self._epochs.deregister(self)
+        self._epoch_active_from = float("inf")
         self._epoch += 1
         self._queue = TxQueue(self._queue.capacity)
-        self._reasons = set()
+        self._reasons = 0
         self._overhear_senders = set()
         self._mode_beliefs = {}
         self._interval_start = float("-inf")
@@ -182,7 +200,7 @@ class PsmMac(MacBase):
         the crash — this node's boundaries stay at ``clock_offset + k*T``
         — so recovery waits for the next strictly-future boundary rather
         than starting a drifted private clock.  The radio stays down until
-        that boundary fires (``_on_beacon`` wakes it).
+        that boundary fires (``_beacon_body`` wakes it).
         """
         super().resume()
         if not self._started:
@@ -193,8 +211,7 @@ class PsmMac(MacBase):
         t = self.clock_offset + k * interval
         while t <= now:
             t += interval
-        self._beacon_event = self.sim.schedule_at(
-            t, self._on_beacon, priority=PRIORITY_KERNEL)
+        self._epoch_group = self._epochs.rejoin(self, t)
 
     # ------------------------------------------------------------------
     # Beacon-interval machinery
@@ -210,25 +227,20 @@ class PsmMac(MacBase):
         """Beacon-interval queue plus the DCF pipeline (gauge)."""
         return len(self._queue) + self.dcf.queue_depth
 
-    def _on_beacon(self) -> None:
-        now = self.sim.now
+    def _beacon_body(self, now: float) -> None:
+        """Per-node beacon-boundary work (chain scheduling lives in the
+        epoch group)."""
         self._interval_start = now
         self.radio.wake()
         # Stale submissions from the previous interval are NOT cancelled:
         # their expired deadline makes them complete as DEFERRED on their
         # next attempt, and cancelling would also silently kill in-flight
         # ODPM immediate sends (which carry no deadline).
-        self._reasons = set()
-        self._overhear_senders = set()
+        self._reasons = 0
+        self._overhear_senders.clear()
         self._queue.clear_announcements()
-        # Announce after every node has processed its beacon boundary.
-        self._announce_event = self.sim.schedule_at(now, self._announce)
-        self._atim_end_event = self.sim.schedule(
-            self.atim_window, self._end_atim_window)
-        self._beacon_event = self.sim.schedule(
-            self.beacon_interval, self._on_beacon, priority=PRIORITY_KERNEL)
 
-    def _announce(self) -> None:
+    def _announce_body(self) -> None:
         if not self._queue:
             return
         mode = self.power.mode(self.sim.now)
@@ -315,38 +327,57 @@ class PsmMac(MacBase):
             )
         self._note_heard(announcement.sender)
         if announcement.dst == self.node_id:
-            self._reasons.add("addressed")
+            self._reasons |= _R_ADDRESSED
         elif announcement.is_broadcast:
             if self.rcast.should_receive_broadcast(announcement):
-                self._reasons.add("broadcast")
+                self._reasons |= _R_BROADCAST
         elif self.rcast.should_overhear(announcement):
-            self._reasons.add("overhear")
+            self._reasons |= _R_OVERHEAR
             self._overhear_senders.add(announcement.sender)
             self.overhear_elections += 1
 
-    def _end_atim_window(self) -> None:
-        now = self.sim.now
+    def _atim_fold(self, now: float) -> Tuple[int, List[QueuedFrame]]:
+        """Fold power mode and pending-tx state into the wake-reason mask.
+
+        Pure reads only: the epoch group folds every member before
+        applying any member's effects, so a fold must not mutate state
+        another node's apply could observe.
+        """
+        mask = self._reasons
         if self.power.mode(now) is PowerMode.AM:
-            self._reasons.add("am")
+            mask |= _R_AM
         announced = self._queue.announced_entries()
         if announced:
-            self._reasons.add("tx")
-        if not self._reasons:
-            self.intervals_slept += 1
-            if self.trace.enabled:
-                self.trace.emit(now, "psm", self.node_id, "sleep",
-                                until=self.next_boundary)
-            self.radio.sleep()
-            return
+            mask |= _R_TX
+        return mask, announced
+
+    def _atim_sleep(self, now: float) -> None:
+        """No reason to stay awake: doze until the next boundary."""
+        self.intervals_slept += 1
+        if self.trace.enabled:
+            self.trace.emit(now, "psm", self.node_id, "sleep",
+                            until=self.next_boundary)
+        self.radio.sleep()
+
+    def _atim_apply(self, now: float, mask: int,
+                    announced: List[QueuedFrame]) -> None:
+        """Stay awake: submit announced frames under DCF contention."""
         self.intervals_awake += 1
         if self.trace.enabled:
             self.trace.emit(now, "psm", self.node_id, "awake",
-                            reasons=",".join(sorted(self._reasons)),
+                            reasons=_REASON_STRINGS[mask],
                             queued=len(announced))
         deadline = self.next_boundary
         for entry in announced:
             self.dcf.submit(entry.frame, partial(self._on_queue_done, entry),
                             deadline=deadline)
+
+    def _atim_end_body(self, now: float) -> None:
+        mask, announced = self._atim_fold(now)
+        if mask:
+            self._atim_apply(now, mask, announced)
+        else:
+            self._atim_sleep(now)
 
     # ------------------------------------------------------------------
     # Sending

@@ -38,7 +38,7 @@ independent of cell shape, block iteration order, or node numbering.
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, List, Optional, Tuple
+from typing import Callable, Dict, FrozenSet, List, Optional, Tuple
 
 import numpy as np
 from numpy.typing import NDArray
@@ -113,7 +113,22 @@ class PositionService:
         self.link_changes: NDArray[np.int64] = np.zeros(self.num_nodes,
                                                         dtype=np.int64)
         self._bootstrapped = False
+        #: callbacks fired at the end of every snapshot refresh — for
+        #: subsystems keeping incremental state derived from the interned
+        #: neighbor sets (the channel's per-waiter busy counts).  Listeners
+        #: run after all interning completes and may query this service
+        #: (the fresh snapshot is already valid, so no reentrant refresh).
+        self._refresh_listeners: List[Callable[[], None]] = []
         self._refresh_now(force=True)
+
+    def add_refresh_listener(self, listener: Callable[[], None]) -> None:
+        """Register ``listener`` to run after every snapshot refresh."""
+        self._refresh_listeners.append(listener)
+
+    def ensure_fresh(self) -> None:
+        """Refresh the snapshot if stale (same trigger as any query)."""
+        if self._sim.now >= self._valid_until:
+            self._refresh_now()
 
     # ------------------------------------------------------------------
     # Snapshot maintenance
@@ -198,6 +213,8 @@ class PositionService:
                 cs_sets[node] = frozenset(fresh_cs)
                 cs_arrays[node] = np.asarray(fresh_cs, dtype=np.int64)
         self._bootstrapped = True
+        for listener in self._refresh_listeners:
+            listener()
 
     # ------------------------------------------------------------------
     # Queries

@@ -37,6 +37,7 @@ from repro.errors import ConfigurationError
 from repro.faults.injector import FaultInjector
 from repro.faults.plan import FaultPlan
 from repro.mac.base import AlwaysOnMac, MacBase
+from repro.mac.epoch import EpochScheduler
 from repro.mac.frames import reset_frame_ids
 from repro.mac.odpm import OdpmPowerManager
 from repro.mac.power import AlwaysPs, PowerManager
@@ -308,6 +309,7 @@ def _build_mac(
     rngs: RngRegistry,
     trace: TraceSink,
     span_election: Optional["SpanElection"] = None,
+    epochs: Optional[EpochScheduler] = None,
 ) -> Tuple[MacBase, Optional[RcastManager]]:
     mac_rng = rngs.stream(f"mac:{node_id}")
     if config.scheme == "ieee80211":
@@ -350,6 +352,7 @@ def _build_mac(
         tap_in_am=tap_in_am,
         opportunistic_tap=config.opportunistic_tap,
         trace=trace,
+        epochs=epochs,
     )
     return mac, rcast
 
@@ -392,10 +395,14 @@ def build_network(config: SimulationConfig,
             energy_meters={i: r.meter for i, r in radios.items()},
         )
         span_election.start()
+    # One shared epoch scheduler: all PSM nodes on the same clock grid
+    # (the perfectly-synchronized default) share one batched beacon chain.
+    # MACs register in ascending node id, fixing the in-batch order.
+    epochs = EpochScheduler(sim)
     for i in range(config.num_nodes):
         mac, rcast = _build_mac(config, sim, i, channel, radios[i],
                                 positions, rngs, trace,
-                                span_election=span_election)
+                                span_election=span_election, epochs=epochs)
         agent: Union[DsrProtocol, "AodvProtocol"]
         if config.routing == "aodv":
             from repro.routing.aodv.config import AodvConfig

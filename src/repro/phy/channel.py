@@ -40,7 +40,8 @@ halves the event count and is energetically neutral under the paper's model
 from __future__ import annotations
 
 import itertools
-from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Set, Tuple
+from typing import (TYPE_CHECKING, Callable, Dict, FrozenSet, List, Optional,
+                    Set, Tuple)
 
 import numpy as np
 from numpy.typing import NDArray
@@ -66,6 +67,12 @@ _SLEEP = RadioState.SLEEP
 _EMPTY_MASK: NDArray[np.bool_] = np.empty(0, dtype=bool)
 _EMPTY_IDX: NDArray[np.int64] = np.empty(0, dtype=np.int64)
 
+#: Audible-set size at or below which delivery classification runs as a
+#: plain int bitmask instead of the numpy pipeline: at sparse-topology
+#: sizes the vector ops' fixed overhead (array allocation, count_nonzero,
+#: fancy gather) dominates the handful of element tests.
+_SCALAR_AUDIBLE_MAX = 8
+
 
 def reset_tx_ids() -> None:
     """Restart transmission ids at 0 (per-build; keeps traces stable)."""
@@ -78,7 +85,9 @@ class Transmission:
 
     __slots__ = (
         "tx_id", "sender", "frame", "start", "end",
-        "audible", "audible_idx", "eligible_mask", "corrupt_mask", "overlaps",
+        "audible", "audible_set", "audible_idx",
+        "eligible_mask", "corrupt_mask", "overlaps",
+        "scalar", "eligible_bits", "corrupt_bits", "waiters_touched",
     )
 
     def __init__(self, sender: int, frame: Frame, start: float, end: float) -> None:
@@ -90,6 +99,9 @@ class Transmission:
         #: nodes within rx range at start (excluding sender), in ascending
         #: node order — the interned per-snapshot tuple, shared
         self.audible: Tuple[int, ...] = ()
+        #: same relation as the position service's interned frozenset —
+        #: used for the disjointness pre-checks in collision marking
+        self.audible_set: FrozenSet[int] = frozenset()
         #: the same relation as the position service's interned int64 array
         #: (read-only; used to fancy-index the channel's radio-state mirrors)
         self.audible_idx: NDArray[np.int64] = _EMPTY_IDX
@@ -101,6 +113,16 @@ class Transmission:
         self.corrupt_mask: Optional[NDArray[np.bool_]] = None
         #: transmissions that overlapped this one in time
         self.overlaps: List["Transmission"] = []
+        #: small audible sets skip numpy: eligibility/corruption live in
+        #: plain int bitmasks over audible positions (bit i = audible[i])
+        self.scalar = False
+        self.eligible_bits = 0
+        self.corrupt_bits = 0
+        #: idle-waiters whose busy count this transmission incremented;
+        #: ``None`` until the first touch (most frames race no waiter).
+        #: May contain duplicates/stale entries — teardown decrements via
+        #: idempotent set.discard, so over-appending is harmless.
+        self.waiters_touched: Optional[List[int]] = None
 
     @property
     def duration(self) -> float:
@@ -110,11 +132,17 @@ class Transmission:
     @property
     def eligible_at_start(self) -> Set[int]:
         """Audible nodes whose radio could decode at start (derived view)."""
+        if self.scalar:
+            bits = self.eligible_bits
+            return {n for i, n in enumerate(self.audible) if bits >> i & 1}
         return set(self.audible_idx[self.eligible_mask].tolist())
 
     @property
     def corrupted_at(self) -> Set[int]:
         """Receivers where this frame is already known corrupted (derived)."""
+        if self.scalar:
+            bits = self.corrupt_bits
+            return {n for i, n in enumerate(self.audible) if bits >> i & 1}
         if self.corrupt_mask is None:
             return set()
         return set(self.audible_idx[self.corrupt_mask].tolist())
@@ -125,7 +153,10 @@ class Transmission:
         Fault-injection hook: a sender crashing mid-frame truncates the
         transmission, so no receiver decodes it.
         """
-        self.corrupt_mask = np.ones(len(self.audible), dtype=bool)
+        if self.scalar:
+            self.corrupt_bits = (1 << len(self.audible)) - 1
+        else:
+            self.corrupt_mask = np.ones(len(self.audible), dtype=bool)
 
 
 class Channel:
@@ -158,6 +189,16 @@ class Channel:
         self._tx_complete: Dict[int, Callable[[Frame, Set[int]], None]] = {}
         #: nodes waiting for their carrier sense to go quiet (wait_for_idle)
         self._idle_waiters: Dict[int, Callable[[], None]] = {}
+        #: per-waiter busy bookkeeping: the tx_ids of active transmissions
+        #: audible to each registered waiter.  Maintained incrementally —
+        #: ``transmit`` adds, ``_finish`` discards, a mobility refresh
+        #: re-snapshots — so teardown never scans all waiters with
+        #: ``is_busy``.  Invariant (sanitizer-checked): a registered
+        #: waiter's set is non-empty iff ``is_busy(waiter)``.
+        self._waiter_txs: Dict[int, Set[int]] = {}
+        #: registered waiters whose busy set is empty (wake at next finish)
+        self._ready_waiters: Set[int] = set()
+        positions.add_refresh_listener(self._on_positions_refreshed)
         #: payload size -> airtime memo; the DCF recomputes the airtime on
         #: every attempt and payload sizes come from a handful of frame
         #: shapes, so the memo stays tiny and hits almost always.  The memo
@@ -265,12 +306,69 @@ class Channel:
         False again.  Waiters are woken in ascending node order.  The
         callback must not start a transmission synchronously (schedule an
         attempt instead): the medium it observes is this instant's.
+
+        Registration snapshots the waiter's busy count — the set of active
+        transmissions it can hear — which transmission start/end then
+        maintains incrementally, so teardown wakes waiters from a ready
+        set instead of scanning every waiter with ``is_busy``.
         """
-        self._idle_waiters[node_id] = callback
+        waiters = self._idle_waiters
+        if node_id in waiters:
+            # Re-registration: the busy bookkeeping is already live.
+            waiters[node_id] = callback
+            return
+        waiters[node_id] = callback
+        audible: Set[int] = set()
+        cs_neighbors = self.positions.cs_neighbors
+        for tx in self._active.values():
+            sender = tx.sender
+            if sender == node_id or sender in cs_neighbors(node_id):
+                audible.add(tx.tx_id)
+                touched = tx.waiters_touched
+                if touched is None:
+                    touched = tx.waiters_touched = []
+                touched.append(node_id)
+        self._waiter_txs[node_id] = audible
+        if not audible:
+            self._ready_waiters.add(node_id)
 
     def cancel_idle_wait(self, node_id: int) -> None:
         """Drop a pending :meth:`wait_for_idle` registration (no-op if none)."""
-        self._idle_waiters.pop(node_id, None)
+        if self._idle_waiters.pop(node_id, None) is not None:
+            self._waiter_txs.pop(node_id, None)
+            self._ready_waiters.discard(node_id)
+
+    def _on_positions_refreshed(self) -> None:
+        """Mobility refresh: re-snapshot every waiter's busy count.
+
+        The interned cs sets just changed under the incremental counts: a
+        waiter may have moved out of (or into) earshot of an active
+        sender.  Rebuilding from the fresh sets keeps the count>0 ⟺
+        ``is_busy`` invariant; newly-audible transmissions also record the
+        waiter so their teardown decrements it (duplicate records are
+        fine — the decrement is an idempotent discard).
+        """
+        waiter_txs = self._waiter_txs
+        if not waiter_txs:
+            return
+        active = self._active
+        ready = self._ready_waiters
+        cs_neighbors = self.positions.cs_neighbors
+        for node_id, audible in waiter_txs.items():
+            audible.clear()
+            cs = cs_neighbors(node_id)
+            for tx in active.values():
+                sender = tx.sender
+                if sender == node_id or sender in cs:
+                    audible.add(tx.tx_id)
+                    touched = tx.waiters_touched
+                    if touched is None:
+                        touched = tx.waiters_touched = []
+                    touched.append(node_id)
+            if audible:
+                ready.discard(node_id)
+            else:
+                ready.add(node_id)
 
     def transmission_time(self, payload_bytes: int) -> float:
         """Airtime for a frame carrying ``payload_bytes`` of payload."""
@@ -302,15 +400,29 @@ class Channel:
         duration = self.transmission_time(frame.size_bytes)
         now = self.sim.now
         tx = Transmission(sender_id, frame, now, now + duration)
-        # The position service's per-snapshot ascending tuple and int64
-        # array, shared — no per-transmission allocation for the relation.
-        tx.audible = self.positions.sorted_neighbors(sender_id)
-        idx = self.positions.neighbor_index_array(sender_id)
-        tx.audible_idx = idx
+        # The position service's per-snapshot ascending tuple, frozenset
+        # and int64 array, shared — no per-transmission allocation for the
+        # relation.
+        positions = self.positions
+        audible = tx.audible = positions.sorted_neighbors(sender_id)
+        tx.audible_set = positions.neighbors(sender_id)
+        idx = tx.audible_idx = positions.neighbor_index_array(sender_id)
         if idx.size:
-            # Radio.can_receive() for all audible nodes at once: one gather
-            # from the blocked-until mirror (doze encodes as +inf).
-            tx.eligible_mask = self._blocked_until[idx] <= now
+            blocked = self._blocked_until
+            if len(audible) <= _SCALAR_AUDIBLE_MAX:
+                # Sparse audible set: a handful of mirror element reads
+                # into an int bitmask beats the vector pipeline's fixed
+                # overhead (see _SCALAR_AUDIBLE_MAX).
+                tx.scalar = True
+                bits = 0
+                for pos, node in enumerate(audible):
+                    if blocked[node] <= now:
+                        bits |= 1 << pos
+                tx.eligible_bits = bits
+            else:
+                # Radio.can_receive() for all audible nodes at once: one
+                # gather from the blocked-until mirror (doze = +inf).
+                tx.eligible_mask = blocked[idx] <= now
 
         # Record mutual overlap with every currently active transmission and
         # mark collisions eagerly where interference domains intersect.
@@ -318,6 +430,24 @@ class Channel:
             tx.overlaps.append(other)
             other.overlaps.append(tx)
             self._mark_mutual_corruption(tx, other)
+
+        # Incremental waiter busy counts: this transmission raises the
+        # count of every registered waiter that can hear it.
+        waiters = self._idle_waiters
+        if waiters:
+            waiter_txs = self._waiter_txs
+            ready = self._ready_waiters
+            tx_id = tx.tx_id
+            cs = positions.cs_neighbors(sender_id)
+            touched: Optional[List[int]] = None
+            for node_id in waiters:
+                # cs symmetry: node in cs(sender) iff sender in cs(node).
+                if node_id in cs or node_id == sender_id:
+                    if touched is None:
+                        touched = tx.waiters_touched = []
+                    touched.append(node_id)
+                    waiter_txs[node_id].add(tx_id)
+                    ready.discard(node_id)
 
         self._active[sender_id] = tx
         radio.note_tx(duration)
@@ -334,19 +464,36 @@ class Channel:
         Probes the position service's interned cs frozensets and writes
         mask positions directly — overlaps are rare relative to frames, and
         at typical audible-set sizes set probes beat ``np.isin``'s fixed
-        overhead by an order of magnitude.  The mask allocates lazily on
-        the first corrupted receiver.
+        overhead by an order of magnitude.  An interned-frozenset
+        ``isdisjoint`` pre-check skips the per-node probe loop when the
+        interferer's cs domain cannot touch the audible set at all; when
+        it can, at least one receiver is certain to be hit, so the mask
+        allocation is hoisted out of the loop instead of re-tested on
+        every corrupted position.
         """
         positions = self.positions
         for tx, other in ((a, b), (b, a)):
             other_sender = other.sender
             other_cs = positions.cs_neighbors(other_sender)
+            audible_set = tx.audible_set
+            if (other_sender not in audible_set
+                    and other_cs.isdisjoint(audible_set)):
+                continue
+            if tx.scalar:
+                bits = tx.corrupt_bits
+                for pos, node in enumerate(tx.audible):
+                    if node in other_cs or node == other_sender:
+                        bits |= 1 << pos
+                tx.corrupt_bits = bits
+                continue
             corrupt = tx.corrupt_mask
+            if corrupt is None:
+                # The pre-check guarantees a hit: either the interfering
+                # sender is audible here, or its cs set intersects ours.
+                corrupt = tx.corrupt_mask = np.zeros(
+                    len(tx.audible), dtype=bool)
             for pos, node in enumerate(tx.audible):
                 if node in other_cs or node == other_sender:
-                    if corrupt is None:
-                        corrupt = tx.corrupt_mask = np.zeros(
-                            len(tx.audible), dtype=bool)
                     corrupt[pos] = True
 
     def _finish(self, tx: Transmission) -> None:
@@ -356,38 +503,59 @@ class Channel:
         radios[sender].end_tx()
 
         now = self.sim.now
-        idx = tx.audible_idx
+        audible = tx.audible
         delivered: Set[int] = set()
         delivery_order: List[int] = []
-        if idx.size:
-            eligible = tx.eligible_mask
-            n_eligible = int(np.count_nonzero(eligible))
-            corrupt = tx.corrupt_mask
-            if corrupt is None:
-                clean = eligible
-                n_clean = n_eligible
+        if audible:
+            if tx.scalar:
+                # Sparse audible set: classify with int bitmasks and a few
+                # mirror element reads (see _SCALAR_AUDIBLE_MAX).  The
+                # audible tuple is ascending, so appending surviving nodes
+                # in position order yields the sorted delivery order.
+                blocked = self._blocked_until
+                eligible_bits = tx.eligible_bits
+                clean_bits = eligible_bits & ~tx.corrupt_bits
+                n_eligible = eligible_bits.bit_count()
+                n_clean = clean_bits.bit_count()
+                for pos, node in enumerate(audible):
+                    if clean_bits >> pos & 1 and blocked[node] <= now:
+                        delivery_order.append(node)
+                n_deliver = len(delivery_order)
             else:
-                clean = eligible & ~corrupt
-                n_clean = int(np.count_nonzero(clean))
-            # Radio.can_receive() at frame end, one mirror gather: nobody
-            # fell asleep or started transmitting mid-frame.
-            deliver = clean & (self._blocked_until[idx] <= now)
-            n_deliver = int(np.count_nonzero(deliver))
-            # ``audible_idx`` is ascending, so the surviving indices are the
-            # sorted delivery order directly — receiver callbacks re-enter
-            # the MAC layer, and firing them in node order keeps event
-            # scheduling independent of mask layout.
-            delivery_order = idx[deliver].tolist()
+                idx = tx.audible_idx
+                eligible = tx.eligible_mask
+                n_eligible = int(np.count_nonzero(eligible))
+                corrupt = tx.corrupt_mask
+                if corrupt is None:
+                    clean = eligible
+                    n_clean = n_eligible
+                else:
+                    clean = eligible & ~corrupt
+                    n_clean = int(np.count_nonzero(clean))
+                # Radio.can_receive() at frame end, one mirror gather:
+                # nobody fell asleep or started transmitting mid-frame.
+                deliver = clean & (self._blocked_until[idx] <= now)
+                n_deliver = int(np.count_nonzero(deliver))
+                # ``audible_idx`` is ascending, so the surviving indices
+                # are the sorted delivery order directly — receiver
+                # callbacks re-enter the MAC layer, and firing them in
+                # node order keeps event scheduling independent of mask
+                # layout.
+                delivery_order = idx[deliver].tolist()
             # not eligible at start, or eligible-and-clean but unable to
             # decode at the end -> missed; eligible but corrupted -> collided
             self.frames_missed_asleep += (
-                (int(idx.size) - n_eligible) + (n_clean - n_deliver))
+                (len(audible) - n_eligible) + (n_clean - n_deliver))
             self.frames_collided += n_eligible - n_clean
             # Fault-plan impairments (loss processes, noise windows) veto
             # deliveries last: the frame reached a listening radio but the
-            # impaired link corrupted it.
+            # impaired link corrupted it.  The veto consults the plan's
+            # precomputed time envelope first — outside it no noise window
+            # or loss rule can match (and none would have drawn RNG), so
+            # the per-receiver calls are skipped wholesale.
             faults = self.faults
-            if faults is not None and delivery_order:
+            if (faults is not None and delivery_order
+                    and faults.veto_from <= now < faults.veto_until):
                 drop = faults.drop_delivery
                 delivery_order = [
                     node for node in delivery_order
@@ -408,21 +576,41 @@ class Channel:
             on_complete(frame, delivered)
 
         # Busy→idle wake point: this is the only event that can turn a
-        # waiter's carrier sense quiet.  Wake every waiter whose medium is
-        # idle *now* — not just the finished sender's cs-neighbors, because
-        # a mobility refresh may have moved a waiter out of the sender's
-        # interned cs snapshot while it waited.
+        # waiter's carrier sense quiet.  Decrement the busy count of every
+        # waiter this transmission touched; whoever reaches zero joins the
+        # ready set.  A mobility refresh may also have emptied a waiter's
+        # count while it waited (moved out of earshot) — those nodes are
+        # already in the ready set, so they wake here exactly as the old
+        # full ``is_busy`` scan woke them.
         waiters = self._idle_waiters
         if waiters:
-            if not self._active:
-                ready = sorted(waiters)
-            else:
-                is_busy = self.is_busy
-                ready = [n for n in sorted(waiters) if not is_busy(n)]
-            for node in ready:
-                callback = waiters.pop(node, None)
-                if callback is not None:
-                    callback()
+            if self._active:
+                # The old scan's position queries refreshed a stale
+                # snapshot at this instant; keep that trigger (the refresh
+                # listener re-snapshots the counts consumed below).
+                self.positions.ensure_fresh()
+            touched = tx.waiters_touched
+            if touched:
+                waiter_txs = self._waiter_txs
+                ready_set = self._ready_waiters
+                tx_id = tx.tx_id
+                for node in touched:
+                    audible = waiter_txs.get(node)
+                    if audible is not None:
+                        audible.discard(tx_id)
+                        if not audible:
+                            ready_set.add(node)
+            ready_set = self._ready_waiters
+            if ready_set:
+                # sorted() snapshots the set: callbacks may re-register a
+                # wait (which re-enters the ready set if the medium is
+                # idle) without perturbing this round's wake order.
+                for node in sorted(ready_set):
+                    ready_set.discard(node)
+                    callback = waiters.pop(node, None)
+                    if callback is not None:
+                        self._waiter_txs.pop(node, None)
+                        callback()
 
 
 __all__ = ["Channel", "Transmission", "reset_tx_ids"]

@@ -22,13 +22,18 @@ classic DSR — the paper's stale-route discussion relies on this).
 
 Hot-path note: ``add_path`` runs on every overheard path, every RREQ
 reverse path and every forwarded source route — at dense-network rates it
-is one of the busiest functions in the whole simulator.  Segments hold
-*only* the entries dict and answer the "is this path already covered by a
-cached extension?" test with a fast-rejecting linear scan: the capacity
-bound (<=64) keeps the scan short, and the prefix/link index structures
-that used to answer it in O(1) cost ~20x the path storage in key tuples
-and bucket lists (>190 MB at 1,000 nodes), which made cache memory — not
-speed — the barrier to large scenarios.
+is one of the busiest functions in the whole simulator.  The per-prefix /
+per-link index structures that used to answer ``extension_of`` /
+``using_link`` in O(1) cost ~20x the path storage in key tuples and
+bucket lists (>190 MB at 1,000 nodes), which made cache memory — not
+speed — the barrier to large scenarios, so they are gone.  What remains
+is one *bounded* index: every cached path starts at the owner, so every
+extension of a probe path shares its second element, and a single
+first-hop bucket dict (<= capacity keys, exactly one list slot per
+entry — a few hundred bytes per node) narrows the ``extension_of`` scan
+to the handful of same-first-hop candidates.  ``using_link`` keeps the
+linear scan but rejects non-members with two C-speed tuple probes before
+walking any hop pairs.
 """
 
 from __future__ import annotations
@@ -65,38 +70,54 @@ class _Segment:
 
     ``entries`` maps the full path to its entry; dict insertion order *is*
     segment order, so "the first entry in segment order extending path P"
-    is simply the first match of a linear scan.  The scans are deliberate:
-    segments are capacity-bounded (<=64 entries) and ``route_to`` already
-    pays a full linear scan per lookup, while the index structures that
-    used to answer ``extension_of``/``using_link`` in O(1) (a bucket per
-    prefix / per link of every cached path) cost ~20x the path storage in
-    key tuples and bucket lists — >190 MB of pure index at 1,000 nodes,
-    dwarfing the routes themselves.  A one-int fast-reject keeps the scan
-    cheap: candidates must end their prefix on ``path[-1]`` before the
-    tuple compare runs.
+    is the first match in scan order.  ``by_hop`` buckets entries by their
+    second element (the first hop): every extension of a probe path shares
+    that element, so ``extension_of`` scans one bucket instead of the
+    whole segment.  Buckets hold entries in segment insertion order (a
+    subsequence of the dict order), so "earliest inserted" is preserved,
+    and their memory is strictly bounded by the segment capacity — one
+    list slot per entry — unlike the per-prefix index removed for eating
+    >190 MB at 1,000 nodes.
     """
 
-    __slots__ = ("entries",)
+    __slots__ = ("entries", "by_hop")
 
     def __init__(self) -> None:
         self.entries: Dict[Tuple[int, ...], CachedPath] = {}
+        self.by_hop: Dict[int, List[CachedPath]] = {}
 
     def __len__(self) -> int:
         return len(self.entries)
 
     def insert(self, entry: CachedPath) -> None:
+        old = self.entries.get(entry.path)
         self.entries[entry.path] = entry
+        bucket = self.by_hop.setdefault(entry.path[1], [])
+        if old is None:
+            bucket.append(entry)
+        else:
+            # Same-path overwrite keeps the dict position; mirror that in
+            # the bucket so scan order stays identical.
+            bucket[bucket.index(old)] = entry
 
     def remove(self, entry: CachedPath) -> None:
         del self.entries[entry.path]
+        hop = entry.path[1]
+        bucket = self.by_hop[hop]
+        bucket.remove(entry)
+        if not bucket:
+            del self.by_hop[hop]
 
     def extension_of(self, path: Tuple[int, ...]) -> Optional[CachedPath]:
         """Earliest-inserted entry having ``path`` as a prefix (or equal)."""
         n = len(path)
         if n < 2:
             return None
+        bucket = self.by_hop.get(path[1])
+        if bucket is None:
+            return None
         last = path[n - 1]
-        for entry in self.entries.values():
+        for entry in bucket:
             p = entry.path
             if len(p) >= n and p[n - 1] == last and p[:n] == path:
                 return entry
@@ -108,6 +129,11 @@ class _Segment:
         out: List[CachedPath] = []
         for entry in self.entries.values():
             path = entry.path
+            # Two C-speed membership probes reject almost every entry
+            # before the Python hop-pair walk (which still decides —
+            # membership alone cannot tell adjacency).
+            if a not in path or b not in path:
+                continue
             prev = path[0]
             for node in path[1:]:
                 if ((prev, node) if prev < node else (node, prev)) == key:
@@ -118,6 +144,7 @@ class _Segment:
 
     def clear(self) -> None:
         self.entries.clear()
+        self.by_hop.clear()
 
 
 class RouteCache:
@@ -239,16 +266,22 @@ class RouteCache:
         best_segment = None
         for segment in self._segments():
             for cached in segment.entries.values():
-                try:
-                    idx = cached.path.index(dst)
-                except ValueError:
+                path = cached.path
+                # Membership probe first: raising ValueError from .index()
+                # on every non-containing entry dominated this scan.
+                if dst not in path:
                     continue
+                idx = path.index(dst)
                 if idx == 0:
                     continue  # dst == owner, meaningless
                 if best_len is None or idx + 1 < best_len:
                     best = cached
                     best_len = idx + 1
                     best_segment = segment
+                    if best_len == 2:
+                        break  # one hop: nothing can beat it (first wins)
+            if best_len == 2:
+                break
         if best is None:
             self.misses += 1
             return None
@@ -266,8 +299,10 @@ class RouteCache:
     def has_route_to(self, dst: int, now: float) -> bool:
         """True when a route to ``dst`` is cached (does not count hit/miss)."""
         self._expire(now)
+        # Cached paths are loop-free, so "dst appears past the owner" is
+        # equivalent to "dst is a member and is not the owner" — no slice.
         return any(
-            dst in c.path[1:]
+            dst != c.path[0] and dst in c.path
             for seg in self._segments() for c in seg.entries.values()
         )
 

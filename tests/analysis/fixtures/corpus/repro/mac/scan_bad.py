@@ -1,0 +1,16 @@
+"""R012 fixtures: per-event callbacks scanning every node in the network."""
+
+
+class ChattyMac:
+    """Handlers that do O(N) work on every single event."""
+
+    def _on_beacon(self):
+        for peer in self._peers.values():
+            peer.note_beacon(self.node_id)
+
+    def _finish(self, tx):
+        woken = [n for n in sorted(self.radios) if not self.busy(n)]
+        return woken
+
+    def start(self):
+        self.sim.schedule(0.1, self._finish, None)

@@ -1,7 +1,7 @@
 """Golden-diagnostics corpus: the linter's output is byte-stable.
 
 ``fixtures/corpus/`` holds one deliberately-broken fixture package with
-at least one known violation of every rule (R000–R011).  The committed
+at least one known violation of every rule (R000–R012).  The committed
 golden text and JSON renderings pin the full diagnostic surface — rule
 ids, messages, ordering, severities, formatting — so an accidental
 wording or sort-order change shows up as a one-line diff here rather
@@ -35,7 +35,7 @@ def normalized_outputs():
 def test_corpus_covers_every_rule():
     diagnostics = lint_paths([str(CORPUS)])
     seen = {d.rule for d in diagnostics}
-    expected = {f"R{n:03d}" for n in range(12)}
+    expected = {f"R{n:03d}" for n in range(13)}
     assert expected <= seen, f"missing rules: {sorted(expected - seen)}"
 
 

@@ -1306,6 +1306,119 @@ class TestR011:
 
 
 # ----------------------------------------------------------------------
+# R012 — per-event-global-scan
+# ----------------------------------------------------------------------
+
+
+SCANNING_HANDLER = """\
+class Mac:
+    def _on_beacon(self):
+        for peer in self._peers.values():
+            peer.note_beacon(self.node_id)
+"""
+
+
+class TestR012:
+    def test_on_handler_iterating_peers(self):
+        diags = lint(SCANNING_HANDLER, rules=["R012"])
+        assert rule_ids(diags) == ["R012"]
+        assert diags[0].line == 3
+        assert diags[0].name == "per-event-global-scan"
+        assert "self._peers" in diags[0].message
+
+    def test_scheduled_callback_sorted_scan(self):
+        diags = lint(
+            """\
+            class Channel:
+                def start(self):
+                    self.sim.schedule(0.1, self._finish, None)
+
+                def _finish(self, tx):
+                    for node in sorted(self.radios):
+                        self.wake(node)
+            """,
+            rules=["R012"],
+        )
+        assert rule_ids(diags) == ["R012"]
+        assert diags[0].line == 6
+        assert "sorted()" in diags[0].message
+
+    def test_wait_for_idle_callback_comprehension(self):
+        diags = lint(
+            """\
+            class Dcf:
+                def _arm(self):
+                    self.channel.wait_for_idle(self.node_id, self._woken)
+
+                def _woken(self):
+                    return [m for m in self.all_macs.values() if m.awake]
+            """,
+            rules=["R012"],
+        )
+        assert rule_ids(diags) == ["R012"]
+        assert "all_macs" in diags[0].message
+
+    def test_cold_path_scan_is_clean(self):
+        # Not a handler, never registered as a callback: setup code may
+        # iterate everyone.
+        diags = lint(
+            """\
+            class Network:
+                def start(self):
+                    for node in self.nodes:
+                        node.start()
+            """,
+            rules=["R012"],
+        )
+        assert diags == []
+
+    def test_scoped_containers_are_clean(self):
+        diags = lint(
+            """\
+            class Channel:
+                def _on_positions_refreshed(self):
+                    for node_id, audible in self._waiter_txs.items():
+                        audible.clear()
+            """,
+            rules=["R012"],
+        )
+        assert diags == []
+
+    def test_membership_probe_is_clean(self):
+        # Lookups and membership probes are O(1) — only iteration flags.
+        diags = lint(
+            """\
+            class Mac:
+                def _on_receive(self, frame, sender):
+                    if sender in self._peers:
+                        self._peers[sender].touch()
+            """,
+            rules=["R012"],
+        )
+        assert diags == []
+
+    def test_epoch_module_allowlisted(self):
+        diags = lint(SCANNING_HANDLER, rel="mac/epoch.py", rules=["R012"])
+        assert diags == []
+
+    def test_outside_sim_paths_is_clean(self):
+        diags = lint(SCANNING_HANDLER, rel="obs/bench.py", rules=["R012"])
+        assert diags == []
+
+    def test_suppression(self):
+        diags = lint(
+            """\
+            class Mac:
+                def _on_beacon(self):
+                    for peer in self._peers.values():  # rcast-lint: disable=R012 -- bench fixture
+                        peer.note_beacon(self.node_id)
+            """,
+            rules=["R012"],
+        )
+        assert diags == []
+
+
+# ----------------------------------------------------------------------
 # R000 — unused-suppression (runner-emitted)
 # ----------------------------------------------------------------------
 

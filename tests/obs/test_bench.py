@@ -32,7 +32,13 @@ def test_run_hotpath_bench_smoke_payload():
     # v2: the workload's event count and wall time are mirrored top-level.
     assert result["events"] == result["workload"]["events"] > 0
     assert result["wall_time_s"] == result["workload"]["wall_time_s"] > 0
-    assert result["workload"]["profiler_top"]
+    # v4: the workload section is uninstrumented only; the profiled run
+    # is its own section with its own timing.
+    assert "profiler_top" not in result["workload"]
+    profiled = result["workload_profiled"]
+    assert profiled["profiler_top"]
+    assert profiled["wall_time_s"] > 0
+    assert profiled["events_per_sec"] > 0
     # v3: memory accounting for both collector modes.
     memory = result["memory"]
     assert set(memory["modes"]) == {"batch", "streaming"}
@@ -65,6 +71,29 @@ def test_speedup_vs_pre_pr_reports_wall_and_event_ratios(monkeypatch):
 def test_run_hotpath_bench_rejects_unknown_scale():
     with pytest.raises(ValueError):
         bench.run_hotpath_bench("galactic")
+
+
+def test_run_hotpath_bench_workload_only():
+    """The CI shape for --scale large: just the uninstrumented workload."""
+    result = bench.run_hotpath_bench("smoke", repeat=1, workload_only=True)
+    assert result["events_per_sec"] > 0
+    assert "stages" not in result
+    assert "memory" not in result
+    assert "workload_profiled" not in result
+    # format_result and the baseline gate both cope with the lean payload.
+    assert bench.format_result(result).startswith("hotpath bench [smoke]")
+    ok, _ = bench.compare_to_baseline(
+        result, {"scale": "smoke",
+                 "events_per_sec": result["events_per_sec"] * 0.9})
+    assert ok
+
+
+def test_large_scale_workload_is_registered():
+    """1k-node city-grid cell: fig7 density preserved (area ~10x bench)."""
+    large = bench.WORKLOADS["large"]
+    assert large["num_nodes"] == 1000
+    assert large["arena_w"] == large["arena_h"] == 2121.0
+    assert large["sim_time"] == 120.0
 
 
 def test_compare_to_baseline_gate():
