@@ -15,6 +15,10 @@ Subcommands:
 * ``fig5`` .. ``fig9`` — regenerate one figure of the paper;
 * ``ablation`` — the extension studies (factors / tap / rreq);
 * ``resilience`` — scheme degradation under injected crashes and loss;
+* ``adaptive`` — adaptive receiver-side P_R policies (measured-degree /
+  energy-budget / bandit) vs the paper's fixed 1/n; ``run``, ``sweep``,
+  ``fig7``, ``lifetime`` and ``resilience`` take ``--overhearing-policy``
+  to apply one policy directly;
 * ``spans``    — assemble packet flight-recorder spans (originate ->
   route discovery -> per-hop MAC attempts -> delivery/drop) from a
   recorded JSONL trace, as a sortable table and/or JSON;
@@ -51,8 +55,10 @@ from typing import (
     Tuple,
 )
 
+from repro.core.adaptive import OVERHEARING_POLICIES
 from repro.experiments import (
     ablation,
+    adaptive_study,
     aodv_study,
     fig5,
     fig6,
@@ -97,7 +103,12 @@ _FIGURES: Dict[str, Tuple[Callable[..., Any], Callable[..., str]]] = {
     "sync": (sync_study.run, sync_study.format_result),
     "staleness": (staleness_study.run, staleness_study.format_result),
     "resilience": (resilience.run, resilience.format_result),
+    "adaptive": (adaptive_study.run, adaptive_study.format_result),
 }
+
+#: figure subcommands whose run() accepts an ``overhearing_policy`` kwarg
+#: (the adaptive study sweeps every policy itself, so it is not here).
+_POLICY_AWARE = ("fig7", "lifetime", "resilience")
 
 _ABLATIONS: Dict[str, Callable[..., Any]] = {
     "factors": ablation.run_factors,
@@ -208,6 +219,12 @@ def _build_parser() -> argparse.ArgumentParser:
         fig_p = sub.add_parser(name, help=f"reproduce {name}")
         fig_p.add_argument("--scale", choices=_SCALES, default="bench")
         fig_p.add_argument("--seed", type=int, default=1)
+        if name in _POLICY_AWARE:
+            fig_p.add_argument("--overhearing-policy",
+                               dest="overhearing_policy",
+                               choices=OVERHEARING_POLICIES, default="fixed",
+                               help="receiver-side P_R policy for the rcast "
+                                    "column (default fixed = the paper's 1/n)")
         _add_parallel_args(fig_p)
 
     abl_p = sub.add_parser("ablation", help="run an ablation study")
@@ -227,6 +244,10 @@ def _build_parser() -> argparse.ArgumentParser:
                          help="comma-separated from {mobile,static}")
     sweep_p.add_argument("--scale", choices=_SCALES, default="bench")
     sweep_p.add_argument("--seed", type=int, default=1)
+    sweep_p.add_argument("--overhearing-policy", dest="overhearing_policy",
+                         choices=OVERHEARING_POLICIES, default="fixed",
+                         help="receiver-side P_R policy applied to every "
+                              "cell (default fixed = the paper's 1/n)")
     sweep_p.add_argument("--json", "--json-out", dest="json_path",
                          default=None,
                          help="write the full sweep (incl. vectors) as JSON")
@@ -299,6 +320,11 @@ def _add_sim_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--speed", type=float, default=20.0)
     parser.add_argument("--static", action="store_true")
     parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument("--overhearing-policy", dest="overhearing_policy",
+                        choices=OVERHEARING_POLICIES, default="fixed",
+                        help="receiver-side P_R policy: fixed (the paper's "
+                             "1/n) or an adaptive policy "
+                             "(degree/energy/bandit)")
     parser.add_argument("--arena-w", dest="arena_w", type=float, default=None,
                         metavar="METERS",
                         help="arena width (default: the paper's 1500 m; "
@@ -325,6 +351,7 @@ def _config_from_args(args: argparse.Namespace) -> SimulationConfig:
         max_speed=args.speed,
         pause_time=args.pause,
         seed=args.seed,
+        overhearing_policy=args.overhearing_policy,
         **arena,
     )
 
@@ -615,7 +642,8 @@ def _cmd_sweep(args: argparse.Namespace, scale: ExperimentScale,
     try:
         result = run_sweep(scale, schemes, rates=rates, scenarios=scenarios,
                            seed=args.seed, progress=progress,
-                           workers=args.workers, on_event=on_event)
+                           workers=args.workers, on_event=on_event,
+                           overhearing_policy=args.overhearing_policy)
     finally:
         if telemetry is not None:
             telemetry.close()
@@ -662,8 +690,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         _maybe_write_json(result, args)
         return 0
     run_fn, fmt_fn = _FIGURES[args.command]
+    extra: Dict[str, Any] = {}
+    if args.command in _POLICY_AWARE:
+        extra["overhearing_policy"] = args.overhearing_policy
     result = run_fn(scale, seed=args.seed, progress=progress,
-                    workers=args.workers)
+                    workers=args.workers, **extra)
     print(fmt_fn(result))
     _maybe_write_json(result, args)
     return 0

@@ -13,6 +13,9 @@ everyone else sleeps.
   count, sender recency, mobility, remaining battery) as composable
   probability modifiers; only the neighbor count is active by default,
   matching the evaluated system.
+* :mod:`repro.core.adaptive` — adaptive receiver-side P_R policies
+  (measured-degree estimator, energy-budget feedback, epsilon-greedy
+  bandit) plugging into the same ``probability_fn`` seam.
 * :mod:`repro.core.atim` — the on-the-wire encoding: ATIM management-frame
   subtypes ``1001`` (standard / no overhearing), ``1110`` (randomized) and
   ``1111`` (unconditional).
@@ -20,6 +23,15 @@ everyone else sleeps.
   PSM MAC.
 """
 
+from repro.core.adaptive import (
+    ADAPTIVE_POLICIES,
+    OVERHEARING_POLICIES,
+    AdaptivePolicy,
+    EnergyBudgetPolicy,
+    EpsilonGreedyBanditPolicy,
+    MeasuredDegreePolicy,
+    make_policy,
+)
 from repro.core.atim import (
     SUBTYPE_ATIM_RANDOMIZED,
     SUBTYPE_ATIM_STANDARD,
@@ -47,7 +59,14 @@ from repro.core.policy import (
 from repro.core.rcast import RcastManager
 
 __all__ = [
+    "ADAPTIVE_POLICIES",
+    "AdaptivePolicy",
     "BatteryFactor",
+    "EnergyBudgetPolicy",
+    "EpsilonGreedyBanditPolicy",
+    "MeasuredDegreePolicy",
+    "OVERHEARING_POLICIES",
+    "make_policy",
     "CompositeProbability",
     "MobilityFactor",
     "NeighborCountProbability",

@@ -23,6 +23,7 @@ from repro.sim.trace import NULL_TRACE, TraceSink
 if TYPE_CHECKING:
     import random
 
+    from repro.core.adaptive import AdaptivePolicy
     from repro.mac.frames import Announcement
     from repro.mobility.manager import PositionService
     from repro.phy.energy import EnergyMeter
@@ -59,6 +60,7 @@ class RcastManager:
         recency_horizon: float = 10.0,
         randomized_broadcast: bool = False,
         broadcast_floor: float = 0.5,
+        adaptive: "Optional[AdaptivePolicy]" = None,
         trace: TraceSink = NULL_TRACE,
     ) -> None:
         self.node_id = node_id
@@ -68,10 +70,17 @@ class RcastManager:
         self.sender_policy = sender_policy if sender_policy is not None else RcastPolicy()
         self.randomized_broadcast = randomized_broadcast
         self.broadcast_floor = broadcast_floor
+        #: adaptive P_R policy, or None for the paper's fixed 1/n
+        self.adaptive = adaptive
         self._rng = rng
         self._last_heard: Dict[int, float] = {}
 
-        base = NeighborCountProbability(lambda: positions.neighbor_count(node_id))
+        base: "Callable[[Announcement], float]"
+        if adaptive is not None:
+            base = adaptive
+        else:
+            base = NeighborCountProbability(
+                lambda: positions.neighbor_count(node_id))
         factors: "List[Callable[[Announcement], float]]" = []
         if use_sender_recency:
             factors.append(SenderRecencyFactor(
@@ -108,6 +117,14 @@ class RcastManager:
     def note_heard(self, sender: int) -> None:
         """Record that ``sender`` was heard or overheard just now."""
         self._last_heard[sender] = self.sim.now
+
+    def on_epoch(self, now: float) -> None:
+        """Beacon-boundary hook: advance the adaptive policy, trace it."""
+        if self.adaptive is None:
+            return
+        fields = self.adaptive.on_epoch(now)
+        if fields is not None and self.trace.enabled:
+            self.trace.emit(now, "adaptive", self.node_id, "epoch", **fields)
 
     def last_heard(self, sender: int) -> Optional[float]:
         """Time ``sender`` was last heard, or None if never."""

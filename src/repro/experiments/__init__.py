@@ -13,6 +13,8 @@ module     paper content
 `fig9`     role number vs energy scatter (Figure 9)
 `ablation` extension studies: decision factors, opportunistic tap,
            randomized RREQ reception
+`adaptive_study` adaptive P_R policies vs fixed 1/n at 100/1,000 nodes
+           (extension)
 `lifetime` network lifetime under finite batteries (extension)
 `sensitivity` PSM beacon/ATIM timing sensitivity (extension)
 `aodv_study`  footnote 1: DSR vs AODV under PSM (extension)

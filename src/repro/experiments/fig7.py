@@ -50,10 +50,17 @@ class Fig7Result:
 
 
 def run(scale: ExperimentScale, seed: int = 1, progress: Optional[Callable[[str], None]] = None,
-        workers: Optional[int] = None) -> Fig7Result:
-    """Run the Figure 7 rate sweep."""
+        workers: Optional[int] = None,
+        overhearing_policy: str = "fixed") -> Fig7Result:
+    """Run the Figure 7 rate sweep.
+
+    ``overhearing_policy`` selects the receiver-side P_R policy
+    (:mod:`repro.core.adaptive`); only the rcast column reacts — the
+    other schemes never advertise RANDOMIZED levels.
+    """
     grid = sweep(scale, SCHEMES, scenarios=(True, False), seed=seed,
-                 progress=progress, workers=workers)
+                 progress=progress, workers=workers,
+                 overhearing_policy=overhearing_policy)
     data: Dict[bool, Dict[str, Dict[str, List[float]]]] = {}
     for mobile in (True, False):
         data[mobile] = {

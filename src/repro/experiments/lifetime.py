@@ -45,12 +45,19 @@ class LifetimeResult:
 
 
 def run(scale: ExperimentScale, seed: int = 1, progress: Optional[Callable[[str], None]] = None,
-        workers: Optional[int] = None) -> LifetimeResult:
-    """Run the lifetime comparison (static scenario, low rate)."""
+        workers: Optional[int] = None,
+        overhearing_policy: str = "fixed") -> LifetimeResult:
+    """Run the lifetime comparison (static scenario, low rate).
+
+    With a non-fixed ``overhearing_policy`` the rcast column runs under
+    that adaptive P_R policy — the energy-budget controller in
+    particular reads the same finite battery this experiment installs.
+    """
     battery = 0.6 * POWER_AWAKE_W * scale.sim_time
     configs = {
         scheme: make_config(scale, scheme, scale.low_rate, mobile=False,
-                            seed=seed, battery_joules=battery)
+                            seed=seed, battery_joules=battery,
+                            overhearing_policy=overhearing_policy)
         for scheme in SCHEMES
     }
     grid = run_grid(configs, scale.repetitions, workers=workers)

@@ -93,13 +93,19 @@ class ResilienceResult:
 
 def run(scale: ExperimentScale, seed: int = 1,
         progress: Optional[Callable[[str], None]] = None,
-        workers: Optional[int] = None) -> ResilienceResult:
-    """Run both stress sweeps and fold replications into series."""
+        workers: Optional[int] = None,
+        overhearing_policy: str = "fixed") -> ResilienceResult:
+    """Run both stress sweeps and fold replications into series.
+
+    ``overhearing_policy`` applies the selected adaptive P_R policy to
+    the rcast column, asking how each policy degrades under faults.
+    """
     sim_time = scale.sim_time
 
     def cfg(scheme: str, plan: Optional[FaultPlan]) -> SimulationConfig:
         return make_config(scale, scheme, scale.low_rate, mobile=False,
-                           seed=seed, faults=plan)
+                           seed=seed, faults=plan,
+                           overhearing_policy=overhearing_policy)
 
     configs: Dict[Cell, SimulationConfig] = {}
     for scheme in SCHEMES:

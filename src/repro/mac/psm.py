@@ -104,6 +104,9 @@ class PsmMac(MacBase):
         #: bound once — called for every delivered frame and every
         #: processed announcement (millions of times at bench scale).
         self._note_heard = rcast.note_heard
+        #: adaptive P_R policy (None on the fixed path: every hook below
+        #: is guarded, so a fixed run executes byte-identically)
+        self._adaptive = rcast.adaptive
         self.power = power_manager if power_manager is not None else AlwaysPs()
         self.beacon_interval = beacon_interval
         self.atim_window = atim_window
@@ -239,6 +242,8 @@ class PsmMac(MacBase):
         self._reasons = 0
         self._overhear_senders.clear()
         self._queue.clear_announcements()
+        if self._adaptive is not None:
+            self.rcast.on_epoch(now)
 
     def _announce_body(self) -> None:
         if not self._queue:
@@ -326,6 +331,8 @@ class PsmMac(MacBase):
                 announcement.sender_mode, self.sim.now,
             )
         self._note_heard(announcement.sender)
+        if self._adaptive is not None:
+            self._adaptive.on_announcement_heard(announcement.sender)
         if announcement.dst == self.node_id:
             self._reasons |= _R_ADDRESSED
         elif announcement.is_broadcast:
@@ -464,6 +471,9 @@ class PsmMac(MacBase):
             self._on_receive(packet, sender)
             return
         if self._may_tap(frame):
+            if (self._adaptive is not None
+                    and frame.src in self._overhear_senders):
+                self._adaptive.on_overhear_delivered()
             self._on_promiscuous(packet, sender)
 
     def _may_tap(self, frame: Frame) -> bool:

@@ -238,6 +238,9 @@ class MetricsCollector:
         node_awake_time: Sequence[float],
         events_processed: int = 0,
         fault_counts: Optional[Dict[str, int]] = None,
+        overhear_decisions: int = 0,
+        overhear_elections: int = 0,
+        adaptive: Optional[Dict[str, Any]] = None,
     ) -> "RunMetrics":
         """Combine collected events with energy meters into a summary."""
         # Drain the frontier: at end of run every remaining record is
@@ -287,6 +290,9 @@ class MetricsCollector:
             delay_dist=delay_dist,
             energy_per_bit_dist=energy_per_bit_dist,
             compaction_conflicts=self.compaction_conflicts,
+            overhear_decisions=overhear_decisions,
+            overhear_elections=overhear_elections,
+            adaptive=dict(adaptive) if adaptive is not None else None,
         )
 
     def _energy_per_bit_summary(
@@ -344,6 +350,20 @@ class RunMetrics:
     energy_per_bit_dist: Optional[Dict[str, Any]] = None
     #: outcome reversals past the compaction horizon (0 in healthy runs)
     compaction_conflicts: int = 0
+    #: receiver-side RANDOMIZED decisions drawn across all nodes
+    overhear_decisions: int = 0
+    #: decisions that elected to overhear (``overhears`` on the deciders)
+    overhear_elections: int = 0
+    #: adaptive-policy run summary (None on the fixed path — the three
+    #: fields above then stay out of :meth:`to_dict`, keeping fixed-run
+    #: exports byte-identical to pre-adaptive builds)
+    adaptive: Optional[Dict[str, Any]] = None
+
+    @property
+    def empirical_overhear_rate(self) -> float:
+        """Fraction of RANDOMIZED decisions that chose to overhear."""
+        return (self.overhear_elections / self.overhear_decisions
+                if self.overhear_decisions else 0.0)
 
     @property
     def mean_node_energy(self) -> float:
@@ -398,7 +418,12 @@ class RunMetrics:
           | ({"energy_per_bit_dist": self.energy_per_bit_dist}
              if self.energy_per_bit_dist is not None else {}) \
           | ({"compaction_conflicts": self.compaction_conflicts}
-             if self.compaction_conflicts else {})
+             if self.compaction_conflicts else {}) \
+          | ({"overhear_decisions": self.overhear_decisions,
+              "overhear_elections": self.overhear_elections,
+              "empirical_overhear_rate": self.empirical_overhear_rate,
+              "adaptive": dict(self.adaptive)}
+             if self.adaptive is not None else {})
 
 
 __all__ = ["MetricsCollector", "RunMetrics",

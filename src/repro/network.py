@@ -26,6 +26,12 @@ from dataclasses import dataclass, field, replace
 from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Tuple, Union
 
 from repro import constants
+from repro.core.adaptive import (
+    OVERHEARING_POLICIES,
+    AdaptivePolicy,
+    adaptive_run_summary,
+    make_policy,
+)
 from repro.core.policy import (
     NoOverhearing,
     RcastPolicy,
@@ -125,6 +131,12 @@ class SimulationConfig:
     rcast_factors: Tuple[str, ...] = ()
     rreq_randomized: bool = False
     opportunistic_tap: bool = False
+    #: receiver-side P_R policy: 'fixed' (the paper's 1/n) or one of the
+    #: adaptive policies in :mod:`repro.core.adaptive` ('degree',
+    #: 'energy', 'bandit').  Only schemes that advertise RANDOMIZED
+    #: levels (rcast) consult P_R, but the per-epoch policy machinery
+    #: runs on every PSM node when a non-fixed policy is selected.
+    overhearing_policy: str = "fixed"
 
     # Energy
     battery_joules: Optional[float] = None
@@ -158,6 +170,11 @@ class SimulationConfig:
         if self.routing not in ("dsr", "aodv"):
             raise ConfigurationError(
                 f"unknown routing protocol {self.routing!r}"
+            )
+        if self.overhearing_policy not in OVERHEARING_POLICIES:
+            raise ConfigurationError(
+                f"unknown overhearing policy {self.overhearing_policy!r}; "
+                f"choose one of {OVERHEARING_POLICIES}"
             )
         if not 0 <= self.clock_jitter < self.beacon_interval:
             raise ConfigurationError(
@@ -254,6 +271,20 @@ class Network:
         finally:
             if sanitizer is not None:
                 self.sanitizer_report = sanitizer.detach()
+        decisions = 0
+        elections = 0
+        for node in self.nodes:
+            if node.rcast is not None:
+                decisions += node.rcast.decider.decisions
+                elections += node.rcast.decider.overhears
+        adaptive_summary = None
+        if self.config.overhearing_policy != "fixed":
+            policies = [(n.node_id, n.rcast.adaptive) for n in self.nodes
+                        if n.rcast is not None and n.rcast.adaptive is not None]
+            adaptive_summary = adaptive_run_summary(
+                self.config.overhearing_policy, policies,
+                lambda i: self.positions.neighbor_count(i),
+            )
         return self.metrics.finalize(
             scheme=self.config.scheme,
             sim_time=self.config.sim_time,
@@ -262,6 +293,9 @@ class Network:
             events_processed=self.sim.processed_events,
             fault_counts=(self.faults.fault_counts()
                           if self.faults is not None else None),
+            overhear_decisions=decisions,
+            overhear_elections=elections,
+            adaptive=adaptive_summary,
         )
 
 
@@ -315,6 +349,19 @@ def _build_mac(
     if config.scheme == "ieee80211":
         return AlwaysOnMac(sim, node_id, channel, radio, positions,
                            mac_rng, trace=trace), None
+    adaptive: Optional[AdaptivePolicy] = None
+    if config.overhearing_policy != "fixed":
+        meter = radio.meter
+        adaptive = make_policy(
+            config.overhearing_policy,
+            neighbor_count_fn=lambda: positions.neighbor_count(node_id),
+            awake_seconds_fn=meter.awake_seconds,
+            remaining_fraction_fn=meter.remaining_fraction,
+            beacon_interval=config.beacon_interval,
+            rng_factory=lambda: rngs.stream(f"adaptive:{node_id}"),
+        )
+        assert adaptive is not None
+        sim.add_clear_hook(adaptive.reset)
     rcast = RcastManager(
         node_id, sim, positions, rngs.stream(f"rcast:{node_id}"),
         sender_policy=_sender_policy(config.scheme),
@@ -323,6 +370,7 @@ def _build_mac(
         use_battery="battery" in config.rcast_factors,
         energy_meter=radio.meter if "battery" in config.rcast_factors else None,
         randomized_broadcast=config.rreq_randomized,
+        adaptive=adaptive,
         trace=trace,
     )
     power: PowerManager

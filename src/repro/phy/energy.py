@@ -131,6 +131,18 @@ class EnergyMeter:
         """Total seconds spent in any awake state."""
         return sum(self._state_time[s] for s in RadioState if s.awake)
 
+    def awake_seconds(self, time: Optional[float] = None) -> float:
+        """Awake seconds, projected to ``time`` like :meth:`energy_joules`.
+
+        ``awake_time`` only reflects completed state residencies; this
+        variant also counts the in-progress stretch up to ``time``, which
+        is what a mid-run controller sampling at a beacon boundary needs.
+        """
+        extra = 0.0
+        if time is not None and not self._finalized and self._state.awake:
+            extra = max(time - self._last_time, 0.0)
+        return self.awake_time + extra
+
     @property
     def sleep_time(self) -> float:
         """Total seconds spent asleep."""

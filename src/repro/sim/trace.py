@@ -28,8 +28,8 @@ FieldItems = Tuple[Tuple[str, object], ...]
 #: ``--trace-categories`` against this set so a typo fails fast instead of
 #: silently producing an empty trace.
 TRACE_CATEGORIES: Tuple[str, ...] = (
-    "atim", "chan", "dcf", "dsr", "energy", "fault", "odpm", "psm",
-    "sanitizer",
+    "adaptive", "atim", "chan", "dcf", "dsr", "energy", "fault", "odpm",
+    "psm", "sanitizer",
 )
 
 

@@ -1,0 +1,36 @@
+"""Broken fixture: adaptive-policy anti-patterns (R007 + R012).
+
+The two ways an adaptive P_R policy can defeat the determinism regime:
+feeding it ambient randomness instead of a named derived stream, and
+"adapting" by scanning every node in the network from a per-event hook.
+"""
+
+import random
+
+
+class AmbientPolicy:
+    """R007: policy randomness without seed provenance."""
+
+    def __init__(self, node_id):
+        self.node_id = node_id
+        self._rng = random.Random()
+
+    def on_epoch(self, now):
+        return self._rng.random()
+
+
+class CensusPolicy:
+    """R012: per-event handlers that take a census of the whole network."""
+
+    def on_announcement_heard(self, sender):
+        degree = 0
+        for node in self.network.nodes.values():
+            degree += 1 if node.radio.awake else 0
+        self.estimate = degree
+
+    def _on_epoch_tick(self):
+        awake = [n for n in sorted(self.nodes) if not self.asleep(n)]
+        return awake
+
+    def start(self):
+        self.sim.schedule(0.25, self._on_epoch_tick)

@@ -1,0 +1,47 @@
+"""Clean fixture: the adaptive-policy epoch-callback pattern.
+
+Mirrors ``repro.core.adaptive`` + the PSM beacon hook: policy state
+mutates only inside the per-node epoch callback, randomness comes from a
+named derived stream, and the per-signal hooks are O(1).  The linter
+must report nothing here — this is the sanctioned shape (R007 seed
+provenance, R012 no per-event scans).
+"""
+
+
+class EpochPolicy:
+    """Per-node adaptive state updated only at beacon boundaries."""
+
+    def __init__(self, node_id, rngs):
+        self.node_id = node_id
+        self._rng = rngs.stream(f"adaptive:{node_id}")
+        self._heard = set()
+        self.estimate = None
+
+    def on_announcement_heard(self, sender):
+        self._heard.add(sender)
+
+    def on_epoch(self, now):
+        heard = len(self._heard)
+        if heard:
+            self.estimate = float(heard)
+            self._heard.clear()
+        if self._rng.random() < 0.1:
+            self.estimate = None
+        return {"heard": heard, "estimate": self.estimate}
+
+
+class EpochMac:
+    """Beacon body driving the per-node policy: O(1) per event."""
+
+    def __init__(self, sim, policy, interval):
+        self.sim = sim
+        self.policy = policy
+        self.interval = interval
+
+    def start(self):
+        self.sim.schedule(self.interval, self._beacon_body)
+
+    def _beacon_body(self):
+        now = self.sim.now
+        self.policy.on_epoch(now)
+        self.sim.schedule(self.interval, self._beacon_body)

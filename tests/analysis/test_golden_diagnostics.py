@@ -39,6 +39,18 @@ def test_corpus_covers_every_rule():
     assert expected <= seen, f"missing rules: {sorted(expected - seen)}"
 
 
+def test_adaptive_epoch_pattern_is_sanctioned():
+    """The adaptive-policy callback shape passes R007 and R012 clean."""
+    ok = CORPUS / "repro" / "core" / "adaptive_ok.py"
+    assert lint_paths([str(ok)]) == []
+
+
+def test_adaptive_antipatterns_are_flagged():
+    bad = CORPUS / "repro" / "core" / "adaptive_bad.py"
+    rules = {d.rule for d in lint_paths([str(bad)])}
+    assert {"R007", "R012"} <= rules
+
+
 def test_text_output_matches_golden():
     text, _payload = normalized_outputs()
     golden = (FIXTURES / "golden_corpus.txt").read_text()

@@ -33,14 +33,22 @@ GOLDEN_DIR = Path(__file__).parent
 
 SCHEMES = ("ieee80211", "psm", "odpm", "rcast")
 
+#: Corpus entries: the four schemes under fixed 1/n overhearing, plus one
+#: adaptive-policy run locking the measured-degree estimator's full event
+#: stream (announcement folding, epoch traces, adaptive metrics block).
+CORPUS = SCHEMES + ("rcast-degree",)
 
-def golden_config(scheme: str) -> SimulationConfig:
+
+def golden_config(entry: str) -> SimulationConfig:
     """The corpus scenario: mobile mid-size network, moderate traffic.
 
     Big enough to exercise every protocol path (ATIM negotiation, route
     breaks under waypoint mobility, Rcast randomized reception), small
-    enough that all four schemes replay in a few seconds.
+    enough that all corpus entries replay in a few seconds.  The
+    ``rcast-degree`` entry is the rcast scenario with the measured-degree
+    adaptive policy selected.
     """
+    scheme, _, policy = entry.partition("-")
     return SimulationConfig(
         scheme=scheme,
         seed=7,
@@ -53,13 +61,14 @@ def golden_config(scheme: str) -> SimulationConfig:
         max_speed=2.0,
         pause_time=0.0,
         packet_rate=0.4,
+        overhearing_policy=policy or "fixed",
     )
 
 
-def regenerate(scheme: str) -> Tuple[bytes, str, RunMetrics]:
+def regenerate(entry: str) -> Tuple[bytes, str, RunMetrics]:
     """Run the corpus scenario; return (trace bytes, metrics text, metrics)."""
     trace = TraceLog()
-    metrics = run_simulation(golden_config(scheme), trace=trace)
+    metrics = run_simulation(golden_config(entry), trace=trace)
     trace_bytes = "".join(r.to_json() + "\n" for r in trace).encode()
     metrics_text = json.dumps(metrics.to_dict(), indent=2) + "\n"
     return trace_bytes, metrics_text, metrics
@@ -74,7 +83,7 @@ def _context_diff(expected: str, actual: str, name: str) -> str:
     return "".join(lines)
 
 
-@pytest.mark.parametrize("scheme", SCHEMES)
+@pytest.mark.parametrize("scheme", CORPUS)
 def test_golden(scheme: str, update_golden: bool) -> None:
     trace_path = GOLDEN_DIR / f"{scheme}.trace.jsonl.gz"
     metrics_path = GOLDEN_DIR / f"{scheme}.metrics.json"
@@ -114,7 +123,7 @@ def test_golden(scheme: str, update_golden: bool) -> None:
     assert metrics.fault_counts == {}
 
 
-@pytest.mark.parametrize("scheme", SCHEMES)
+@pytest.mark.parametrize("scheme", CORPUS)
 def test_golden_gzip_is_deterministic(scheme: str) -> None:
     """Committed container bytes must match a fresh mtime=0 compression."""
     trace_path = GOLDEN_DIR / f"{scheme}.trace.jsonl.gz"

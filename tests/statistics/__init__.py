@@ -1,0 +1,6 @@
+"""Statistical conformance harness for the adaptive overhearing policies.
+
+Every test in this package is seeded and therefore deterministic: the
+confidence bounds are exact (Clopper-Pearson) and the scenarios fixed, so
+a failure means the code changed behaviour, not that the dice were unkind.
+"""

@@ -1,0 +1,128 @@
+"""Unit tests for the exact-binomial machinery in :mod:`repro.metrics.stats`.
+
+The Clopper-Pearson implementation avoids scipy (continued-fraction
+incomplete beta + bisection quantiles), so these tests pin it against
+closed forms and published reference values before the conformance
+harness leans on it.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.metrics.stats import (
+    beta_quantile,
+    chi_square_critical,
+    chi_square_uniform_stat,
+    clopper_pearson,
+    regularized_incomplete_beta,
+)
+
+
+class TestRegularizedIncompleteBeta:
+    def test_endpoints(self):
+        assert regularized_incomplete_beta(2.0, 3.0, 0.0) == 0.0
+        assert regularized_incomplete_beta(2.0, 3.0, 1.0) == 1.0
+
+    def test_known_value(self):
+        # I_0.5(2, 3) = 11/16 by direct integration of 12 x (1-x)^2.
+        assert regularized_incomplete_beta(2.0, 3.0, 0.5) == pytest.approx(
+            0.6875, abs=1e-12)
+
+    def test_symmetry(self):
+        # I_x(a, b) = 1 - I_{1-x}(b, a)
+        for x in (0.1, 0.37, 0.5, 0.93):
+            assert regularized_incomplete_beta(2.5, 7.0, x) == pytest.approx(
+                1.0 - regularized_incomplete_beta(7.0, 2.5, 1.0 - x),
+                abs=1e-10)
+
+    def test_uniform_special_case(self):
+        # a = b = 1 is the uniform CDF.
+        for x in (0.0, 0.25, 0.8, 1.0):
+            assert regularized_incomplete_beta(1.0, 1.0, x) == pytest.approx(
+                x, abs=1e-10)
+
+
+class TestBetaQuantile:
+    def test_inverts_cdf(self):
+        for q in (0.01, 0.25, 0.5, 0.75, 0.99):
+            x = beta_quantile(q, 3.0, 5.0)
+            assert regularized_incomplete_beta(3.0, 5.0, x) == pytest.approx(
+                q, abs=1e-9)
+
+    def test_edges(self):
+        assert beta_quantile(0.0, 2.0, 2.0) == 0.0
+        assert beta_quantile(1.0, 2.0, 2.0) == 1.0
+
+
+class TestClopperPearson:
+    def test_zero_successes_closed_form(self):
+        # k = 0: lower bound is exactly 0, upper is 1 - (alpha/2)^(1/n).
+        lo, hi = clopper_pearson(0, 20, alpha=0.05)
+        assert lo == 0.0
+        assert hi == pytest.approx(1.0 - 0.025 ** (1.0 / 20.0), abs=1e-9)
+
+    def test_all_successes_closed_form(self):
+        # k = n mirrors k = 0.
+        lo, hi = clopper_pearson(20, 20, alpha=0.05)
+        assert hi == 1.0
+        assert lo == pytest.approx(0.025 ** (1.0 / 20.0), abs=1e-9)
+
+    def test_published_reference_value(self):
+        # Standard textbook example: 5 successes in 10 trials at 95%.
+        lo, hi = clopper_pearson(5, 10, alpha=0.05)
+        assert lo == pytest.approx(0.1871, abs=5e-4)
+        assert hi == pytest.approx(0.8129, abs=5e-4)
+
+    def test_interval_is_symmetric_for_half(self):
+        lo, hi = clopper_pearson(50, 100, alpha=0.05)
+        assert lo == pytest.approx(1.0 - hi, abs=1e-9)
+
+    def test_monotone_in_successes(self):
+        intervals = [clopper_pearson(k, 40, alpha=0.01) for k in range(41)]
+        for (lo_a, hi_a), (lo_b, hi_b) in zip(intervals, intervals[1:]):
+            assert lo_b >= lo_a
+            assert hi_b >= hi_a
+
+    def test_narrows_with_trials(self):
+        lo_s, hi_s = clopper_pearson(10, 20, alpha=0.05)
+        lo_l, hi_l = clopper_pearson(500, 1000, alpha=0.05)
+        assert (hi_l - lo_l) < (hi_s - lo_s)
+
+    def test_contains_truth_for_exact_rate(self):
+        # An empirical rate equal to the true rate must be covered.
+        lo, hi = clopper_pearson(300, 1000, alpha=0.001)
+        assert lo <= 0.3 <= hi
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ValueError):
+            clopper_pearson(5, 0)
+        with pytest.raises(ValueError):
+            clopper_pearson(11, 10)
+        with pytest.raises(ValueError):
+            clopper_pearson(-1, 10)
+
+
+class TestChiSquare:
+    def test_critical_table_lookup(self):
+        assert chi_square_critical(3, 0.001) == pytest.approx(16.266)
+        assert chi_square_critical(1, 0.05) == pytest.approx(3.841)
+
+    def test_unknown_entry_raises(self):
+        with pytest.raises(ValueError):
+            chi_square_critical(99, 0.001)
+        with pytest.raises(ValueError):
+            chi_square_critical(3, 0.5)
+
+    def test_uniform_stat_zero_for_flat_counts(self):
+        assert chi_square_uniform_stat([25, 25, 25, 25]) == 0.0
+
+    def test_uniform_stat_known_value(self):
+        # Expected 50 per cell: (10^2 + 10^2) / 50 = 4.
+        assert chi_square_uniform_stat([60, 40]) == pytest.approx(4.0)
+
+    def test_uniform_stat_rejects_empty(self):
+        with pytest.raises(ValueError):
+            chi_square_uniform_stat([])
+        with pytest.raises(ValueError):
+            chi_square_uniform_stat([0, 0, 0])

@@ -230,3 +230,41 @@ def test_sweep_json_out_carries_replication_manifests(tmp_path, monkeypatch):
         assert manifest["events_processed"] > 0
         assert manifest["wall_time"] > 0
         assert manifest["events_per_sec"] > 0
+
+
+def test_run_with_adaptive_policy(capsys):
+    code = main([
+        "run", "--scheme", "rcast", "--nodes", "15", "--rate", "0.5",
+        "--sim-time", "8", "--connections", "2", "--static", "--seed", "3",
+        "--overhearing-policy", "degree",
+    ])
+    assert code == 0
+    assert "rcast:" in capsys.readouterr().out
+
+
+def test_unknown_overhearing_policy_rejected(capsys):
+    with pytest.raises(SystemExit) as excinfo:
+        main([
+            "run", "--scheme", "rcast", "--nodes", "15",
+            "--overhearing-policy", "bogus",
+        ])
+    assert excinfo.value.code == 2  # argparse usage error
+    assert "--overhearing-policy" in capsys.readouterr().err
+
+
+def test_sweep_rejects_unknown_overhearing_policy(capsys):
+    with pytest.raises(SystemExit) as excinfo:
+        main([
+            "sweep", "--schemes", "rcast", "--scale", "smoke",
+            "--overhearing-policy", "oracle",
+        ])
+    assert excinfo.value.code == 2
+    assert "--overhearing-policy" in capsys.readouterr().err
+
+
+def test_adaptive_figure_accepts_no_policy_flag():
+    # `adaptive` sweeps every policy itself; the per-figure flag is only
+    # wired for fig7/lifetime/resilience.
+    with pytest.raises(SystemExit):
+        main(["adaptive", "--scale", "smoke",
+              "--overhearing-policy", "degree"])

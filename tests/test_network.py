@@ -47,6 +47,11 @@ def test_unknown_rcast_factor_rejected():
         small(rcast_factors=("bogus",))
 
 
+def test_unknown_overhearing_policy_rejected():
+    with pytest.raises(ConfigurationError, match="overhearing"):
+        small(overhearing_policy="oracle")
+
+
 def test_with_scheme_copies():
     config = small("rcast")
     other = config.with_scheme("odpm")
